@@ -1,0 +1,300 @@
+// Command hvcbench regenerates every table and figure in the paper's
+// evaluation (see DESIGN.md §3 for the experiment index):
+//
+//	hvcbench -exp fig1a        CCA throughput under DChannel steering
+//	hvcbench -exp fig1b        BBR per-ack RTT time series
+//	hvcbench -exp fig2         real-time SVC video latency/SSIM
+//	hvcbench -exp table1       web PLT with background flows
+//	hvcbench -exp ablation-cc  HVC-aware congestion control (§3.2)
+//	hvcbench -exp ablation-mptcp MPTCP-style aggregation vs steering (§1)
+//	hvcbench -exp ablation-mlo Wi-Fi MLO redundancy (§2.2/§3.1)
+//	hvcbench -exp ablation-cost budgeted cISP-style path (§3.1)
+//	hvcbench -exp ablation-beta DChannel reward/cost β sweep
+//	hvcbench -exp ablation-tail end-of-message acceleration (§3.2)
+//	hvcbench -exp ablation-ians object-granularity (IANS) baseline (§1)
+//	hvcbench -exp ablation-has  adaptive streaming comparison
+//	hvcbench -exp all          everything above
+//
+// Absolute numbers come from a simulator, not the authors' testbed;
+// the shapes (who wins, by what factor, where crossovers fall) are the
+// reproduction target. EXPERIMENTS.md records paper-vs-measured.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hvc/internal/core"
+	"hvc/internal/metrics"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment to run (fig1a, fig1b, fig2, table1, ablation-cc, ablation-mptcp, ablation-mlo, ablation-cost, all)")
+		seed  = flag.Int64("seed", 1, "simulation seed")
+		seeds = flag.Int("seeds", 1, "repeat headline experiments over this many consecutive seeds and report means")
+		quick = flag.Bool("quick", false, "shorter runs and smaller corpora (for smoke testing)")
+		cdf   = flag.Bool("cdf", false, "dump full CDFs/time series instead of summaries")
+	)
+	flag.Parse()
+
+	cfg := scale{bulkDur: 60 * time.Second, videoDur: 60 * time.Second, pages: 30, loads: 5}
+	if *quick {
+		cfg = scale{bulkDur: 15 * time.Second, videoDur: 20 * time.Second, pages: 6, loads: 2}
+	}
+
+	runners := map[string]func(int64, scale, bool) error{
+		"fig1a":          fig1a,
+		"fig1b":          fig1b,
+		"fig2":           fig2,
+		"table1":         table1,
+		"ablation-cc":    ablationCC,
+		"ablation-mptcp": ablationMultipath,
+		"ablation-mlo":   ablationMLO,
+		"ablation-cost":  ablationCost,
+		"ablation-beta":  ablationBeta,
+		"ablation-tail":  ablationTail,
+		"ablation-ians":  ablationIANS,
+		"ablation-has":   ablationHAS,
+		"ablation-tsn":   ablationTSN,
+	}
+	order := []string{"fig1a", "fig1b", "fig2", "table1", "ablation-cc", "ablation-mptcp", "ablation-mlo", "ablation-cost", "ablation-beta", "ablation-tail", "ablation-ians", "ablation-has", "ablation-tsn"}
+
+	var names []string
+	if *exp == "all" {
+		names = order
+	} else if _, ok := runners[*exp]; ok {
+		names = []string{*exp}
+	} else {
+		fmt.Fprintf(os.Stderr, "hvcbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	if *seeds < 1 {
+		*seeds = 1
+	}
+	for _, name := range names {
+		for s := 0; s < *seeds; s++ {
+			if *seeds > 1 {
+				fmt.Printf("--- seed %d ---\n", *seed+int64(s))
+			}
+			if err := runners[name](*seed+int64(s), cfg, *cdf); err != nil {
+				fmt.Fprintf(os.Stderr, "hvcbench: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+type scale struct {
+	bulkDur  time.Duration
+	videoDur time.Duration
+	pages    int
+	loads    int
+}
+
+func fig1a(seed int64, sc scale, _ bool) error {
+	fmt.Printf("== Figure 1a: CCA throughput with DChannel steering (eMBB 50ms/60Mbps + URLLC 5ms/2Mbps, %v) ==\n", sc.bulkDur)
+	fmt.Printf("%-8s %12s %12s %8s\n", "cca", "mbps", "retransmits", "rtos")
+	results, err := core.Fig1a(seed, sc.bulkDur)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Printf("%-8s %12.2f %12d %8d\n", r.CC, r.Mbps, r.Retransmits, r.RTOs)
+	}
+	fmt.Println()
+	return nil
+}
+
+func fig1b(seed int64, sc scale, cdf bool) error {
+	fmt.Printf("== Figure 1b: BBR packet RTTs under DChannel steering (%v) ==\n", sc.bulkDur)
+	r, err := core.Fig1b(seed, sc.bulkDur)
+	if err != nil {
+		return err
+	}
+	if cdf {
+		fmt.Println("t_s\trtt_ms\tchannel")
+		for i, p := range r.RTT.Points() {
+			fmt.Printf("%.3f\t%.2f\t%s\n", p.At.Seconds(), p.Value, r.RTTChannels[i])
+		}
+	} else {
+		fmt.Printf("%8s %10s %10s %10s\n", "t", "min_ms", "mean_ms", "max_ms")
+		for _, b := range r.RTT.Buckets(2 * time.Second) {
+			fmt.Printf("%8v %10.1f %10.1f %10.1f\n", b.Start, b.Min, b.Mean, b.Max)
+		}
+	}
+	fmt.Printf("throughput: %.2f Mbps over %v\n\n", r.Mbps, sc.bulkDur)
+	return nil
+}
+
+func fig2(seed int64, sc scale, cdf bool) error {
+	for _, tr := range []string{"lowband-driving", "mmwave-driving"} {
+		fmt.Printf("== Figure 2: real-time SVC video over %s + URLLC (%v) ==\n", tr, sc.videoDur)
+		results, err := core.Fig2(seed, sc.videoDur, tr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-20s %9s %9s %9s %9s %8s %7s\n",
+			"policy", "p50_ms", "p95_ms", "p99_ms", "max_ms", "ssim", "frozen")
+		for _, r := range results {
+			fmt.Printf("%-20s %9.0f %9.0f %9.0f %9.0f %8.3f %7d\n",
+				r.Policy,
+				r.Latency.Percentile(50), r.Latency.Percentile(95),
+				r.Latency.Percentile(99), r.Latency.Max(),
+				r.SSIM.Mean(), r.Frozen)
+		}
+		if cdf {
+			for _, r := range results {
+				fmt.Printf("-- latency CDF (%s/%s) --\n%s", tr, r.Policy,
+					metrics.FormatCDF(r.Latency.CDF(50), "latency_ms"))
+				fmt.Printf("-- ssim CDF (%s/%s) --\n%s", tr, r.Policy,
+					metrics.FormatCDF(r.SSIM.CDF(20), "ssim"))
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func table1(seed int64, sc scale, _ bool) error {
+	fmt.Printf("== Table 1: web PLT (ms) with background traffic (%d pages x %d loads) ==\n", sc.pages, sc.loads)
+	fmt.Printf("%-22s %14s %20s %24s\n", "trace", "embb-only", "dchannel", "dchannel+priority")
+	for _, tr := range []string{"lowband-stationary", "lowband-driving"} {
+		results, err := core.Table1(seed, tr, sc.pages, sc.loads)
+		if err != nil {
+			return err
+		}
+		base := results[0].PLT.Mean()
+		cells := make([]string, len(results))
+		for i, r := range results {
+			if i == 0 {
+				cells[i] = fmt.Sprintf("%.1f", r.PLT.Mean())
+			} else {
+				cells[i] = fmt.Sprintf("%.1f (%.1f%%)", r.PLT.Mean(), 100*(1-r.PLT.Mean()/base))
+			}
+		}
+		fmt.Printf("%-22s %14s %20s %24s\n", tr, cells[0], cells[1], cells[2])
+	}
+	fmt.Println()
+	return nil
+}
+
+func ablationCC(seed int64, sc scale, _ bool) error {
+	fmt.Printf("== Ablation (§3.2): HVC-aware congestion control (%v) ==\n", sc.bulkDur)
+	plain, aware, err := core.AblationHVCAwareCC(seed, sc.bulkDur)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %14s %14s %10s\n", "cca", "plain_mbps", "hvc_mbps", "speedup")
+	for i := range plain {
+		fmt.Printf("%-8s %14.2f %14.2f %9.1fx\n",
+			plain[i].CC, plain[i].Mbps, aware[i].Mbps, aware[i].Mbps/plain[i].Mbps)
+	}
+	fmt.Println()
+	return nil
+}
+
+func ablationMLO(seed int64, _ scale, _ bool) error {
+	fmt.Println("== Ablation (§2.2/§3.1): Wi-Fi MLO redundancy, 1200B messages at 100/s ==")
+	fmt.Printf("%-12s %10s %10s %10s %12s\n", "mode", "delivery", "p50_ms", "p99_ms", "pkts_on_air")
+	for _, red := range []bool{false, true} {
+		r := core.RunMLO(seed, 2000, 1200, 10*time.Millisecond, red)
+		fmt.Printf("%-12s %9.2f%% %10.1f %10.1f %12d\n",
+			r.Mode, 100*r.DeliveryRate, r.Latency.Percentile(50), r.Latency.Percentile(99), r.PacketsOnAir)
+	}
+	fmt.Println()
+	return nil
+}
+
+func ablationCost(seed int64, _ scale, _ bool) error {
+	fmt.Println("== Ablation (§3.1): latency vs cost on a priced cISP-style path ==")
+	fmt.Printf("%-14s %10s %10s %12s %10s\n", "budget_B/s", "mean_ms", "p95_ms", "spent_bytes", "dollars")
+	for _, budget := range []float64{0, 5_000, 50_000, 500_000, 5_000_000} {
+		r := core.RunCost(seed, 500, 20*time.Millisecond, budget)
+		fmt.Printf("%-14.0f %10.1f %10.1f %12d %10.4f\n",
+			budget, r.Latency.Mean(), r.Latency.Percentile(95), r.SpentBytes, r.Dollars)
+	}
+	fmt.Println()
+	return nil
+}
+
+func ablationMultipath(seed int64, sc scale, _ bool) error {
+	fmt.Printf("== Ablation (§1/§3.1): MPTCP-style aggregation vs steering (%v) ==\n", sc.bulkDur)
+	fmt.Printf("%-12s %12s %12s %12s %14s\n", "bulk mode", "bulk_mbps", "probe_p50", "probe_p95", "urllc_maxq_B")
+	for _, mode := range []string{"multipath", "dchannel", "priority"} {
+		r := core.RunMultipath(seed, sc.bulkDur, mode)
+		fmt.Printf("%-12s %12.2f %10.1fms %10.1fms %14d\n",
+			r.Mode, r.BulkMbps, r.Probe.Percentile(50), r.Probe.Percentile(95), r.URLLCMaxQueue)
+	}
+	fmt.Println()
+	return nil
+}
+
+func ablationBeta(seed int64, _ scale, _ bool) error {
+	fmt.Println("== Ablation (design choice): DChannel reward/cost β on SVC video (lowband-driving, 30s) ==")
+	fmt.Printf("%-8s %12s %10s %14s\n", "beta", "p95_ms", "ssim", "urllc_share")
+	for _, p := range core.RunBetaSweep(seed, 30*time.Second, []float64{0.25, 0.5, 1, 2, 4, 8}) {
+		fmt.Printf("%-8.2f %12.0f %10.3f %13.1f%%\n", p.Beta, p.P95Latency, p.SSIM, 100*p.URLLCShare)
+	}
+	fmt.Println()
+	return nil
+}
+
+func ablationTail(seed int64, _ scale, _ bool) error {
+	fmt.Println("== Ablation (§3.2): end-of-message tail acceleration, 60kB messages at 20/s ==")
+	fmt.Printf("%-12s %10s %10s %10s\n", "mode", "mean_ms", "p95_ms", "max_ms")
+	for _, boost := range []bool{false, true} {
+		r := core.RunTailBoost(seed, 500, 60_000, 50*time.Millisecond, boost)
+		fmt.Printf("%-12s %10.1f %10.1f %10.1f\n",
+			r.Mode, r.Latency.Mean(), r.Latency.Percentile(95), r.Latency.Max())
+	}
+	fmt.Println()
+	return nil
+}
+
+func ablationIANS(seed int64, sc scale, _ bool) error {
+	fmt.Printf("== Ablation (§1 baseline): object-granularity (IANS) vs packet steering, web PLT (%d pages x %d loads) ==\n", sc.pages, sc.loads)
+	fmt.Printf("%-14s %12s %12s\n", "policy", "mean_plt_ms", "p95_plt_ms")
+	for _, policy := range []string{core.PolicyEMBBOnly, core.PolicyObjectMap, core.PolicyDChannel} {
+		r, err := core.RunWeb(core.WebConfig{
+			Seed: seed, Trace: "lowband-stationary", Policy: policy,
+			Pages: sc.pages, Loads: sc.loads,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-14s %12.1f %12.1f\n", policy, r.PLT.Mean(), r.PLT.Percentile(95))
+	}
+	fmt.Println()
+	return nil
+}
+
+func ablationHAS(seed int64, _ scale, _ bool) error {
+	fmt.Println("== Ablation (§1 IANS-for-HAS): adaptive streaming over mmwave-driving + URLLC, 60s media ==")
+	fmt.Printf("%-12s %10s %12s %10s %10s %10s\n", "policy", "startup", "rebuffer", "events", "mean_mbps", "switches")
+	rs, err := core.ABRComparison(seed, 60*time.Second, "mmwave-driving")
+	if err != nil {
+		return err
+	}
+	for _, r := range rs {
+		fmt.Printf("%-12s %10v %12v %10d %10.2f %10d\n",
+			r.Policy, r.StartupDelay.Round(time.Millisecond),
+			r.RebufferTime.Round(time.Millisecond), r.RebufferEvents,
+			r.MeanBitrate/1e6, r.Switches)
+	}
+	fmt.Println()
+	return nil
+}
+
+func ablationTSN(seed int64, _ scale, _ bool) error {
+	fmt.Println("== Ablation (§2.2): wireless TSN vs contended best-effort Wi-Fi, 60ms control loops ==")
+	fmt.Printf("%-14s %12s %12s %12s\n", "mode", "miss_rate", "p99_ms", "completed")
+	for _, useTSN := range []bool{false, true} {
+		r := core.RunTSN(seed, 10*time.Second, useTSN)
+		fmt.Printf("%-14s %11.1f%% %12.1f %12d\n", r.Mode, 100*r.MissRate, r.P99Latency, r.Completed)
+	}
+	fmt.Println()
+	return nil
+}

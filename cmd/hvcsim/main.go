@@ -1,0 +1,152 @@
+// Command hvcsim runs one ad-hoc scenario: a single flow of the chosen
+// kind (bulk transfer, web page load, or video stream) over a pair of
+// heterogeneous virtual channels, with a chosen steering policy and
+// congestion control. It is the exploration companion to hvcbench's
+// fixed experiment suite.
+//
+//	hvcsim -workload bulk  -cc bbr   -policy dchannel -dur 30s
+//	hvcsim -workload video -policy priority -trace mmwave-driving
+//	hvcsim -workload web   -policy dchannel+priority -trace lowband-driving
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hvc/internal/core"
+	"hvc/internal/metrics"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "bulk", "bulk, video, web, abr, or game")
+		ccName   = flag.String("cc", "cubic", "congestion control for bulk/web (cubic, reno, bbr, vegas, vivace, hvc-*)")
+		policy   = flag.String("policy", core.PolicyDChannel, "steering policy (embb-only, dchannel, priority, dchannel+priority)")
+		traceNm  = flag.String("trace", "fixed", "eMBB trace (fixed, lowband-stationary, lowband-driving, mmwave-driving)")
+		dur      = flag.Duration("dur", 30*time.Second, "run duration")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		pages    = flag.Int("pages", 5, "web: pages to load")
+		capFile  = flag.String("capture", "", "bulk: write per-channel time series CSV to this file")
+	)
+	flag.Parse()
+
+	var err error
+	switch *workload {
+	case "bulk":
+		err = runBulk(*seed, *dur, *ccName, *policy, *traceNm, *capFile)
+	case "video":
+		err = runVideo(*seed, *dur, *policy, *traceNm)
+	case "web":
+		err = runWeb(*seed, *policy, *traceNm, *pages)
+	case "abr":
+		err = runABR(*seed, *dur, *policy, *traceNm)
+	case "game":
+		err = runGame(*seed, *dur, *policy, *traceNm)
+	default:
+		err = fmt.Errorf("unknown workload %q", *workload)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hvcsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func runBulk(seed int64, dur time.Duration, ccName, policy, traceNm, capFile string) error {
+	tr, err := core.NewTrace(traceNm, seed, dur+time.Minute)
+	if err != nil {
+		return err
+	}
+	cfg := core.BulkConfig{
+		Seed: seed, Duration: dur, CC: ccName, Policy: policy, EMBB: tr,
+	}
+	if capFile != "" {
+		cfg.CaptureEvery = 100 * time.Millisecond
+	}
+	r, err := core.RunBulk(cfg)
+	if err != nil {
+		return err
+	}
+	if capFile != "" {
+		f, err := os.Create(capFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := r.Capture.WriteCSV(f); err != nil {
+			return err
+		}
+		fmt.Printf("  capture      wrote %s\n", capFile)
+	}
+	fmt.Printf("bulk %s/%s over %s for %v\n", ccName, policy, traceNm, dur)
+	fmt.Printf("  goodput      %.2f Mbps\n", r.Mbps)
+	fmt.Printf("  retransmits  %d (rtos %d)\n", r.Retransmits, r.RTOs)
+	fmt.Printf("  rtt          %s\n", summarizeRTT(r))
+	fmt.Printf("  channels     %s\n", core.SortedCounts(r.ChannelShare))
+	return nil
+}
+
+func summarizeRTT(r core.BulkResult) string {
+	if r.RTT.N() == 0 {
+		return "no samples"
+	}
+	var dist metrics.Distribution
+	for _, p := range r.RTT.Points() {
+		dist.Add(p.Value)
+	}
+	return fmt.Sprintf("n=%d p50=%.1fms p95=%.1fms max=%.1fms",
+		dist.N(), dist.Percentile(50), dist.Percentile(95), dist.Max())
+}
+
+func runVideo(seed int64, dur time.Duration, policy, traceNm string) error {
+	r, err := core.RunVideo(core.VideoConfig{Seed: seed, Duration: dur, Trace: traceNm, Policy: policy})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("video %s over %s for %v\n", policy, traceNm, dur)
+	fmt.Printf("  frames       %d sent, %d decoded, %d frozen\n", r.Sent, r.Decoded, r.Frozen)
+	fmt.Printf("  latency      p50=%.0fms p95=%.0fms p99=%.0fms max=%.0fms\n",
+		r.Latency.Percentile(50), r.Latency.Percentile(95), r.Latency.Percentile(99), r.Latency.Max())
+	fmt.Printf("  ssim         mean=%.3f p5=%.3f\n", r.SSIM.Mean(), r.SSIM.Percentile(5))
+	return nil
+}
+
+func runWeb(seed int64, policy, traceNm string, pages int) error {
+	r, err := core.RunWeb(core.WebConfig{
+		Seed: seed, Trace: traceNm, Policy: policy, Pages: pages, Loads: 1,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("web %s over %s, %d pages\n", policy, traceNm, pages)
+	fmt.Printf("  mean PLT     %v\n", r.MeanPLT.Round(time.Millisecond))
+	fmt.Printf("  p95 PLT      %.0f ms\n", r.PLT.Percentile(95))
+	fmt.Printf("  background   %d uploads, %d downloads\n", r.BgUploads, r.BgDownloads)
+	return nil
+}
+
+func runABR(seed int64, dur time.Duration, policy, traceNm string) error {
+	r, err := core.RunABR(core.ABRConfig{Seed: seed, Media: dur, Trace: traceNm, Policy: policy})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("abr %s over %s, %v media\n", policy, traceNm, dur)
+	fmt.Printf("  startup      %v\n", r.StartupDelay.Round(time.Millisecond))
+	fmt.Printf("  rebuffer     %v in %d events\n", r.RebufferTime.Round(time.Millisecond), r.RebufferEvents)
+	fmt.Printf("  bitrate      %.2f Mbps mean, %d switches\n", r.MeanBitrate/1e6, r.Switches)
+	fmt.Printf("  played       %v of %v\n", r.Played.Round(time.Second), dur)
+	return nil
+}
+
+func runGame(seed int64, dur time.Duration, policy, traceNm string) error {
+	r, err := core.RunGame(core.GameConfig{Seed: seed, Duration: dur, Trace: traceNm, Policy: policy})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("game %s over %s for %v\n", policy, traceNm, dur)
+	fmt.Printf("  input→display p50=%.0fms p95=%.0fms max=%.0fms\n",
+		r.InputToDisplay.Percentile(50), r.InputToDisplay.Percentile(95), r.InputToDisplay.Max())
+	fmt.Printf("  frames       %d shown, %d lost\n", r.FramesShown, r.FramesLost)
+	return nil
+}

@@ -1,0 +1,36 @@
+// Command tracegen emits synthetic 5G channel traces as CSV
+// ("t_ms,rtt_ms,rate_mbps"), the format internal/trace reads back.
+//
+//	tracegen -name lowband-driving -seed 7 -dur 60s > drv.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hvc/internal/core"
+)
+
+func main() {
+	var (
+		name = flag.String("name", "lowband-driving", "trace generator (lowband-stationary, lowband-driving, mmwave-driving, fixed)")
+		seed = flag.Int64("seed", 1, "generator seed")
+		dur  = flag.Duration("dur", time.Minute, "trace duration")
+	)
+	flag.Parse()
+
+	tr, err := core.NewTrace(*name, *seed, *dur)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\navailable: %v\n", err, core.TraceNames())
+		os.Exit(2)
+	}
+	if err := tr.WriteCSV(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: write: %v\n", err)
+		os.Exit(1)
+	}
+	mean, p98 := tr.RTTStats()
+	fmt.Fprintf(os.Stderr, "tracegen: %s: %d samples, mean RTT %v, p98 RTT %v\n",
+		tr.Name, len(tr.Samples), mean.Round(time.Millisecond), p98.Round(time.Millisecond))
+}

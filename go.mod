@@ -1,0 +1,3 @@
+module hvc
+
+go 1.22

@@ -1,0 +1,280 @@
+// Package abr implements HTTP adaptive streaming over heterogeneous
+// virtual channels: a client that downloads fixed-duration video
+// chunks over the reliable transport, picks bitrates with a
+// buffer-based (BBA-style) controller, and accounts startup delay,
+// rebuffering, and delivered quality.
+//
+// This is the workload of the paper's second IANS citation (Enghardt
+// et al., "Using informed access network selection to improve HTTP
+// adaptive streaming performance"): HAS chunks are the "content"
+// that object-granularity policies map to single channels, and the
+// comparison against packet steering runs through the same policies as
+// everything else in this repository.
+package abr
+
+import (
+	"fmt"
+	"time"
+
+	"hvc/internal/sim"
+	"hvc/internal/transport"
+)
+
+// DefaultLadder is a typical HAS bitrate ladder in bits per second.
+var DefaultLadder = []float64{350e3, 1e6, 3e6, 6e6, 12e6}
+
+// Config parameterizes one streaming session.
+type Config struct {
+	// Ladder lists the available bitrates ascending; nil means
+	// DefaultLadder.
+	Ladder []float64
+	// ChunkDuration is each chunk's media duration; 0 means 2 s.
+	ChunkDuration time.Duration
+	// Duration is the media length to stream.
+	Duration time.Duration
+	// MaxBuffer caps the playback buffer; 0 means 8 s (a live-ish
+	// configuration where channel quality actually matters).
+	MaxBuffer time.Duration
+	// Reservoir and Cushion are the BBA thresholds: below Reservoir
+	// the lowest bitrate is used; above Reservoir the rate rises
+	// linearly until the buffer reaches Reservoir+Cushion. Defaults:
+	// 2 s and 4 s.
+	Reservoir time.Duration
+	Cushion   time.Duration
+	// StartupChunks is how many chunks must be buffered before
+	// playback starts; 0 means 1.
+	StartupChunks int
+}
+
+func (cfg *Config) fillDefaults() {
+	if cfg.Ladder == nil {
+		cfg.Ladder = DefaultLadder
+	}
+	if len(cfg.Ladder) == 0 {
+		panic("abr: empty bitrate ladder")
+	}
+	for i := 1; i < len(cfg.Ladder); i++ {
+		if cfg.Ladder[i] <= cfg.Ladder[i-1] {
+			panic("abr: ladder must be strictly ascending")
+		}
+	}
+	if cfg.ChunkDuration == 0 {
+		cfg.ChunkDuration = 2 * time.Second
+	}
+	if cfg.Duration <= 0 {
+		panic("abr: Config.Duration must be positive")
+	}
+	if cfg.MaxBuffer == 0 {
+		cfg.MaxBuffer = 8 * time.Second
+	}
+	if cfg.Reservoir == 0 {
+		cfg.Reservoir = 2 * time.Second
+	}
+	if cfg.Cushion == 0 {
+		cfg.Cushion = 4 * time.Second
+	}
+	if cfg.StartupChunks == 0 {
+		cfg.StartupChunks = 1
+	}
+}
+
+// chunkReq travels to the server: a request for one chunk.
+type chunkReq struct {
+	index   int
+	bitrate float64
+	size    int
+}
+
+// Serve installs the HAS origin on ep: it answers chunkReq messages
+// with the requested chunk bytes.
+func Serve(ep *transport.Endpoint, cfg func() transport.Config) {
+	ep.Listen(cfg, func(c *transport.Conn) {
+		c.OnMessage(func(conn *transport.Conn, m transport.Message) {
+			req, ok := m.Data.(chunkReq)
+			if !ok {
+				panic(fmt.Sprintf("abr: unexpected request %T", m.Data))
+			}
+			conn.SendMessage(m.Stream, m.Priority, req.size, req)
+		})
+	})
+}
+
+// Result summarizes one playback session.
+type Result struct {
+	// StartupDelay is the time from session start to first frame.
+	StartupDelay time.Duration
+	// RebufferTime and RebufferEvents account mid-stream stalls.
+	RebufferTime   time.Duration
+	RebufferEvents int
+	// MeanBitrate is the size-weighted mean of downloaded chunk
+	// bitrates in bits per second.
+	MeanBitrate float64
+	// Switches counts bitrate changes between consecutive chunks.
+	Switches int
+	// Chunks is the number of chunks fully downloaded.
+	Chunks int
+	// Played reports how much media actually played.
+	Played time.Duration
+}
+
+// Client streams one session. Create with NewClient, then Start; read
+// Result after the simulation has run past the session's end.
+type Client struct {
+	loop *sim.Loop
+	conn *transport.Conn
+	cfg  Config
+
+	stream    uint32
+	nextChunk int
+	total     int
+	lastRate  float64
+
+	started    bool
+	startAt    time.Duration
+	buffer     time.Duration // media buffered and not yet played
+	playedAt   time.Duration // virtual time of last buffer drain update
+	stalledAt  time.Duration // when the current stall began (-1 none)
+	fetching   bool
+	waitTimer  *sim.Timer
+	res        Result
+	bitrateSum float64
+	requestBts int
+}
+
+// RequestBytes is the size of one chunk request message.
+const RequestBytes = 300
+
+// NewClient builds a streaming client over conn.
+func NewClient(loop *sim.Loop, conn *transport.Conn, cfg Config) *Client {
+	cfg.fillDefaults()
+	c := &Client{
+		loop:       loop,
+		conn:       conn,
+		cfg:        cfg,
+		stream:     conn.NewStream(),
+		total:      int(cfg.Duration / cfg.ChunkDuration),
+		stalledAt:  -1,
+		requestBts: RequestBytes,
+	}
+	conn.OnMessage(func(_ *transport.Conn, m transport.Message) { c.onChunk(m) })
+	return c
+}
+
+// TotalChunks reports the session length in chunks.
+func (c *Client) TotalChunks() int { return c.total }
+
+// Start begins the session at the current virtual time.
+func (c *Client) Start() {
+	c.startAt = c.loop.Now()
+	c.playedAt = c.loop.Now()
+	c.fetchNext()
+}
+
+// Result returns the session summary. Call after the loop has drained.
+func (c *Client) Result() Result {
+	c.drainPlayback()
+	res := c.res
+	if res.Chunks > 0 {
+		res.MeanBitrate = c.bitrateSum / float64(res.Chunks)
+	}
+	return res
+}
+
+// pickBitrate is the BBA-style map from buffer level to ladder rung.
+func (c *Client) pickBitrate() float64 {
+	ladder := c.cfg.Ladder
+	if c.buffer <= c.cfg.Reservoir {
+		return ladder[0]
+	}
+	frac := float64(c.buffer-c.cfg.Reservoir) / float64(c.cfg.Cushion)
+	if frac >= 1 {
+		return ladder[len(ladder)-1]
+	}
+	idx := int(frac * float64(len(ladder)))
+	if idx >= len(ladder) {
+		idx = len(ladder) - 1
+	}
+	return ladder[idx]
+}
+
+func (c *Client) fetchNext() {
+	if c.fetching || c.nextChunk >= c.total {
+		return
+	}
+	c.drainPlayback()
+	if c.buffer >= c.cfg.MaxBuffer {
+		// Buffer full: wait for it to drain one chunk's worth.
+		if !c.waitTimer.Active() {
+			c.waitTimer = c.loop.After(c.cfg.ChunkDuration/2, c.fetchNext)
+		}
+		return
+	}
+	rate := c.pickBitrate()
+	size := int(rate * c.cfg.ChunkDuration.Seconds() / 8)
+	c.fetching = true
+	c.conn.SendMessage(c.stream, 0, c.requestBts, chunkReq{
+		index: c.nextChunk, bitrate: rate, size: size,
+	})
+}
+
+func (c *Client) onChunk(m transport.Message) {
+	req, ok := m.Data.(chunkReq)
+	if !ok {
+		panic(fmt.Sprintf("abr: unexpected response %T", m.Data))
+	}
+	c.fetching = false
+	c.drainPlayback()
+
+	c.res.Chunks++
+	c.bitrateSum += req.bitrate
+	if c.lastRate != 0 && c.lastRate != req.bitrate {
+		c.res.Switches++
+	}
+	c.lastRate = req.bitrate
+	c.buffer += c.cfg.ChunkDuration
+	c.nextChunk++
+
+	if !c.started && c.res.Chunks >= c.cfg.StartupChunks {
+		c.started = true
+		c.res.StartupDelay = c.loop.Now() - c.startAt
+		c.playedAt = c.loop.Now()
+		if c.stalledAt >= 0 {
+			c.stalledAt = -1
+		}
+	}
+	if c.started && c.stalledAt >= 0 {
+		// Stall ends when a chunk arrives.
+		c.res.RebufferTime += c.loop.Now() - c.stalledAt
+		c.stalledAt = -1
+		c.playedAt = c.loop.Now()
+	}
+	c.fetchNext()
+}
+
+// drainPlayback advances the playback clock: played media leaves the
+// buffer; an empty buffer after startup is a stall.
+func (c *Client) drainPlayback() {
+	now := c.loop.Now()
+	if !c.started || c.stalledAt >= 0 {
+		c.playedAt = now
+		return
+	}
+	elapsed := now - c.playedAt
+	if elapsed <= 0 {
+		return
+	}
+	if elapsed >= c.buffer {
+		// Played everything buffered, then stalled (unless done).
+		c.res.Played += c.buffer
+		stallStart := c.playedAt + c.buffer
+		c.buffer = 0
+		if c.res.Played < c.cfg.Duration {
+			c.stalledAt = stallStart
+			c.res.RebufferEvents++
+		}
+	} else {
+		c.buffer -= elapsed
+		c.res.Played += elapsed
+	}
+	c.playedAt = now
+}

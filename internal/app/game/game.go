@@ -1,0 +1,193 @@
+// Package game implements the cloud-gaming / XR workload the paper's
+// introduction motivates (cloud gaming needs <100 ms input latency, XR
+// <20 ms): a client streams small input events upstream while the
+// server streams rendered frames downstream, over one unreliable
+// connection. The headline metric is input-to-display latency — the
+// time from an input event leaving the client to the first frame that
+// reflects it being fully displayed — which exercises both directions
+// of the HVC pair at once: inputs crave the low-latency channel,
+// frames need the wide one.
+package game
+
+import (
+	"fmt"
+	"time"
+
+	"hvc/internal/metrics"
+	"hvc/internal/packet"
+	"hvc/internal/sim"
+	"hvc/internal/transport"
+)
+
+// Config parameterizes one session.
+type Config struct {
+	// Duration is how long the session runs.
+	Duration time.Duration
+	// FPS is the server's frame rate; 0 means 60.
+	FPS int
+	// FrameBitrate sizes frames (bits/s of video); 0 means 10 Mbps.
+	FrameBitrate float64
+	// InputHz is the client's input event rate; 0 means 60.
+	InputHz int
+	// InputBytes sizes one input event; 0 means 120 B.
+	InputBytes int
+	// RenderDelay models server-side game/render time between an
+	// input's arrival and the first frame reflecting it; 0 means 8 ms.
+	RenderDelay time.Duration
+	// InputPriority and FramePriority are the message priorities the
+	// application declares; by default inputs are priority 0 (the
+	// thing priority-aware steering protects) and frames priority 1.
+	InputPriority packet.Priority
+	FramePriority packet.Priority
+}
+
+func (cfg *Config) fillDefaults() {
+	if cfg.Duration <= 0 {
+		panic("game: Config.Duration must be positive")
+	}
+	if cfg.FPS == 0 {
+		cfg.FPS = 60
+	}
+	if cfg.FrameBitrate == 0 {
+		cfg.FrameBitrate = 10e6
+	}
+	if cfg.InputHz == 0 {
+		cfg.InputHz = 60
+	}
+	if cfg.InputBytes == 0 {
+		cfg.InputBytes = 120
+	}
+	if cfg.RenderDelay == 0 {
+		cfg.RenderDelay = 8 * time.Millisecond
+	}
+	if cfg.FramePriority == 0 && cfg.InputPriority == 0 {
+		cfg.FramePriority = 1
+	}
+}
+
+// inputMsg is one input event.
+type inputMsg struct {
+	seq    int
+	sentAt time.Duration
+}
+
+// frameMsg is one rendered frame, carrying the newest input it
+// reflects (zero-valued if no input had arrived yet).
+type frameMsg struct {
+	frame    int
+	input    int
+	inputAt  time.Duration
+	hasInput bool
+}
+
+// Session runs a client and server pair. Build with NewSession after
+// both transport endpoints exist, then Start.
+type Session struct {
+	loop *sim.Loop
+	cfg  Config
+
+	clientConn *transport.Conn
+	inStream   uint32
+	nextInput  int
+
+	// Server state (attached through Attach).
+	latestInput     int
+	latestInputAt   time.Duration // client send time (for the metric)
+	latestInputRcvd time.Duration // server arrival time (for render delay)
+	hasInput        bool
+	appliedInput    int // newest input already credited on a frame
+
+	// Client-side results.
+	InputToDisplay metrics.Distribution // ms
+	FramesShown    int
+	FramesSent     int
+	acked          map[int]bool
+}
+
+// NewSession builds the client half over conn (an unreliable dial).
+func NewSession(loop *sim.Loop, conn *transport.Conn, cfg Config) *Session {
+	cfg.fillDefaults()
+	s := &Session{
+		loop:       loop,
+		cfg:        cfg,
+		clientConn: conn,
+		inStream:   conn.NewStream(),
+		acked:      make(map[int]bool),
+	}
+	conn.OnMessage(func(_ *transport.Conn, m transport.Message) { s.onFrame(m) })
+	return s
+}
+
+// Attach installs the server half on the accepted connection: it
+// consumes inputs and streams frames back down it.
+func (s *Session) Attach(server *transport.Conn) {
+	server.OnMessage(func(_ *transport.Conn, m transport.Message) {
+		in, ok := m.Data.(inputMsg)
+		if !ok {
+			panic(fmt.Sprintf("game: unexpected server message %T", m.Data))
+		}
+		if in.seq > s.latestInput || !s.hasInput {
+			s.latestInput = in.seq
+			s.latestInputAt = in.sentAt
+			s.latestInputRcvd = s.loop.Now()
+			s.hasInput = true
+		}
+	})
+	s.startFrames(server)
+}
+
+// Start schedules the client's input stream.
+func (s *Session) Start() {
+	interval := time.Second / time.Duration(s.cfg.InputHz)
+	n := int(s.cfg.Duration / interval)
+	for i := 0; i < n; i++ {
+		s.loop.At(time.Duration(i)*interval, s.sendInput)
+	}
+}
+
+func (s *Session) sendInput() {
+	s.nextInput++
+	s.clientConn.SendMessage(s.inStream, s.cfg.InputPriority, s.cfg.InputBytes,
+		inputMsg{seq: s.nextInput, sentAt: s.loop.Now()})
+}
+
+func (s *Session) startFrames(server *transport.Conn) {
+	interval := time.Second / time.Duration(s.cfg.FPS)
+	frameBytes := int(s.cfg.FrameBitrate / float64(s.cfg.FPS) / 8)
+	stream := server.NewStream()
+	n := int(s.cfg.Duration / interval)
+	base := s.loop.Now() // frames start when the server attaches
+	for i := 0; i < n; i++ {
+		i := i
+		s.loop.At(base+time.Duration(i)*interval, func() {
+			fm := frameMsg{frame: i}
+			// A frame reflects the newest input that arrived at least
+			// RenderDelay ago — and is credited only once.
+			if s.hasInput && s.loop.Now()-s.latestInputRcvd >= s.cfg.RenderDelay &&
+				s.latestInput > s.appliedInput {
+				fm.input = s.latestInput
+				fm.inputAt = s.latestInputAt
+				fm.hasInput = true
+				s.appliedInput = s.latestInput
+			}
+			s.FramesSent++
+			server.SendMessage(stream, s.cfg.FramePriority, frameBytes, fm)
+		})
+	}
+}
+
+func (s *Session) onFrame(m transport.Message) {
+	fm, ok := m.Data.(frameMsg)
+	if !ok {
+		panic(fmt.Sprintf("game: unexpected client message %T", m.Data))
+	}
+	s.FramesShown++
+	if fm.hasInput && !s.acked[fm.input] {
+		s.acked[fm.input] = true
+		s.InputToDisplay.AddDuration(s.loop.Now() - fm.inputAt)
+	}
+}
+
+// FramesLost reports frames sent but never fully displayed. Call after
+// the simulation drains.
+func (s *Session) FramesLost() int { return s.FramesSent - s.FramesShown }

@@ -1,0 +1,132 @@
+package game
+
+import (
+	"testing"
+	"time"
+
+	"hvc/internal/channel"
+	"hvc/internal/sim"
+	"hvc/internal/steering"
+	"hvc/internal/trace"
+	"hvc/internal/transport"
+)
+
+// run wires a session over the given channels and policy builder and
+// returns it after the simulation drains.
+func run(t *testing.T, seed int64, dur time.Duration,
+	mkSteer func(*channel.Group, channel.Side) steering.Policy,
+	chs func(*sim.Loop) []*channel.Channel) *Session {
+	t.Helper()
+	loop := sim.NewLoop(seed)
+	g := channel.NewGroup(chs(loop)...)
+	client := transport.NewEndpoint(loop, g, channel.A)
+	server := transport.NewEndpoint(loop, g, channel.B)
+
+	conn := client.Dial(transport.Config{
+		Steer: mkSteer(g, channel.A), Unreliable: true, MsgTimeout: 10 * time.Second,
+	})
+	s := NewSession(loop, conn, Config{Duration: dur})
+	server.Listen(func() transport.Config {
+		return transport.Config{
+			Steer: mkSteer(g, channel.B), Unreliable: true, MsgTimeout: 10 * time.Second,
+		}
+	}, func(c *transport.Conn) { s.Attach(c) })
+
+	s.Start()
+	loop.RunUntil(dur + 10*time.Second)
+	return s
+}
+
+func cellular(loop *sim.Loop) []*channel.Channel {
+	return []*channel.Channel{channel.EMBBFixed(loop), channel.URLLC(loop)}
+}
+
+func embbOnly(g *channel.Group, _ channel.Side) steering.Policy {
+	return steering.NewSingle(g.Get(channel.NameEMBB))
+}
+
+func priority(g *channel.Group, side channel.Side) steering.Policy {
+	return steering.NewPriority(g, side, steering.PriorityConfig{AdmitPrio: 0})
+}
+
+func TestSessionBasics(t *testing.T) {
+	s := run(t, 1, 3*time.Second, embbOnly, cellular)
+	if s.FramesSent == 0 || s.FramesShown == 0 {
+		t.Fatalf("no frames flowed: sent=%d shown=%d", s.FramesSent, s.FramesShown)
+	}
+	if s.InputToDisplay.N() == 0 {
+		t.Fatal("no input-to-display samples")
+	}
+	// eMBB-only floor: input up (25 ms) + render (≤8+16 ms) + frame
+	// down (25 ms + tx). Everything must exceed ~55 ms.
+	if got := s.InputToDisplay.Min(); got < 55 {
+		t.Fatalf("min input-to-display %.1f ms below physical floor", got)
+	}
+	if s.FramesLost() != 0 {
+		t.Fatalf("%d frames lost on a clean channel", s.FramesLost())
+	}
+}
+
+func TestPrioritySteeringCutsInputLatency(t *testing.T) {
+	base := run(t, 2, 3*time.Second, embbOnly, cellular)
+	prio := run(t, 2, 3*time.Second, priority, cellular)
+	// Inputs over URLLC shave the 22.5 ms uplink difference.
+	if prio.InputToDisplay.Percentile(50) >= base.InputToDisplay.Percentile(50) {
+		t.Fatalf("priority p50 %.1f ms should beat embb-only %.1f ms",
+			prio.InputToDisplay.Percentile(50), base.InputToDisplay.Percentile(50))
+	}
+}
+
+func TestLatencySpikeHitsEMBBOnlyHarder(t *testing.T) {
+	spiky := func(loop *sim.Loop) []*channel.Channel {
+		tr := &trace.Trace{Name: "spiky", Samples: []trace.Sample{
+			{At: 0, RTT: 50 * time.Millisecond, Rate: 60e6},
+			{At: 1 * time.Second, RTT: 300 * time.Millisecond, Rate: 60e6},
+			{At: 2 * time.Second, RTT: 50 * time.Millisecond, Rate: 60e6},
+			{At: 10 * time.Minute, RTT: 50 * time.Millisecond, Rate: 60e6},
+		}}
+		return []*channel.Channel{channel.EMBB(loop, tr), channel.URLLC(loop)}
+	}
+	base := run(t, 3, 3*time.Second, embbOnly, spiky)
+	prio := run(t, 3, 3*time.Second, priority, spiky)
+	// During the RTT spike, eMBB-only inputs take 150+ ms one way; the
+	// priority policy's inputs stay on URLLC.
+	if base.InputToDisplay.Max() < 200 {
+		t.Fatalf("embb-only max %.1f ms: spike did not register", base.InputToDisplay.Max())
+	}
+	if prio.InputToDisplay.Percentile(95) >= base.InputToDisplay.Percentile(95) {
+		t.Fatalf("priority p95 %.1f should beat embb-only %.1f under spikes",
+			prio.InputToDisplay.Percentile(95), base.InputToDisplay.Percentile(95))
+	}
+}
+
+func TestEachInputCreditedOnce(t *testing.T) {
+	s := run(t, 4, 2*time.Second, embbOnly, cellular)
+	if s.InputToDisplay.N() > s.nextInput {
+		t.Fatalf("%d samples for %d inputs", s.InputToDisplay.N(), s.nextInput)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	loop := sim.NewLoop(1)
+	g := channel.NewGroup(cellular(loop)...)
+	client := transport.NewEndpoint(loop, g, channel.A)
+	transport.NewEndpoint(loop, g, channel.B)
+	conn := client.Dial(transport.Config{Steer: embbOnly(g, channel.A), Unreliable: true})
+	defer func() {
+		if recover() == nil {
+			t.Error("zero duration should panic")
+		}
+	}()
+	NewSession(loop, conn, Config{})
+}
+
+func TestDeterministicSession(t *testing.T) {
+	a := run(t, 7, 2*time.Second, priority, cellular)
+	b := run(t, 7, 2*time.Second, priority, cellular)
+	if a.InputToDisplay.N() != b.InputToDisplay.N() ||
+		a.InputToDisplay.Mean() != b.InputToDisplay.Mean() ||
+		a.FramesShown != b.FramesShown {
+		t.Fatal("nondeterministic session")
+	}
+}

@@ -1,0 +1,157 @@
+// Package iot implements the industrial-automation workload that
+// motivates wireless TSN in §2.2: periodic closed control loops —
+// sensor reading up, actuation command back — each of which must
+// complete within its cycle deadline. The metric is the deadline miss
+// rate, the quantity TSN's scheduled airtime exists to drive to zero
+// while contention-based Wi-Fi lets background traffic destroy it.
+package iot
+
+import (
+	"fmt"
+	"time"
+
+	"hvc/internal/metrics"
+	"hvc/internal/sim"
+	"hvc/internal/transport"
+)
+
+// Config parameterizes one plant.
+type Config struct {
+	// Devices is the number of sensor/actuator pairs; 0 means 4.
+	Devices int
+	// Cycle is the control period; each loop's deadline is one cycle.
+	// 0 means 20 ms.
+	Cycle time.Duration
+	// MsgBytes sizes sensor readings and commands; 0 means 200 B.
+	MsgBytes int
+	// Duration is how long the plant runs.
+	Duration time.Duration
+}
+
+func (cfg *Config) fillDefaults() {
+	if cfg.Devices == 0 {
+		cfg.Devices = 4
+	}
+	if cfg.Cycle == 0 {
+		cfg.Cycle = 20 * time.Millisecond
+	}
+	if cfg.MsgBytes == 0 {
+		cfg.MsgBytes = 200
+	}
+	if cfg.Duration <= 0 {
+		panic("iot: Config.Duration must be positive")
+	}
+}
+
+// reading is one sensor sample on its way to the controller.
+type reading struct {
+	device int
+	cycle  int
+	sentAt time.Duration
+}
+
+// command is the controller's response, echoing the loop identity.
+type command struct {
+	device int
+	cycle  int
+	sentAt time.Duration // the originating reading's send time
+}
+
+// Plant runs the device side: every cycle each device emits a reading;
+// the loop closes when the matching command returns. Create with
+// NewPlant and Start it; attach the controller with ServeController.
+type Plant struct {
+	loop *sim.Loop
+	conn *transport.Conn
+	cfg  Config
+
+	stream  uint32
+	cycles  int
+	started *sim.Periodic
+	cycleNo int
+
+	// LoopLatency is the closed-loop latency distribution (ms) of
+	// loops that completed; Misses counts loops that exceeded the
+	// cycle deadline or never completed by the end of the run.
+	LoopLatency metrics.Distribution
+	Completed   int
+	misses      int
+}
+
+// NewPlant builds the device side over conn (an unreliable dial — a
+// stale command is useless, so nothing is retransmitted).
+func NewPlant(loop *sim.Loop, conn *transport.Conn, cfg Config) *Plant {
+	cfg.fillDefaults()
+	p := &Plant{loop: loop, conn: conn, cfg: cfg, stream: conn.NewStream()}
+	p.cycles = int(cfg.Duration / cfg.Cycle)
+	conn.OnMessage(func(_ *transport.Conn, m transport.Message) { p.onCommand(m) })
+	return p
+}
+
+// TotalLoops reports how many loops the plant will attempt.
+func (p *Plant) TotalLoops() int { return p.cycles * p.cfg.Devices }
+
+// Start begins the cyclic schedule.
+func (p *Plant) Start() {
+	p.tick() // cycle 0 fires immediately
+	p.started = sim.Every(p.loop, p.cfg.Cycle, func() {
+		if p.cycleNo >= p.cycles {
+			p.started.Stop()
+			return
+		}
+		p.tick()
+	})
+}
+
+func (p *Plant) tick() {
+	c := p.cycleNo
+	p.cycleNo++
+	for d := 0; d < p.cfg.Devices; d++ {
+		p.conn.SendMessage(p.stream, 0, p.cfg.MsgBytes,
+			reading{device: d, cycle: c, sentAt: p.loop.Now()})
+	}
+}
+
+func (p *Plant) onCommand(m transport.Message) {
+	cmd, ok := m.Data.(command)
+	if !ok {
+		panic(fmt.Sprintf("iot: unexpected plant message %T", m.Data))
+	}
+	lat := p.loop.Now() - cmd.sentAt
+	if lat > p.cfg.Cycle {
+		p.misses++
+		return
+	}
+	p.Completed++
+	p.LoopLatency.AddDuration(lat)
+}
+
+// MissRate reports the fraction of attempted loops that missed their
+// deadline (including loops whose command never arrived). Call after
+// the simulation drains.
+func (p *Plant) MissRate() float64 {
+	attempted := p.cycleNo * p.cfg.Devices
+	if attempted == 0 {
+		return 0
+	}
+	return float64(attempted-p.Completed) / float64(attempted)
+}
+
+// ServeController installs the controller on the accepted connection:
+// every reading is answered with a command after a fixed compute time.
+func ServeController(loop *sim.Loop, conn *transport.Conn, compute time.Duration, msgBytes int) {
+	if msgBytes == 0 {
+		msgBytes = 200
+	}
+	stream := conn.NewStream()
+	conn.OnMessage(func(c *transport.Conn, m transport.Message) {
+		r, ok := m.Data.(reading)
+		if !ok {
+			return // other flows (e.g. bulk) may share the listener
+		}
+		loop.After(compute, func() {
+			c.SendMessage(stream, 0, msgBytes,
+				command{device: r.device, cycle: r.cycle, sentAt: r.sentAt})
+		})
+	})
+}

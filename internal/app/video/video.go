@@ -1,0 +1,255 @@
+// Package video implements the paper's real-time scalable-video
+// workload (§3.3): a sender that encodes each frame as three SVC
+// spatial layers with target bitrates of 400, 4100, and 7500 kbps and
+// transmits the layers as three separate messages (30 fps) over an
+// unreliable connection, and a receiver that applies the paper's
+// decode rule — after layer 0 of a frame arrives, wait 60 ms or until
+// layer 0 of the next two frames arrives, then decode the frame at the
+// highest layer whose SVC dependencies are satisfied.
+//
+// Frame quality is scored with an SSIM table per decoded layer,
+// standing in for the VP9-SVC encodings of the MOT17 sequence the
+// paper used (the experiments depend only on the ordering and rough
+// spacing of per-layer quality, not on pixel content).
+package video
+
+import (
+	"fmt"
+	"time"
+
+	"hvc/internal/metrics"
+	"hvc/internal/packet"
+	"hvc/internal/sim"
+	"hvc/internal/transport"
+)
+
+// Layers is the number of SVC spatial layers.
+const Layers = 3
+
+// LayerBitrates are the per-layer target bitrates in bits per second;
+// they sum to the paper's cumulative 12 Mbps.
+var LayerBitrates = [Layers]float64{400e3, 4.1e6, 7.5e6}
+
+// SSIMByLayer scores a frame decoded up to a given layer. Layer 0
+// alone is watchable but soft; each enhancement layer adds quality.
+// Values chosen to sit in the band Fig. 2 reports.
+var SSIMByLayer = [Layers]float64{0.880, 0.948, 0.976}
+
+// Config parameterizes one video session.
+type Config struct {
+	// FPS is the frame rate; 0 means 30.
+	FPS int
+	// Duration is how long the sender streams.
+	Duration time.Duration
+	// DecodeWait bounds how long the receiver holds a frame after its
+	// layer 0 arrives; 0 means the paper's 60 ms.
+	DecodeWait time.Duration
+	// KeyframeInterval resets the inter-frame SVC dependency every N
+	// frames (a real encoder's periodic keyframes); 0 means 30.
+	KeyframeInterval int
+}
+
+func (cfg *Config) fillDefaults() {
+	if cfg.FPS == 0 {
+		cfg.FPS = 30
+	}
+	if cfg.DecodeWait == 0 {
+		cfg.DecodeWait = 60 * time.Millisecond
+	}
+	if cfg.KeyframeInterval == 0 {
+		cfg.KeyframeInterval = 30
+	}
+	if cfg.Duration <= 0 {
+		panic("video: Config.Duration must be positive")
+	}
+}
+
+// layerMsg identifies one layer of one frame on the wire.
+type layerMsg struct {
+	frame int
+	layer int
+}
+
+// Sender paces frames onto an unreliable connection. Each layer is one
+// message whose priority equals its layer index, which is exactly the
+// application input the paper's priority-aware steering consumes.
+type Sender struct {
+	loop   *sim.Loop
+	conn   *transport.Conn
+	cfg    Config
+	stream uint32
+	frames int
+	sizes  [Layers]int
+}
+
+// NewSender builds a sender over conn (which must be unreliable — the
+// paper streams over UDP).
+func NewSender(loop *sim.Loop, conn *transport.Conn, cfg Config) *Sender {
+	cfg.fillDefaults()
+	s := &Sender{loop: loop, conn: conn, cfg: cfg, stream: conn.NewStream()}
+	interval := time.Second / time.Duration(cfg.FPS)
+	for l := range s.sizes {
+		s.sizes[l] = int(LayerBitrates[l] / float64(cfg.FPS) / 8)
+	}
+	s.frames = int(cfg.Duration / interval)
+	return s
+}
+
+// FrameCount reports how many frames the sender will emit.
+func (s *Sender) FrameCount() int { return s.frames }
+
+// Start schedules the whole stream: one tick per frame, three
+// messages per tick.
+func (s *Sender) Start() {
+	interval := time.Second / time.Duration(s.cfg.FPS)
+	for f := 0; f < s.frames; f++ {
+		f := f
+		s.loop.At(time.Duration(f)*interval, func() { s.sendFrame(f) })
+	}
+}
+
+func (s *Sender) sendFrame(f int) {
+	for l := 0; l < Layers; l++ {
+		s.conn.SendMessage(s.stream, packet.Priority(l), s.sizes[l], layerMsg{frame: f, layer: l})
+	}
+}
+
+// Receiver applies the decode rule and accumulates the latency and
+// SSIM distributions Fig. 2 plots.
+type Receiver struct {
+	loop *sim.Loop
+	cfg  Config
+
+	frames  map[int]*frameState
+	decoded map[int]int // frame → decoded layer (-1 not decoded)
+
+	// Latency and SSIM are distributions over decoded frames, in ms
+	// and SSIM units respectively.
+	Latency metrics.Distribution
+	SSIM    metrics.Distribution
+
+	// Decoded and Frozen count frames decoded versus never decoded by
+	// stream end.
+	Decoded int
+}
+
+type frameState struct {
+	got      [Layers]bool
+	sentAt   time.Duration
+	l0At     time.Duration
+	timer    *sim.Timer
+	decodedL int // -1 until decoded
+}
+
+// NewReceiver builds a receiver; attach it to the receiving connection
+// with Attach.
+func NewReceiver(loop *sim.Loop, cfg Config) *Receiver {
+	cfg.fillDefaults()
+	return &Receiver{
+		loop:    loop,
+		cfg:     cfg,
+		frames:  make(map[int]*frameState),
+		decoded: make(map[int]int),
+	}
+}
+
+// Attach installs the receiver as conn's message handler.
+func (r *Receiver) Attach(conn *transport.Conn) {
+	conn.OnMessage(func(_ *transport.Conn, m transport.Message) { r.onMessage(m) })
+}
+
+func (r *Receiver) onMessage(m transport.Message) {
+	lm, ok := m.Data.(layerMsg)
+	if !ok {
+		panic(fmt.Sprintf("video: unexpected message payload %T", m.Data))
+	}
+	fs := r.frame(lm.frame)
+	if fs.decodedL >= 0 {
+		return // frame already decoded; late enhancement data discarded
+	}
+	fs.got[lm.layer] = true
+	fs.sentAt = m.SentAt
+	if lm.layer == 0 {
+		fs.l0At = r.loop.Now()
+		fs.timer = r.loop.After(r.cfg.DecodeWait, func() { r.decode(lm.frame) })
+		// Layer 0 of frames f-1 and f-2 may be waiting on us — and if
+		// our own successors already arrived (reordering), this frame
+		// can decode immediately too.
+		r.maybeTriggerEarlier(lm.frame)
+	}
+}
+
+func (r *Receiver) frame(f int) *frameState {
+	fs, ok := r.frames[f]
+	if !ok {
+		fs = &frameState{decodedL: -1}
+		r.frames[f] = fs
+	}
+	return fs
+}
+
+// maybeTriggerEarlier decodes frames f-2 and f-1 early when their
+// wait condition ("layer 0 of the next two frames arrived") now holds.
+func (r *Receiver) maybeTriggerEarlier(f int) {
+	for _, earlier := range []int{f - 2, f - 1, f} {
+		if earlier < 0 {
+			continue
+		}
+		fs, ok := r.frames[earlier]
+		if !ok || fs.decodedL >= 0 || !fs.got[0] {
+			continue
+		}
+		if r.l0Arrived(earlier+1) && r.l0Arrived(earlier+2) {
+			r.decode(earlier)
+		}
+	}
+}
+
+func (r *Receiver) l0Arrived(f int) bool {
+	fs, ok := r.frames[f]
+	return ok && (fs.got[0] || fs.decodedL >= 0)
+}
+
+// decode finalizes a frame at the highest layer whose SVC dependency
+// chain is intact: all lower layers of this frame received, and the
+// same layer decoded in the previous frame (reset at keyframes).
+func (r *Receiver) decode(f int) {
+	fs := r.frames[f]
+	if fs == nil || fs.decodedL >= 0 || !fs.got[0] {
+		return
+	}
+	fs.timer.Stop()
+
+	level := 0
+	for l := 1; l < Layers; l++ {
+		if !fs.got[l] {
+			break
+		}
+		if !r.prevSupports(f, l) {
+			break
+		}
+		level = l
+	}
+	fs.decodedL = level
+	r.decoded[f] = level
+	r.Decoded++
+	r.Latency.AddDuration(r.loop.Now() - fs.sentAt)
+	r.SSIM.Add(SSIMByLayer[level])
+	// Drop per-layer state we no longer need (keep decodedL for the
+	// dependency checks of the next frames).
+	fs.timer = nil
+}
+
+// prevSupports reports whether frame f may decode layer l given frame
+// f-1's decode level. Keyframes start a fresh dependency chain.
+func (r *Receiver) prevSupports(f, l int) bool {
+	if f%r.cfg.KeyframeInterval == 0 {
+		return true
+	}
+	prevLevel, ok := r.decoded[f-1]
+	return ok && prevLevel >= l
+}
+
+// Frozen reports frames sent but never decoded, given the sender's
+// frame count. Call it after the simulation drains.
+func (r *Receiver) Frozen(sent int) int { return sent - r.Decoded }

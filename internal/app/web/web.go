@@ -1,0 +1,377 @@
+// Package web implements the paper's web-browsing workload (§3.3,
+// Table 1): page loads measured by the onLoad event over an HTTP/2-like
+// multiplexed transport, plus the two background flows — one
+// continuously uploading 5 kB JSON objects and one downloading 10 kB
+// objects — that compete with the page for the constrained low-latency
+// channel.
+//
+// The paper replayed 30 recorded Hispar pages through Mahimahi with a
+// Chromium client; neither the recordings nor a browser are available
+// here, so pages are synthetic dependency DAGs drawn from size and
+// fan-out distributions typical of landing and internal pages (see
+// DESIGN.md §1). What Table 1 measures — the interaction of many small
+// dependent fetches with steering and background queue build-up — is
+// preserved.
+package web
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"hvc/internal/packet"
+	"hvc/internal/transport"
+)
+
+// Kind classifies a page object; kinds differ in size range and in
+// whether they trigger further fetches.
+type Kind uint8
+
+const (
+	// HTML is the root document.
+	HTML Kind = iota
+	// Script is render-blocking JavaScript that may fetch children.
+	Script
+	// Stylesheet may fetch fonts and images.
+	Stylesheet
+	// Image is a leaf resource.
+	Image
+	// JSON is a small API response (also what background flows move).
+	JSON
+)
+
+// An Object is one fetchable resource. Children become fetchable once
+// the object has fully arrived and its parse delay has elapsed.
+type Object struct {
+	ID         int
+	Kind       Kind
+	Size       int
+	ParseDelay time.Duration
+	Children   []*Object
+}
+
+// A Page is one synthetic web page: a dependency DAG rooted at the
+// HTML document.
+type Page struct {
+	Name    string
+	Landing bool
+	Root    *Object
+}
+
+// Objects counts all resources on the page.
+func (p *Page) Objects() int { return countObjects(p.Root) }
+
+func countObjects(o *Object) int {
+	n := 1
+	for _, c := range o.Children {
+		n += countObjects(c)
+	}
+	return n
+}
+
+// TotalBytes sums all resource sizes.
+func (p *Page) TotalBytes() int { return sumBytes(p.Root) }
+
+func sumBytes(o *Object) int {
+	n := o.Size
+	for _, c := range o.Children {
+		n += sumBytes(c)
+	}
+	return n
+}
+
+// RequestBytes is the size of one HTTP request message.
+const RequestBytes = 400
+
+// KindPriority maps an object kind to the message priority a
+// priority-aware browser declares: render-blocking resources (HTML,
+// stylesheets, scripts) outrank images and background JSON. This is
+// the web-side use of the paper's message-importance interface.
+func KindPriority(k Kind) packet.Priority {
+	switch k {
+	case HTML:
+		return 0
+	case Stylesheet, Script:
+		return 1
+	case JSON:
+		return 2
+	default: // images
+		return 3
+	}
+}
+
+// GenerateCorpus returns n synthetic pages, alternating landing and
+// internal pages, drawn deterministically from seed. The same seed
+// yields the identical corpus, so policies are compared on identical
+// workloads.
+func GenerateCorpus(seed int64, n int) []*Page {
+	rng := rand.New(rand.NewSource(seed))
+	pages := make([]*Page, 0, n)
+	for i := 0; i < n; i++ {
+		landing := i%2 == 0
+		pages = append(pages, generatePage(rng, i, landing))
+	}
+	return pages
+}
+
+// size draws a size in [lo, hi] with a mild heavy tail.
+func size(rng *rand.Rand, lo, hi int) int {
+	f := rng.Float64()
+	f = f * f // bias toward the low end, occasional large objects
+	return lo + int(f*float64(hi-lo))
+}
+
+func generatePage(rng *rand.Rand, i int, landing bool) *Page {
+	next := 0
+	newObj := func(k Kind, sz int, parse time.Duration) *Object {
+		next++
+		return &Object{ID: next, Kind: k, Size: sz, ParseDelay: parse}
+	}
+
+	// Parse and script-execution delays reflect a mobile browser, the
+	// client the paper measured (Chromium on a phone-class device).
+	var fanout, rootLo, rootHi int
+	if landing {
+		fanout, rootLo, rootHi = 14+rng.Intn(14), 50_000, 140_000
+	} else {
+		fanout, rootLo, rootHi = 8+rng.Intn(10), 25_000, 80_000
+	}
+	root := newObj(HTML, size(rng, rootLo, rootHi), 80*time.Millisecond)
+
+	for j := 0; j < fanout; j++ {
+		var child *Object
+		switch rng.Intn(10) {
+		case 0, 1, 2: // scripts
+			child = newObj(Script, size(rng, 20_000, 180_000), 45*time.Millisecond)
+		case 3, 4: // stylesheets
+			child = newObj(Stylesheet, size(rng, 8_000, 80_000), 15*time.Millisecond)
+		case 5: // API call
+			child = newObj(JSON, size(rng, 1_000, 20_000), 0)
+		default: // images
+			child = newObj(Image, size(rng, 8_000, 350_000), 0)
+		}
+		// Scripts and stylesheets pull second-level resources; some
+		// scripts (tag managers, bundles) pull a third level.
+		if child.Kind == Script || child.Kind == Stylesheet {
+			for k, kn := 0, rng.Intn(5); k < kn; k++ {
+				switch {
+				case rng.Intn(4) == 0:
+					child.Children = append(child.Children,
+						newObj(JSON, size(rng, 1_000, 15_000), 0))
+				case child.Kind == Script && rng.Intn(3) == 0:
+					sub := newObj(Script, size(rng, 15_000, 90_000), 25*time.Millisecond)
+					for m, mn := 0, rng.Intn(3); m < mn; m++ {
+						sub.Children = append(sub.Children,
+							newObj(Image, size(rng, 5_000, 120_000), 0))
+					}
+					child.Children = append(child.Children, sub)
+				default:
+					child.Children = append(child.Children,
+						newObj(Image, size(rng, 5_000, 200_000), 0))
+				}
+			}
+		}
+		root.Children = append(root.Children, child)
+	}
+	kind := "internal"
+	if landing {
+		kind = "landing"
+	}
+	return &Page{Name: fmt.Sprintf("page-%02d-%s", i, kind), Landing: landing, Root: root}
+}
+
+// wire types ---------------------------------------------------------
+
+// fetchReq asks the server for a page object.
+type fetchReq struct{ obj *Object }
+
+// echoReq asks the server for respSize opaque bytes (background
+// download) or just acknowledges an upload with a small reply.
+type echoReq struct{ respSize int }
+
+// Serve installs the web/background server on ep: it answers fetchReq
+// messages with the object's bytes and echoReq messages with the
+// requested size. cfg builds the per-connection server config
+// (steering for the response direction, congestion control).
+func Serve(ep *transport.Endpoint, cfg func() transport.Config) {
+	ep.Listen(cfg, func(c *transport.Conn) {
+		c.OnMessage(func(conn *transport.Conn, m transport.Message) {
+			switch req := m.Data.(type) {
+			case fetchReq:
+				conn.SendMessage(m.Stream, m.Priority, req.obj.Size, req.obj)
+			case echoReq:
+				conn.SendMessage(m.Stream, m.Priority, req.respSize, nil)
+			default:
+				panic(fmt.Sprintf("web: unexpected request payload %T", m.Data))
+			}
+		})
+	})
+}
+
+// LoadResult reports one completed page load.
+type LoadResult struct {
+	Page *Page
+	PLT  time.Duration // onLoad: last byte of the last object
+	// RenderReady is when the root document and every render-blocking
+	// resource (stylesheets and scripts reachable from it) had fully
+	// arrived — a first-paint-style milestone.
+	RenderReady time.Duration
+	Objects     int
+	Bytes       int
+}
+
+// LoadOptions tunes one page load.
+type LoadOptions struct {
+	// KindPriorities makes the browser declare per-object message
+	// priorities via KindPriority, so priority-aware steering can
+	// favor render-blocking resources. Off, every request/response is
+	// priority 0, the paper's Table 1 configuration.
+	KindPriorities bool
+}
+
+// Load fetches page over a fresh connection from ep and calls done at
+// the onLoad event. The connection is closed afterwards. Caches are
+// per-load by construction (every load refetches everything), matching
+// the paper's cleared-cache methodology.
+func Load(ep *transport.Endpoint, cfg transport.Config, page *Page, done func(LoadResult)) {
+	LoadWith(ep, cfg, page, LoadOptions{}, done)
+}
+
+// LoadWith is Load with explicit options.
+func LoadWith(ep *transport.Endpoint, cfg transport.Config, page *Page, opts LoadOptions, done func(LoadResult)) {
+	loop := ep.Loop()
+	conn := ep.Dial(cfg)
+	start := loop.Now()
+	res := LoadResult{Page: page}
+
+	// Render-blocking set: the root plus its stylesheet/script
+	// descendants (transitively through render-blocking parents).
+	blocking := map[int]bool{}
+	var markBlocking func(o *Object)
+	markBlocking = func(o *Object) {
+		blocking[o.ID] = true
+		for _, c := range o.Children {
+			if c.Kind == Stylesheet || c.Kind == Script {
+				markBlocking(c)
+			}
+		}
+	}
+	markBlocking(page.Root)
+	blockingLeft := len(blocking)
+
+	outstanding := 0
+	finish := func() {
+		res.PLT = loop.Now() - start
+		conn.Close()
+		done(res)
+	}
+
+	prio := func(o *Object) packet.Priority {
+		if opts.KindPriorities {
+			return KindPriority(o.Kind)
+		}
+		return 0
+	}
+	var fetch func(o *Object)
+	fetch = func(o *Object) {
+		outstanding++
+		conn.SendMessage(conn.NewStream(), prio(o), RequestBytes, fetchReq{obj: o})
+	}
+	conn.OnMessage(func(_ *transport.Conn, m transport.Message) {
+		obj, ok := m.Data.(*Object)
+		if !ok {
+			panic(fmt.Sprintf("web: unexpected response payload %T", m.Data))
+		}
+		res.Objects++
+		res.Bytes += obj.Size
+		if blocking[obj.ID] {
+			blockingLeft--
+			if blockingLeft == 0 {
+				res.RenderReady = loop.Now() - start
+			}
+		}
+		if len(obj.Children) > 0 {
+			outstanding++ // hold onLoad open across the parse delay
+			loop.After(obj.ParseDelay, func() {
+				for _, c := range obj.Children {
+					fetch(c)
+				}
+				outstanding--
+				if outstanding == 0 {
+					finish()
+				}
+			})
+		}
+		outstanding--
+		if outstanding == 0 {
+			finish()
+		}
+	})
+	fetch(page.Root)
+}
+
+// Background runs the paper's two low-priority flows: a continuous
+// 5 kB uploader and a continuous 10 kB downloader, each issuing its
+// next transfer as soon as the previous one completes (cURL-style
+// sequential requests).
+type Background struct {
+	up, down *transport.Conn
+	stopped  bool
+
+	// Uploads and Downloads count completed background transfers.
+	Uploads, Downloads int
+}
+
+// UploadBytes and DownloadBytes are the background object sizes.
+const (
+	UploadBytes   = 5_000
+	DownloadBytes = 10_000
+	replyBytes    = 300
+)
+
+// StartBackground launches both flows from ep. cfgFactory builds each
+// flow's config (it is called twice — congestion-control state must
+// not be shared between connections). Set FlowPriority to
+// packet.PriorityBulk to give the steering layer the paper's
+// flow-priority hint; leave it zero to reproduce the unhinted
+// "DChannel" column.
+func StartBackground(ep *transport.Endpoint, cfgFactory func() transport.Config) *Background {
+	b := &Background{}
+	cfg := cfgFactory()
+	b.up = ep.Dial(cfg)
+	upStream := b.up.NewStream()
+	b.up.OnMessage(func(_ *transport.Conn, m transport.Message) {
+		if b.stopped {
+			return
+		}
+		b.Uploads++
+		b.up.SendMessage(upStream, m.Priority, UploadBytes, echoReq{respSize: replyBytes})
+	})
+	b.up.SendMessage(upStream, cfgPrio(cfg), UploadBytes, echoReq{respSize: replyBytes})
+
+	cfg = cfgFactory()
+	b.down = ep.Dial(cfg)
+	downStream := b.down.NewStream()
+	b.down.OnMessage(func(_ *transport.Conn, m transport.Message) {
+		if b.stopped {
+			return
+		}
+		b.Downloads++
+		b.down.SendMessage(downStream, m.Priority, RequestBytes, echoReq{respSize: DownloadBytes})
+	})
+	b.down.SendMessage(downStream, cfgPrio(cfg), RequestBytes, echoReq{respSize: DownloadBytes})
+	return b
+}
+
+func cfgPrio(cfg transport.Config) packet.Priority {
+	// Message priority mirrors the flow priority so that per-message
+	// steering treats background data consistently.
+	return cfg.FlowPriority
+}
+
+// Stop halts both flows after their current transfer.
+func (b *Background) Stop() {
+	b.stopped = true
+	b.up.Close()
+	b.down.Close()
+}

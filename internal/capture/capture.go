@@ -1,0 +1,152 @@
+// Package capture records per-channel time series — queue occupancy,
+// delivered throughput, drops — by sampling a channel group on a fixed
+// virtual-time cadence. It is the observability companion to the
+// experiment runners: Fig. 1b-style plots of what each channel was
+// doing over a run come from a Sampler, with no instrumentation hooks
+// needed in the data path.
+package capture
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"hvc/internal/channel"
+	"hvc/internal/metrics"
+	"hvc/internal/netem"
+	"hvc/internal/sim"
+)
+
+// A Sampler periodically snapshots every channel of a group from both
+// sides. Create one with NewSampler; it samples until Stop or the end
+// of the simulation.
+type Sampler struct {
+	loop  *sim.Loop
+	group *channel.Group
+	every time.Duration
+
+	timer   *sim.Timer
+	stopped bool
+
+	queues map[key]*metrics.TimeSeries
+	thru   map[key]*metrics.TimeSeries
+	drops  map[key]*metrics.TimeSeries
+	last   map[key]netem.Stats
+}
+
+type key struct {
+	ch   string
+	side channel.Side
+}
+
+// NewSampler starts sampling g every interval. Interval must be
+// positive; sampling begins one interval from now.
+func NewSampler(loop *sim.Loop, g *channel.Group, every time.Duration) *Sampler {
+	if every <= 0 {
+		panic("capture: nonpositive sampling interval")
+	}
+	s := &Sampler{
+		loop:   loop,
+		group:  g,
+		every:  every,
+		queues: make(map[key]*metrics.TimeSeries),
+		thru:   make(map[key]*metrics.TimeSeries),
+		drops:  make(map[key]*metrics.TimeSeries),
+		last:   make(map[key]netem.Stats),
+	}
+	for _, ch := range g.All() {
+		for _, side := range []channel.Side{channel.A, channel.B} {
+			k := key{ch.Name(), side}
+			s.queues[k] = &metrics.TimeSeries{}
+			s.thru[k] = &metrics.TimeSeries{}
+			s.drops[k] = &metrics.TimeSeries{}
+		}
+	}
+	s.arm()
+	return s
+}
+
+func (s *Sampler) arm() {
+	s.timer = s.loop.After(s.every, s.sample)
+}
+
+func (s *Sampler) sample() {
+	if s.stopped {
+		return
+	}
+	now := s.loop.Now()
+	for _, ch := range s.group.All() {
+		for _, side := range []channel.Side{channel.A, channel.B} {
+			k := key{ch.Name(), side}
+			s.queues[k].Add(now, float64(ch.QueuedBytes(side)))
+			st := ch.Stats(side)
+			prev := s.last[k]
+			s.thru[k].Add(now, float64(st.BytesDelivered-prev.BytesDelivered))
+			s.drops[k].Add(now, float64(st.DroppedQueue+st.DroppedRandom-prev.DroppedQueue-prev.DroppedRandom))
+			s.last[k] = st
+		}
+	}
+	s.arm()
+}
+
+// Stop ends sampling. Recorded series remain readable.
+func (s *Sampler) Stop() {
+	s.stopped = true
+	s.timer.Stop()
+}
+
+// Queue returns the queue-occupancy series (bytes) for a channel side,
+// or nil for an unknown channel.
+func (s *Sampler) Queue(ch string, side channel.Side) *metrics.TimeSeries {
+	return s.queues[key{ch, side}]
+}
+
+// Throughput returns the per-interval delivered-bytes series for a
+// channel side, or nil for an unknown channel. Dividing a point by the
+// sampling interval gives the instantaneous rate.
+func (s *Sampler) Throughput(ch string, side channel.Side) *metrics.TimeSeries {
+	return s.thru[key{ch, side}]
+}
+
+// Drops returns the per-interval dropped-packets series for a channel
+// side, or nil for an unknown channel.
+func (s *Sampler) Drops(ch string, side channel.Side) *metrics.TimeSeries {
+	return s.drops[key{ch, side}]
+}
+
+// MeanRateMbps reports a channel side's average delivered rate over
+// the whole sampled window, in Mbps.
+func (s *Sampler) MeanRateMbps(ch string, side channel.Side) float64 {
+	ts := s.thru[key{ch, side}]
+	if ts == nil || ts.N() == 0 {
+		return 0
+	}
+	var bytes float64
+	for _, p := range ts.Points() {
+		bytes += p.Value
+	}
+	span := time.Duration(ts.N()) * s.every
+	return metrics.Mbps(bytes * 8 / span.Seconds())
+}
+
+// WriteCSV emits all series as long-form CSV:
+// t_ms,channel,side,queue_bytes,delivered_bytes,drops.
+func (s *Sampler) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "t_ms,channel,side,queue_bytes,delivered_bytes,drops"); err != nil {
+		return err
+	}
+	for _, ch := range s.group.All() {
+		for _, side := range []channel.Side{channel.A, channel.B} {
+			k := key{ch.Name(), side}
+			q, d, dr := s.queues[k].Points(), s.thru[k].Points(), s.drops[k].Points()
+			for i := range q {
+				_, err := fmt.Fprintf(w, "%d,%s,%s,%.0f,%.0f,%.0f\n",
+					q[i].At.Milliseconds(), ch.Name(), side, q[i].Value, d[i].Value, dr[i].Value)
+				if err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

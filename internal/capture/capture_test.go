@@ -1,0 +1,136 @@
+package capture
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hvc/internal/channel"
+	"hvc/internal/packet"
+	"hvc/internal/sim"
+)
+
+// world builds an eMBB+URLLC group with discarding sinks and a driver
+// that can push raw packets.
+func world(seed int64) (*sim.Loop, *channel.Group) {
+	loop := sim.NewLoop(seed)
+	e, u := channel.EMBBFixed(loop), channel.URLLC(loop)
+	for _, c := range []*channel.Channel{e, u} {
+		c.SetSink(channel.A, func(*packet.Packet) {})
+		c.SetSink(channel.B, func(*packet.Packet) {})
+	}
+	return loop, channel.NewGroup(e, u)
+}
+
+func TestSamplerRecordsQueueAndThroughput(t *testing.T) {
+	loop, g := world(1)
+	s := NewSampler(loop, g, 10*time.Millisecond)
+	urllc := g.Get(channel.NameURLLC)
+	// Saturate URLLC's A-side for half a second.
+	for i := 0; i < 100; i++ {
+		i := i
+		loop.At(time.Duration(i)*5*time.Millisecond, func() {
+			urllc.Send(channel.A, &packet.Packet{ID: uint64(i), Size: 1200})
+		})
+	}
+	loop.RunUntil(time.Second)
+	s.Stop()
+
+	q := s.Queue(channel.NameURLLC, channel.A)
+	if q.N() == 0 {
+		t.Fatal("no queue samples")
+	}
+	peak := 0.0
+	for _, p := range q.Points() {
+		if p.Value > peak {
+			peak = p.Value
+		}
+	}
+	if peak == 0 {
+		t.Fatal("URLLC queue never observed nonempty under saturation")
+	}
+	// ~2 Mbps over the busy window; mean over 1 s window lower but > 0.
+	if rate := s.MeanRateMbps(channel.NameURLLC, channel.A); rate <= 0 || rate > 2.5 {
+		t.Fatalf("URLLC mean rate %.2f Mbps implausible", rate)
+	}
+	// The idle eMBB side saw nothing.
+	if rate := s.MeanRateMbps(channel.NameEMBB, channel.A); rate != 0 {
+		t.Fatalf("idle eMBB rate %.2f, want 0", rate)
+	}
+}
+
+func TestSamplerStopHaltsSampling(t *testing.T) {
+	loop, g := world(2)
+	s := NewSampler(loop, g, 10*time.Millisecond)
+	loop.RunUntil(100 * time.Millisecond)
+	s.Stop()
+	n := s.Queue(channel.NameEMBB, channel.A).N()
+	loop.RunUntil(500 * time.Millisecond)
+	if got := s.Queue(channel.NameEMBB, channel.A).N(); got != n {
+		t.Fatalf("sampling continued after Stop: %d -> %d", n, got)
+	}
+	if loop.Pending() != 0 {
+		t.Fatalf("%d events pending after Stop (timer leak)", loop.Pending())
+	}
+}
+
+func TestSamplerDropsSeries(t *testing.T) {
+	loop, g := world(3)
+	s := NewSampler(loop, g, 10*time.Millisecond)
+	urllc := g.Get(channel.NameURLLC)
+	// Overwhelm the 64 kB URLLC queue instantly.
+	for i := 0; i < 100; i++ {
+		urllc.Send(channel.A, &packet.Packet{ID: uint64(i), Size: 1400})
+	}
+	loop.RunUntil(200 * time.Millisecond)
+	s.Stop()
+	var drops float64
+	for _, p := range s.Drops(channel.NameURLLC, channel.A).Points() {
+		drops += p.Value
+	}
+	if drops == 0 {
+		t.Fatal("queue overflow produced no drop samples")
+	}
+}
+
+func TestSamplerCSV(t *testing.T) {
+	loop, g := world(4)
+	s := NewSampler(loop, g, 50*time.Millisecond)
+	loop.RunUntil(200 * time.Millisecond)
+	s.Stop()
+	var sb strings.Builder
+	if err := s.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "t_ms,channel,side,queue_bytes,delivered_bytes,drops\n") {
+		t.Fatalf("missing header: %q", out[:60])
+	}
+	for _, want := range []string{"embb,A", "embb,B", "urllc,A", "urllc,B"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("CSV missing %s rows", want)
+		}
+	}
+}
+
+func TestSamplerUnknownChannelNil(t *testing.T) {
+	loop, g := world(5)
+	s := NewSampler(loop, g, 10*time.Millisecond)
+	defer s.Stop()
+	if s.Queue("nope", channel.A) != nil || s.Throughput("nope", channel.B) != nil {
+		t.Fatal("unknown channel should yield nil series")
+	}
+	if s.MeanRateMbps("nope", channel.A) != 0 {
+		t.Fatal("unknown channel rate should be 0")
+	}
+}
+
+func TestSamplerValidation(t *testing.T) {
+	loop, g := world(6)
+	defer func() {
+		if recover() == nil {
+			t.Error("zero interval should panic")
+		}
+	}()
+	NewSampler(loop, g, 0)
+}

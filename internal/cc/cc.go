@@ -1,0 +1,85 @@
+// Package cc implements the congestion-control algorithms the paper
+// evaluates in Figure 1 — CUBIC, BBR, Vegas, and PCC Vivace, plus
+// NewReno — behind one event-driven interface, and the HVC-aware
+// wrapper the paper proposes in §3.2: a congestion controller that
+// knows which virtual channel each acknowledgment traveled over and
+// so does not mistake channel switching for congestion.
+//
+// Algorithms work in bytes. The transport drives them with OnSent,
+// OnAck, and OnLoss events and obeys both the window (CWND) and, when
+// nonzero, the pacing rate.
+package cc
+
+import "time"
+
+// MSS is the sender maximum segment size the algorithms assume when
+// converting between packets and bytes. It matches the transport's
+// default full packet size.
+const MSS = 1500
+
+// minCwnd is the floor every algorithm keeps: two full segments, as
+// TCP implementations do.
+const minCwnd = 2 * MSS
+
+// An AckEvent reports newly acknowledged data to the algorithm.
+type AckEvent struct {
+	// Now is the virtual time of the acknowledgment.
+	Now time.Duration
+	// RTT is the round-trip sample for the newest acked segment, or 0
+	// when this acknowledgment carries no valid sample (for example
+	// when the HVC-aware wrapper suppresses a cross-channel sample).
+	RTT time.Duration
+	// Bytes is the amount of data newly acknowledged.
+	Bytes int
+	// InFlight is the sender's outstanding byte count after this ack.
+	InFlight int
+	// DeliveryRate is the transport's delivery-rate sample in bits
+	// per second (BBR-style), or 0 when unavailable.
+	DeliveryRate float64
+	// Channel names the virtual channel the acked data traveled on,
+	// when the transport knows it. Only HVC-aware algorithms use it.
+	Channel string
+	// AppLimited marks samples taken while the sender had no data to
+	// send; bandwidth filters must not treat them as path capacity.
+	AppLimited bool
+}
+
+// A LossEvent reports detected loss.
+type LossEvent struct {
+	Now time.Duration
+	// Bytes is the amount of data declared lost.
+	Bytes int
+	// InFlight is the outstanding byte count after removing the loss.
+	InFlight int
+	// Timeout marks an RTO rather than fast-retransmit detection; all
+	// algorithms react more severely.
+	Timeout bool
+}
+
+// An Algorithm is one congestion-control implementation. Algorithms
+// are single-flow and not safe for concurrent use, matching the
+// simulation's single-threaded core.
+type Algorithm interface {
+	// Name identifies the algorithm in experiment output.
+	Name() string
+	// CWND returns the current congestion window in bytes. The
+	// transport keeps bytes-in-flight at or below it.
+	CWND() int
+	// PacingRate returns the send pacing rate in bits per second, or
+	// 0 when the algorithm is purely window-based.
+	PacingRate() float64
+	// OnSent informs the algorithm that bytes were sent.
+	OnSent(now time.Duration, bytes int)
+	// OnAck processes an acknowledgment.
+	OnAck(ev AckEvent)
+	// OnLoss processes a loss detection.
+	OnLoss(ev LossEvent)
+}
+
+// clampCwnd applies the universal floor.
+func clampCwnd(c int) int {
+	if c < minCwnd {
+		return minCwnd
+	}
+	return c
+}

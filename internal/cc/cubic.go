@@ -1,0 +1,117 @@
+package cc
+
+import (
+	"math"
+	"time"
+)
+
+// Cubic implements TCP CUBIC (RFC 8312): window growth is a cubic
+// function of time since the last congestion event, anchored at the
+// window size where loss last occurred. Being loss-based, CUBIC is
+// nearly insensitive to the RTT excursions packet steering produces —
+// which is why it is the one algorithm in Figure 1a that fills the
+// wide channel.
+type Cubic struct {
+	cwnd     int
+	ssthresh int
+
+	// Cubic state, in segments and seconds per the RFC.
+	wMax       float64       // window before the last reduction
+	epochStart time.Duration // time of the last reduction; -1 = unset
+	k          float64       // time to grow back to wMax
+	wTCP       float64       // TCP-friendly (Reno-equivalent) window
+	srtt       time.Duration // smoothed RTT for target projection
+}
+
+const (
+	cubicC    = 0.4 // growth constant, segments/s³
+	cubicBeta = 0.7 // multiplicative decrease factor
+)
+
+// NewCubic returns a CUBIC controller with an initial window of 10
+// segments.
+func NewCubic() *Cubic {
+	return &Cubic{cwnd: 10 * MSS, ssthresh: 1 << 30, epochStart: -1}
+}
+
+// Name implements Algorithm.
+func (c *Cubic) Name() string { return "cubic" }
+
+// CWND implements Algorithm.
+func (c *Cubic) CWND() int { return c.cwnd }
+
+// PacingRate implements Algorithm; CUBIC is window-based.
+func (c *Cubic) PacingRate() float64 { return 0 }
+
+// OnSent implements Algorithm.
+func (c *Cubic) OnSent(time.Duration, int) {}
+
+// OnAck implements Algorithm.
+func (c *Cubic) OnAck(ev AckEvent) {
+	if ev.RTT > 0 {
+		if c.srtt == 0 {
+			c.srtt = ev.RTT
+		} else {
+			c.srtt = (7*c.srtt + ev.RTT) / 8
+		}
+	}
+	if c.cwnd < c.ssthresh {
+		c.cwnd += ev.Bytes
+		return
+	}
+	c.avoidCongestion(ev)
+}
+
+func (c *Cubic) avoidCongestion(ev AckEvent) {
+	if c.epochStart < 0 {
+		c.epochStart = ev.Now
+		w := float64(c.cwnd) / MSS
+		if w < c.wMax {
+			c.k = math.Cbrt((c.wMax - w) / cubicC)
+		} else {
+			c.k = 0
+			c.wMax = w
+		}
+		c.wTCP = w
+	}
+	t := (ev.Now - c.epochStart).Seconds()
+	rtt := c.srtt.Seconds()
+	// Target window one RTT in the future, per the RFC.
+	target := c.wMax + cubicC*math.Pow(t+rtt-c.k, 3)
+
+	// TCP-friendly region: grow at least as fast as Reno would.
+	c.wTCP += 3 * (1 - cubicBeta) / (1 + cubicBeta) * float64(ev.Bytes) / float64(c.cwnd)
+	if target < c.wTCP {
+		target = c.wTCP
+	}
+
+	w := float64(c.cwnd) / MSS
+	if target > w {
+		// cwnd grows by (target-cwnd)/cwnd per acked segment.
+		inc := (target - w) / w * float64(ev.Bytes)
+		c.cwnd += int(inc)
+	} else {
+		// Stay put; CUBIC never shrinks outside a congestion event.
+		c.cwnd += int(float64(ev.Bytes) / (100 * w)) // minimal growth
+	}
+}
+
+// OnLoss implements Algorithm.
+func (c *Cubic) OnLoss(ev LossEvent) {
+	w := float64(c.cwnd) / MSS
+	// Fast convergence: release bandwidth sooner when the window is
+	// still below the previous maximum.
+	if w < c.wMax {
+		c.wMax = w * (1 + cubicBeta) / 2
+	} else {
+		c.wMax = w
+	}
+	if ev.Timeout {
+		c.ssthresh = clampCwnd(int(w * cubicBeta * MSS))
+		c.cwnd = minCwnd
+	} else {
+		c.cwnd = clampCwnd(int(w * cubicBeta * MSS))
+		c.ssthresh = c.cwnd
+	}
+	c.epochStart = -1
+}

@@ -1,0 +1,59 @@
+package cc
+
+import "time"
+
+// HVCAware is the transport-layer remedy the paper proposes in §3.2: a
+// congestion controller that knows virtual channels exist and
+// interprets each acknowledgment in the context of the channel that
+// carried the data. It wraps an inner algorithm and suppresses the RTT
+// (and delivery-rate) samples of packets that did not travel the
+// designated bulk channel, so channel switching no longer masquerades
+// as congestion. Bytes are still credited — only the delay signal is
+// filtered.
+type HVCAware struct {
+	inner Algorithm
+	// bulk names the channel whose samples describe the path the bulk
+	// of the flow's data uses (the wide channel in all experiments).
+	bulk string
+}
+
+// NewHVCAware wraps inner, keeping only RTT samples from the named
+// bulk channel. It panics on a nil inner algorithm or empty name: an
+// HVC-aware controller without a channel to trust is a configuration
+// bug.
+func NewHVCAware(inner Algorithm, bulkChannel string) *HVCAware {
+	if inner == nil {
+		panic("cc: NewHVCAware(nil)")
+	}
+	if bulkChannel == "" {
+		panic("cc: NewHVCAware with empty channel name")
+	}
+	return &HVCAware{inner: inner, bulk: bulkChannel}
+}
+
+// Name implements Algorithm.
+func (h *HVCAware) Name() string { return "hvc-" + h.inner.Name() }
+
+// Inner returns the wrapped algorithm, for tests and ablations.
+func (h *HVCAware) Inner() Algorithm { return h.inner }
+
+// CWND implements Algorithm.
+func (h *HVCAware) CWND() int { return h.inner.CWND() }
+
+// PacingRate implements Algorithm.
+func (h *HVCAware) PacingRate() float64 { return h.inner.PacingRate() }
+
+// OnSent implements Algorithm.
+func (h *HVCAware) OnSent(now time.Duration, bytes int) { h.inner.OnSent(now, bytes) }
+
+// OnAck implements Algorithm, filtering cross-channel delay samples.
+func (h *HVCAware) OnAck(ev AckEvent) {
+	if ev.Channel != "" && ev.Channel != h.bulk {
+		ev.RTT = 0
+		ev.DeliveryRate = 0
+	}
+	h.inner.OnAck(ev)
+}
+
+// OnLoss implements Algorithm.
+func (h *HVCAware) OnLoss(ev LossEvent) { h.inner.OnLoss(ev) }

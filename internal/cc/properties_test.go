@@ -1,0 +1,177 @@
+package cc
+
+// Property-based tests over random event sequences: invariants every
+// congestion controller must keep regardless of what the network does.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// event is a compact encoding of one random cc event.
+type event struct {
+	Kind    uint8 // 0-5: ack, 6: loss, 7: timeout
+	RTTms   uint8
+	Bytes   uint16
+	RateMbp uint8
+	GapMs   uint8
+}
+
+// drive replays events into alg, returning false if an invariant
+// breaks.
+func drive(alg Algorithm, events []event) bool {
+	now := time.Duration(0)
+	for _, e := range events {
+		now += time.Duration(e.GapMs%50+1) * time.Millisecond
+		bytes := int(e.Bytes%4000) + 1
+		switch {
+		case e.Kind < 6:
+			alg.OnAck(AckEvent{
+				Now:          now,
+				RTT:          time.Duration(e.RTTms%200) * time.Millisecond,
+				Bytes:        bytes,
+				InFlight:     int(e.Bytes),
+				DeliveryRate: float64(e.RateMbp) * 1e6,
+				AppLimited:   e.Kind == 5,
+			})
+		case e.Kind == 6:
+			alg.OnLoss(LossEvent{Now: now, Bytes: bytes, InFlight: int(e.Bytes)})
+		default:
+			alg.OnLoss(LossEvent{Now: now, Bytes: bytes, Timeout: true})
+		}
+		alg.OnSent(now, bytes)
+		if alg.CWND() < minCwnd && alg.Name() != "bbr" { // BBR's ProbeRTT floor is 4 MSS anyway
+			return false
+		}
+		if alg.CWND() <= 0 {
+			return false
+		}
+		if alg.PacingRate() < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestInvariantsUnderRandomEvents(t *testing.T) {
+	factories := map[string]func() Algorithm{
+		"reno":   func() Algorithm { return NewReno() },
+		"cubic":  func() Algorithm { return NewCubic() },
+		"vegas":  func() Algorithm { return NewVegas() },
+		"bbr":    func() Algorithm { return NewBBR() },
+		"vivace": func() Algorithm { return NewVivace() },
+		"hvc":    func() Algorithm { return NewHVCAware(NewCubic(), "embb") },
+	}
+	for name, mk := range factories {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			f := func(events []event) bool {
+				if len(events) > 500 {
+					events = events[:500]
+				}
+				return drive(mk(), events)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(13))}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Property: cwnd growth in slow start is bounded by bytes acked
+// (no algorithm more than doubles per acked byte).
+func TestSlowStartBoundedGrowth(t *testing.T) {
+	for _, mk := range []func() Algorithm{
+		func() Algorithm { return NewReno() },
+		func() Algorithm { return NewCubic() },
+	} {
+		alg := mk()
+		before := alg.CWND()
+		total := 0
+		now := time.Duration(0)
+		for i := 0; i < 100; i++ {
+			now += 5 * time.Millisecond
+			alg.OnAck(AckEvent{Now: now, RTT: 50 * time.Millisecond, Bytes: MSS})
+			total += MSS
+		}
+		if alg.CWND() > before+total+MSS {
+			t.Errorf("%s grew %d bytes on %d acked", alg.Name(), alg.CWND()-before, total)
+		}
+	}
+}
+
+func TestBBRDrainFollowsStartup(t *testing.T) {
+	b := NewBBR()
+	now := time.Duration(0)
+	sawDrain := false
+	for i := 0; i < 200; i++ {
+		now += 2 * time.Millisecond
+		b.OnAck(AckEvent{Now: now, RTT: 40 * time.Millisecond, Bytes: MSS,
+			InFlight: 100 * MSS, DeliveryRate: 50e6})
+		if b.State() == "drain" {
+			sawDrain = true
+			if b.PacingRate() >= b.BtlBW() {
+				t.Fatal("drain must pace below the bottleneck estimate")
+			}
+		}
+	}
+	if !sawDrain {
+		t.Fatal("BBR never drained (inflight kept above BDP)")
+	}
+}
+
+func TestBBRProbeBWCycles(t *testing.T) {
+	b := NewBBR()
+	now := time.Duration(0)
+	gains := map[float64]bool{}
+	for i := 0; i < 4000; i++ {
+		now += 2 * time.Millisecond
+		b.OnAck(AckEvent{Now: now, RTT: 40 * time.Millisecond, Bytes: MSS,
+			InFlight: 10 * MSS, DeliveryRate: 50e6})
+		if b.State() == "probebw" {
+			gains[b.pacingGain] = true
+		}
+	}
+	if !gains[1.25] || !gains[0.75] || !gains[1] {
+		t.Fatalf("ProbeBW gains seen: %v, want the full cycle", gains)
+	}
+}
+
+func TestVivaceMonitorIntervalRespectsRTT(t *testing.T) {
+	v := NewVivace()
+	v.srtt = 40 * time.Millisecond
+	if got := v.miLen(); got != 60*time.Millisecond {
+		t.Fatalf("miLen = %v, want 1.5*srtt", got)
+	}
+	v.srtt = 2 * time.Millisecond
+	if got := v.miLen(); got != 10*time.Millisecond {
+		t.Fatalf("miLen floor = %v, want 10ms", got)
+	}
+	v.srtt = 0
+	if got := v.miLen(); got != 50*time.Millisecond {
+		t.Fatalf("miLen default = %v, want 50ms", got)
+	}
+}
+
+func TestCubicFastConvergence(t *testing.T) {
+	c := NewCubic()
+	c.cwnd = 100 * MSS
+	c.OnAck(AckEvent{Now: time.Second, RTT: 40 * time.Millisecond, Bytes: MSS})
+	c.OnLoss(LossEvent{Bytes: MSS})
+	wmax1 := c.wMax
+	// A second loss while below the previous wMax triggers fast
+	// convergence: the recorded maximum shrinks further.
+	c.OnLoss(LossEvent{Bytes: MSS})
+	if c.wMax >= wmax1 {
+		t.Fatalf("fast convergence: wMax %v should drop below %v", c.wMax, wmax1)
+	}
+}
+
+func TestHVCAwareNameComposition(t *testing.T) {
+	h := NewHVCAware(NewHVCAware(NewCubic(), "embb"), "embb")
+	if h.Name() != "hvc-hvc-cubic" {
+		t.Fatalf("Name = %q", h.Name())
+	}
+}

@@ -1,0 +1,56 @@
+package cc
+
+import "time"
+
+// Reno implements TCP NewReno's AIMD control: slow start to ssthresh,
+// additive increase of one segment per RTT, multiplicative decrease by
+// half on loss. It serves as the simplest loss-based baseline.
+type Reno struct {
+	cwnd     int
+	ssthresh int
+	// acked accumulates bytes acked during congestion avoidance so the
+	// window grows one MSS per window of data.
+	acked int
+}
+
+// NewReno returns a Reno controller with the conventional initial
+// window of 10 segments.
+func NewReno() *Reno {
+	return &Reno{cwnd: 10 * MSS, ssthresh: 1 << 30}
+}
+
+// Name implements Algorithm.
+func (r *Reno) Name() string { return "reno" }
+
+// CWND implements Algorithm.
+func (r *Reno) CWND() int { return r.cwnd }
+
+// PacingRate implements Algorithm; Reno is purely window-based.
+func (r *Reno) PacingRate() float64 { return 0 }
+
+// OnSent implements Algorithm.
+func (r *Reno) OnSent(time.Duration, int) {}
+
+// OnAck implements Algorithm.
+func (r *Reno) OnAck(ev AckEvent) {
+	if r.cwnd < r.ssthresh {
+		r.cwnd += ev.Bytes // slow start: exponential growth
+		return
+	}
+	r.acked += ev.Bytes
+	if r.acked >= r.cwnd {
+		r.acked -= r.cwnd
+		r.cwnd += MSS
+	}
+}
+
+// OnLoss implements Algorithm.
+func (r *Reno) OnLoss(ev LossEvent) {
+	if ev.Timeout {
+		r.ssthresh = clampCwnd(r.cwnd / 2)
+		r.cwnd = minCwnd
+		return
+	}
+	r.cwnd = clampCwnd(r.cwnd / 2)
+	r.ssthresh = r.cwnd
+}

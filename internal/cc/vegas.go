@@ -1,0 +1,96 @@
+package cc
+
+import "time"
+
+// Vegas implements TCP Vegas (Brakmo et al., 1994): a delay-based
+// controller that compares the measured throughput against the
+// throughput expected at the minimum RTT and keeps between alpha and
+// beta segments' worth of data queued in the network.
+//
+// Vegas is the clearest victim of packet steering in Figure 1a: a
+// single acknowledgment that traveled over URLLC establishes a
+// baseRTT near 5 ms, after which the ~50 ms samples from the eMBB path
+// look like massive queueing and the window collapses.
+type Vegas struct {
+	cwnd     int
+	ssthresh int
+
+	baseRTT time.Duration // minimum RTT ever observed
+	// Per-RTT accounting: Vegas adjusts once per round trip, using the
+	// smallest RTT sample seen within the round.
+	roundEnd   time.Duration
+	roundMin   time.Duration
+	roundBytes int
+}
+
+const (
+	vegasAlpha = 2 // segments of queueing below which Vegas grows
+	vegasBeta  = 4 // segments of queueing above which Vegas shrinks
+)
+
+// NewVegas returns a Vegas controller with an initial window of 10
+// segments.
+func NewVegas() *Vegas {
+	return &Vegas{cwnd: 10 * MSS, ssthresh: 1 << 30}
+}
+
+// Name implements Algorithm.
+func (v *Vegas) Name() string { return "vegas" }
+
+// CWND implements Algorithm.
+func (v *Vegas) CWND() int { return v.cwnd }
+
+// PacingRate implements Algorithm; Vegas is window-based.
+func (v *Vegas) PacingRate() float64 { return 0 }
+
+// OnSent implements Algorithm.
+func (v *Vegas) OnSent(time.Duration, int) {}
+
+// OnAck implements Algorithm.
+func (v *Vegas) OnAck(ev AckEvent) {
+	if ev.RTT <= 0 {
+		return
+	}
+	if v.baseRTT == 0 || ev.RTT < v.baseRTT {
+		v.baseRTT = ev.RTT
+	}
+	if v.roundMin == 0 || ev.RTT < v.roundMin {
+		v.roundMin = ev.RTT
+	}
+	v.roundBytes += ev.Bytes
+
+	if ev.Now < v.roundEnd {
+		return
+	}
+	// One round elapsed: evaluate the diff rule.
+	rtt := v.roundMin
+	v.roundEnd = ev.Now + rtt
+	v.roundMin = 0
+	v.roundBytes = 0
+
+	if v.cwnd < v.ssthresh {
+		// Vegas slow start: double every other RTT; approximated by
+		// growing half as fast as Reno, checked against the diff rule.
+		v.cwnd += v.cwnd / 2
+	}
+	// diff = cwnd * (rtt - baseRTT)/rtt, in bytes of queued data.
+	queued := float64(v.cwnd) * float64(rtt-v.baseRTT) / float64(rtt)
+	switch {
+	case queued < vegasAlpha*MSS:
+		v.cwnd += MSS
+	case queued > vegasBeta*MSS:
+		v.cwnd = clampCwnd(v.cwnd - MSS)
+		v.ssthresh = v.cwnd // leave slow start once queueing appears
+	}
+}
+
+// OnLoss implements Algorithm.
+func (v *Vegas) OnLoss(ev LossEvent) {
+	if ev.Timeout {
+		v.ssthresh = clampCwnd(v.cwnd / 2)
+		v.cwnd = minCwnd
+		return
+	}
+	v.cwnd = clampCwnd(v.cwnd / 2)
+	v.ssthresh = v.cwnd
+}

@@ -1,0 +1,184 @@
+package cc
+
+import (
+	"math"
+	"time"
+)
+
+// Vivace implements PCC Vivace's online-learning rate control (Dong et
+// al., NSDI '18): the sender tests its rate over monitor intervals,
+// scores each interval with a utility function that rewards throughput
+// and penalizes RTT inflation and loss,
+//
+//	u(x) = x^0.9 − b·x·max(0, dRTT/dt) − c·x·lossRate,
+//
+// and moves the rate along the utility gradient.
+//
+// Vivace's RTT-gradient term is the paper's §3.1 failure mode: packet
+// steering makes consecutive RTT samples jump between channel
+// latencies, the measured gradient is large and frequently positive,
+// and the utility landscape pushes the rate toward its floor.
+type Vivace struct {
+	rate float64 // bits per second
+	cwnd int
+
+	srtt time.Duration
+
+	// Current monitor interval.
+	miEnd      time.Duration
+	miFirstRTT time.Duration
+	miFirstAt  time.Duration
+	miLastRTT  time.Duration
+	miLastAt   time.Duration
+	miAcked    int
+	miLost     int
+
+	// Gradient trial state: each trial runs one MI at rate·(1+ε) then
+	// one at rate·(1−ε) and steps toward the better one.
+	phase     int // 0 = up-probe, 1 = down-probe
+	utilityUp float64
+	// dir tracks consecutive same-direction moves for step
+	// amplification, as Vivace's confidence amplifier does.
+	dir     int
+	dirRuns int
+}
+
+const (
+	vivaceMinRate   = 0.24e6 // 2 packets per 100 ms
+	vivaceMaxRate   = 10e9
+	vivaceEps       = 0.05
+	vivaceStepBase  = 0.05
+	vivaceStepMax   = 0.35
+	vivaceRTTCoeff  = 900 // penalty per unit RTT gradient
+	vivaceLossCoeff = 11.35
+)
+
+// NewVivace returns a Vivace controller starting at 2 Mbps.
+func NewVivace() *Vivace {
+	return &Vivace{rate: 2e6, cwnd: 10 * MSS}
+}
+
+// Name implements Algorithm.
+func (v *Vivace) Name() string { return "vivace" }
+
+// Rate reports the current base sending rate in bits/s.
+func (v *Vivace) Rate() float64 { return v.rate }
+
+// CWND implements Algorithm. Vivace is rate-based; the window only
+// bounds worst-case inflight at twice the rate·RTT product.
+func (v *Vivace) CWND() int { return v.cwnd }
+
+// PacingRate implements Algorithm.
+func (v *Vivace) PacingRate() float64 {
+	if v.phase == 0 {
+		return v.rate * (1 + vivaceEps)
+	}
+	return v.rate * (1 - vivaceEps)
+}
+
+// OnSent implements Algorithm.
+func (v *Vivace) OnSent(time.Duration, int) {}
+
+// OnAck implements Algorithm.
+func (v *Vivace) OnAck(ev AckEvent) {
+	if ev.RTT > 0 {
+		if v.srtt == 0 {
+			v.srtt = ev.RTT
+		} else {
+			v.srtt = (7*v.srtt + ev.RTT) / 8
+		}
+		if v.miFirstAt == 0 {
+			v.miFirstRTT, v.miFirstAt = ev.RTT, ev.Now
+		}
+		v.miLastRTT, v.miLastAt = ev.RTT, ev.Now
+	}
+	v.miAcked += ev.Bytes
+
+	if v.miEnd == 0 {
+		v.miEnd = ev.Now + v.miLen()
+		return
+	}
+	if ev.Now >= v.miEnd {
+		v.finishMI(ev.Now)
+	}
+	v.updateCwnd()
+}
+
+// OnLoss implements Algorithm; losses feed the utility's loss term.
+func (v *Vivace) OnLoss(ev LossEvent) {
+	v.miLost += ev.Bytes
+	if ev.Timeout {
+		v.rate = math.Max(vivaceMinRate, v.rate/2)
+	}
+}
+
+func (v *Vivace) miLen() time.Duration {
+	if v.srtt == 0 {
+		return 50 * time.Millisecond
+	}
+	d := v.srtt * 3 / 2
+	if d < 10*time.Millisecond {
+		d = 10 * time.Millisecond
+	}
+	return d
+}
+
+func (v *Vivace) finishMI(now time.Duration) {
+	u := v.utility()
+	if v.phase == 0 {
+		v.utilityUp = u
+		v.phase = 1
+	} else {
+		v.step(v.utilityUp, u)
+		v.phase = 0
+	}
+	v.miEnd = now + v.miLen()
+	v.miFirstAt, v.miFirstRTT = 0, 0
+	v.miLastAt, v.miLastRTT = 0, 0
+	v.miAcked, v.miLost = 0, 0
+}
+
+// utility scores the just-finished monitor interval.
+func (v *Vivace) utility() float64 {
+	elapsed := v.miLen().Seconds()
+	goodput := float64(v.miAcked) * 8 / elapsed / 1e6 // Mbps
+	var grad float64
+	if v.miLastAt > v.miFirstAt {
+		grad = (v.miLastRTT - v.miFirstRTT).Seconds() / (v.miLastAt - v.miFirstAt).Seconds()
+	}
+	if grad < 0 {
+		grad = 0
+	}
+	lossRate := 0.0
+	if total := v.miAcked + v.miLost; total > 0 {
+		lossRate = float64(v.miLost) / float64(total)
+	}
+	return math.Pow(goodput, 0.9) - vivaceRTTCoeff*goodput*grad - vivaceLossCoeff*goodput*lossRate
+}
+
+// step moves the base rate toward the better-scoring probe.
+func (v *Vivace) step(up, down float64) {
+	newDir := 1
+	if down > up {
+		newDir = -1
+	}
+	if newDir == v.dir {
+		v.dirRuns++
+	} else {
+		v.dir = newDir
+		v.dirRuns = 0
+	}
+	step := vivaceStepBase * (1 + 0.5*float64(v.dirRuns))
+	if step > vivaceStepMax {
+		step = vivaceStepMax
+	}
+	v.rate *= 1 + float64(newDir)*step
+	v.rate = math.Min(vivaceMaxRate, math.Max(vivaceMinRate, v.rate))
+}
+
+func (v *Vivace) updateCwnd() {
+	if v.srtt == 0 {
+		return
+	}
+	v.cwnd = clampCwnd(int(2 * v.rate * v.srtt.Seconds() / 8))
+}

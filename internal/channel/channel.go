@@ -1,0 +1,351 @@
+// Package channel models heterogeneous virtual channels (HVCs): named
+// duplex paths between two hosts, each excelling in some dimension of
+// performance — throughput, latency, reliability, or cost — at the
+// expense of the others (§2 of the paper). A Channel couples two netem
+// links (one per direction) with a property sheet that steering
+// policies and HVC-aware congestion control may consult, mirroring the
+// paper's observation that exposing channel information to higher
+// layers improves their decisions.
+package channel
+
+import (
+	"fmt"
+	"time"
+
+	"hvc/internal/netem"
+	"hvc/internal/packet"
+	"hvc/internal/sim"
+	"hvc/internal/trace"
+)
+
+// Side identifies one endpoint of a channel. By convention side A is
+// the client (UE) and side B the server.
+type Side int
+
+const (
+	// A is the client-side endpoint.
+	A Side = iota
+	// B is the server-side endpoint.
+	B
+)
+
+// Other returns the opposite side.
+func (s Side) Other() Side {
+	if s == A {
+		return B
+	}
+	return A
+}
+
+// String names the side for logs.
+func (s Side) String() string {
+	if s == A {
+		return "A"
+	}
+	return "B"
+}
+
+// Properties is the channel information sheet available to steering
+// and transport: the nominal figures a host would learn from the HVC's
+// control plane (not the instantaneous trace values, which the host
+// can only observe indirectly).
+type Properties struct {
+	Name string
+	// BaseRTT is the nominal round-trip propagation delay.
+	BaseRTT time.Duration
+	// Bandwidth is the nominal downlink rate in bits per second.
+	Bandwidth float64
+	// LossProb is the channel's non-congestive loss rate.
+	LossProb float64
+	// CostPerByte prices channel use for cost-aware steering (e.g., a
+	// cISP-style premium path); 0 means the channel is free.
+	CostPerByte float64
+	// Reliable marks channels with a reliability guarantee (URLLC's
+	// five-nines target, or replicated Wi-Fi MLO).
+	Reliable bool
+}
+
+// Config assembles a Channel.
+type Config struct {
+	Props Properties
+	// DownTrace drives the B→A (server-to-client) direction, where
+	// bulk data flows in the paper's workloads; UpTrace drives A→B
+	// and defaults to DownTrace when nil.
+	DownTrace *trace.Trace
+	UpTrace   *trace.Trace
+	// QueueBytes caps each direction's queue; 0 means netem's default.
+	QueueBytes int
+}
+
+// A Channel is one duplex virtual channel. Its per-side delivery sinks
+// must be set with SetSink before traffic flows.
+type Channel struct {
+	props Properties
+	// toB carries A→B traffic, toA carries B→A traffic.
+	toB, toA *netem.Link
+	sinks    [2]netem.Sink // indexed by receiving Side
+}
+
+// New builds a channel on the given loop. Delivery sinks start unset;
+// the endpoints attach themselves with SetSink.
+func New(loop *sim.Loop, cfg Config) *Channel {
+	if cfg.DownTrace == nil {
+		panic(fmt.Sprintf("channel %q: nil DownTrace", cfg.Props.Name))
+	}
+	up := cfg.UpTrace
+	if up == nil {
+		up = cfg.DownTrace
+	}
+	c := &Channel{props: cfg.Props}
+	c.toA = netem.New(loop, netem.Config{
+		Name:       cfg.Props.Name,
+		Trace:      cfg.DownTrace,
+		QueueBytes: cfg.QueueBytes,
+		LossProb:   cfg.Props.LossProb,
+	}, func(p *packet.Packet) { c.deliver(A, p) })
+	c.toB = netem.New(loop, netem.Config{
+		Name:       cfg.Props.Name,
+		Trace:      up,
+		QueueBytes: cfg.QueueBytes,
+		LossProb:   cfg.Props.LossProb,
+	}, func(p *packet.Packet) { c.deliver(B, p) })
+	return c
+}
+
+// Props returns the channel's property sheet.
+func (c *Channel) Props() Properties { return c.props }
+
+// Name returns the channel's name.
+func (c *Channel) Name() string { return c.props.Name }
+
+// SetSink registers the function that receives packets arriving at
+// side s. It must be called for each side before that side receives
+// traffic.
+func (c *Channel) SetSink(s Side, sink netem.Sink) {
+	c.sinks[s] = sink
+}
+
+func (c *Channel) deliver(to Side, p *packet.Packet) {
+	sink := c.sinks[to]
+	if sink == nil {
+		panic(fmt.Sprintf("channel %q: packet arrived at side %v with no sink", c.props.Name, to))
+	}
+	sink(p)
+}
+
+// Send transmits p from the given side toward the other, reporting
+// whether the channel accepted it (false means dropped at entry).
+func (c *Channel) Send(from Side, p *packet.Packet) bool {
+	return c.link(from).Send(p)
+}
+
+// QueuedBytes reports the bytes waiting to leave side from.
+func (c *Channel) QueuedBytes(from Side) int {
+	return c.link(from).QueuedBytes()
+}
+
+// QueueDelay estimates the wait a new packet sent from side from would
+// experience before transmission begins.
+func (c *Channel) QueueDelay(from Side) time.Duration {
+	return c.link(from).QueueDelay()
+}
+
+// Stats returns the counters of the link leaving side from.
+func (c *Channel) Stats(from Side) netem.Stats {
+	return c.link(from).Stats()
+}
+
+func (c *Channel) link(from Side) *netem.Link {
+	if from == A {
+		return c.toB
+	}
+	return c.toA
+}
+
+// A Group is the set of channels available between one pair of hosts.
+type Group struct {
+	channels []*Channel
+	byName   map[string]*Channel
+}
+
+// NewGroup collects channels into a group, preserving order. Duplicate
+// names panic: steering addresses channels by name.
+func NewGroup(chs ...*Channel) *Group {
+	g := &Group{byName: make(map[string]*Channel, len(chs))}
+	for _, c := range chs {
+		if _, dup := g.byName[c.Name()]; dup {
+			panic("channel: duplicate channel name " + c.Name())
+		}
+		g.channels = append(g.channels, c)
+		g.byName[c.Name()] = c
+	}
+	return g
+}
+
+// All returns the group's channels in construction order. The slice is
+// shared; callers must not modify it.
+func (g *Group) All() []*Channel { return g.channels }
+
+// Get returns the named channel, or nil when absent.
+func (g *Group) Get(name string) *Channel { return g.byName[name] }
+
+// Len reports the number of channels.
+func (g *Group) Len() int { return len(g.channels) }
+
+// Standard channel constructors matching the paper's scenarios.
+
+// NameEMBB and NameURLLC are the conventional channel names used by
+// experiments and steering defaults.
+const (
+	NameEMBB  = "embb"
+	NameURLLC = "urllc"
+)
+
+// EMBB builds the high-bandwidth high-latency cellular channel driven
+// by tr in both directions.
+func EMBB(loop *sim.Loop, tr *trace.Trace) *Channel {
+	s := tr.At(0)
+	return New(loop, Config{
+		Props: Properties{
+			Name:      NameEMBB,
+			BaseRTT:   s.RTT,
+			Bandwidth: s.Rate,
+		},
+		DownTrace: tr,
+	})
+}
+
+// EMBBFixed builds the Fig. 1 constant eMBB channel: 50 ms RTT at
+// 60 Mbps.
+func EMBBFixed(loop *sim.Loop) *Channel {
+	return EMBB(loop, trace.Constant("embb-fixed", 50*time.Millisecond, 60e6))
+}
+
+// URLLC builds the low-latency low-bandwidth channel the paper
+// emulates: 5 ms RTT at 2 Mbps, with URLLC's reliability guarantee.
+// Its queue is kept shallow: URLLC admission control would not let a
+// deep backlog form.
+func URLLC(loop *sim.Loop) *Channel {
+	return New(loop, Config{
+		Props: Properties{
+			Name:      NameURLLC,
+			BaseRTT:   5 * time.Millisecond,
+			Bandwidth: 2e6,
+			Reliable:  true,
+		},
+		DownTrace:  trace.URLLC(),
+		QueueBytes: 64 << 10,
+	})
+}
+
+// WiFiMLO builds the two Wi-Fi 7 multi-link channels of §2.2: a lossy
+// high-rate 5 GHz link and a clean, contention-free 6 GHz link.
+func WiFiMLO(loop *sim.Loop) (band5, band6 *Channel) {
+	band5 = New(loop, Config{
+		Props: Properties{
+			Name:      "wifi5",
+			BaseRTT:   20 * time.Millisecond,
+			Bandwidth: 120e6,
+			LossProb:  0.02,
+		},
+		DownTrace: trace.Constant("wifi5", 20*time.Millisecond, 120e6),
+	})
+	band6 = New(loop, Config{
+		Props: Properties{
+			Name:      "wifi6ghz",
+			BaseRTT:   4 * time.Millisecond,
+			Bandwidth: 40e6,
+			Reliable:  true,
+		},
+		DownTrace: trace.Constant("wifi6ghz", 4*time.Millisecond, 40e6),
+	})
+	return band5, band6
+}
+
+// CISP builds the §2.3 WAN pair: conventional fiber alongside a
+// cISP-style speed-of-light microwave path that is fast, narrow, and
+// priced per byte.
+func CISP(loop *sim.Loop) (fiber, microwave *Channel) {
+	fiber = New(loop, Config{
+		Props: Properties{
+			Name:      "fiber",
+			BaseRTT:   40 * time.Millisecond,
+			Bandwidth: 1e9,
+		},
+		DownTrace: trace.Constant("fiber", 40*time.Millisecond, 1e9),
+	})
+	microwave = New(loop, Config{
+		Props: Properties{
+			Name:        "cisp",
+			BaseRTT:     13 * time.Millisecond, // ~c vs ~2c/3 in fiber
+			Bandwidth:   10e6,
+			CostPerByte: 1e-6,
+		},
+		DownTrace: trace.Constant("cisp", 13*time.Millisecond, 10e6),
+	})
+	return fiber, microwave
+}
+
+// LEO builds the §2.3 satellite pair: a Starlink-style LEO path with
+// lower latency but less bandwidth than the terrestrial Internet path.
+func LEO(loop *sim.Loop) (terrestrial, leo *Channel) {
+	terrestrial = New(loop, Config{
+		Props: Properties{
+			Name:      "terrestrial",
+			BaseRTT:   70 * time.Millisecond,
+			Bandwidth: 500e6,
+		},
+		DownTrace: trace.Constant("terrestrial", 70*time.Millisecond, 500e6),
+	})
+	leo = New(loop, Config{
+		Props: Properties{
+			Name:      "leo",
+			BaseRTT:   30 * time.Millisecond,
+			Bandwidth: 50e6,
+			LossProb:  0.005,
+		},
+		DownTrace: trace.Constant("leo", 30*time.Millisecond, 50e6),
+	})
+	return terrestrial, leo
+}
+
+// WiFiTSN builds the §2.2 wireless-TSN pair: a time-synchronized,
+// scheduled channel with deterministic low latency, and the ordinary
+// contention-based best-effort channel. Unlike cellular URLLC, TSN's
+// reserved airtime is not free: every scheduled user's slots subtract
+// from the best-effort channel's capacity and add contention latency,
+// which is the deployment concern the paper raises. tsnUsers counts
+// the stations holding TSN reservations (including this one) and must
+// be at least 1.
+func WiFiTSN(loop *sim.Loop, tsnUsers int) (tsn, bestEffort *Channel) {
+	if tsnUsers < 1 {
+		panic("channel: WiFiTSN needs at least one TSN user")
+	}
+	// Each reservation takes ~8 Mbps of airtime and adds scheduling
+	// latency for everyone contending outside the protected slots.
+	beRate := 150e6 - 8e6*float64(tsnUsers)
+	if beRate < 20e6 {
+		beRate = 20e6
+	}
+	beRTT := 20*time.Millisecond + 4*time.Millisecond*time.Duration(tsnUsers)
+	tsn = New(loop, Config{
+		Props: Properties{
+			Name:      "wifi-tsn",
+			BaseRTT:   8 * time.Millisecond,
+			Bandwidth: 8e6,
+			Reliable:  true,
+		},
+		DownTrace:  trace.Constant("wifi-tsn", 8*time.Millisecond, 8e6),
+		QueueBytes: 64 << 10,
+	})
+	bestEffort = New(loop, Config{
+		Props: Properties{
+			Name:      "wifi-be",
+			BaseRTT:   beRTT,
+			Bandwidth: beRate,
+			LossProb:  0.01,
+		},
+		DownTrace: trace.Constant("wifi-be", beRTT, beRate),
+	})
+	return tsn, bestEffort
+}

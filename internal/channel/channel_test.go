@@ -1,0 +1,271 @@
+package channel
+
+import (
+	"testing"
+	"time"
+
+	"hvc/internal/packet"
+	"hvc/internal/sim"
+	"hvc/internal/trace"
+)
+
+func TestSideOther(t *testing.T) {
+	if A.Other() != B || B.Other() != A {
+		t.Fatal("Other() broken")
+	}
+	if A.String() != "A" || B.String() != "B" {
+		t.Fatal("String() broken")
+	}
+}
+
+func TestDuplexDelivery(t *testing.T) {
+	loop := sim.NewLoop(1)
+	c := URLLC(loop)
+	var atA, atB []*packet.Packet
+	c.SetSink(A, func(p *packet.Packet) { atA = append(atA, p) })
+	c.SetSink(B, func(p *packet.Packet) { atB = append(atB, p) })
+
+	if !c.Send(A, &packet.Packet{ID: 1, Size: 100}) {
+		t.Fatal("A→B send rejected")
+	}
+	if !c.Send(B, &packet.Packet{ID: 2, Size: 100}) {
+		t.Fatal("B→A send rejected")
+	}
+	loop.Run()
+	if len(atB) != 1 || atB[0].ID != 1 {
+		t.Fatalf("B received %v", atB)
+	}
+	if len(atA) != 1 || atA[0].ID != 2 {
+		t.Fatalf("A received %v", atA)
+	}
+	if atB[0].Channel != NameURLLC {
+		t.Fatalf("channel stamp %q", atB[0].Channel)
+	}
+}
+
+func TestDeliveryWithoutSinkPanics(t *testing.T) {
+	loop := sim.NewLoop(1)
+	c := URLLC(loop)
+	c.Send(A, &packet.Packet{ID: 1, Size: 100})
+	defer func() {
+		if recover() == nil {
+			t.Error("delivery with no sink should panic")
+		}
+	}()
+	loop.Run()
+}
+
+func TestURLLCLatency(t *testing.T) {
+	loop := sim.NewLoop(1)
+	c := URLLC(loop)
+	var arrived time.Duration
+	c.SetSink(B, func(p *packet.Packet) { arrived = loop.Now() })
+	c.SetSink(A, func(p *packet.Packet) {})
+	// 250-byte packet at 2 Mbps = 1 ms serialize + 2.5 ms propagation.
+	c.Send(A, &packet.Packet{ID: 1, Size: 250})
+	loop.Run()
+	if want := 3500 * time.Microsecond; arrived != want {
+		t.Fatalf("URLLC one-way = %v, want %v", arrived, want)
+	}
+}
+
+func TestEMBBFixedProps(t *testing.T) {
+	loop := sim.NewLoop(1)
+	c := EMBBFixed(loop)
+	p := c.Props()
+	if p.Name != NameEMBB || p.BaseRTT != 50*time.Millisecond || p.Bandwidth != 60e6 {
+		t.Fatalf("props = %+v", p)
+	}
+	if p.Reliable {
+		t.Fatal("eMBB must not be marked reliable")
+	}
+}
+
+func TestEMBBFollowsTrace(t *testing.T) {
+	loop := sim.NewLoop(1)
+	tr := trace.LowbandDriving(1, 30*time.Second)
+	c := EMBB(loop, tr)
+	if c.Props().BaseRTT != tr.At(0).RTT {
+		t.Fatal("BaseRTT should come from the trace's first sample")
+	}
+}
+
+func TestQueueObservability(t *testing.T) {
+	loop := sim.NewLoop(1)
+	c := URLLC(loop)
+	c.SetSink(B, func(*packet.Packet) {})
+	c.Send(A, &packet.Packet{ID: 1, Size: 1000})
+	c.Send(A, &packet.Packet{ID: 2, Size: 1000})
+	if c.QueuedBytes(A) != 2000 {
+		t.Fatalf("QueuedBytes(A) = %d, want 2000", c.QueuedBytes(A))
+	}
+	if c.QueuedBytes(B) != 0 {
+		t.Fatalf("QueuedBytes(B) = %d, want 0", c.QueuedBytes(B))
+	}
+	if c.QueueDelay(A) <= 0 {
+		t.Fatal("QueueDelay(A) should be positive with a backlog")
+	}
+	loop.Run()
+	st := c.Stats(A)
+	if st.Delivered != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestGroupLookup(t *testing.T) {
+	loop := sim.NewLoop(1)
+	e, u := EMBBFixed(loop), URLLC(loop)
+	g := NewGroup(e, u)
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if g.Get(NameEMBB) != e || g.Get(NameURLLC) != u {
+		t.Fatal("Get by name broken")
+	}
+	if g.Get("nope") != nil {
+		t.Fatal("Get of unknown name should be nil")
+	}
+	if all := g.All(); len(all) != 2 || all[0] != e || all[1] != u {
+		t.Fatal("All order not preserved")
+	}
+}
+
+func TestGroupDuplicateNamePanics(t *testing.T) {
+	loop := sim.NewLoop(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate names should panic")
+		}
+	}()
+	NewGroup(URLLC(loop), URLLC(loop))
+}
+
+func TestNilDownTracePanics(t *testing.T) {
+	loop := sim.NewLoop(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("nil DownTrace should panic")
+		}
+	}()
+	New(loop, Config{Props: Properties{Name: "x"}})
+}
+
+func TestAsymmetricTraces(t *testing.T) {
+	loop := sim.NewLoop(1)
+	down := trace.Constant("down", 10*time.Millisecond, 80e6)
+	up := trace.Constant("up", 10*time.Millisecond, 8e6)
+	c := New(loop, Config{
+		Props:     Properties{Name: "asym"},
+		DownTrace: down,
+		UpTrace:   up,
+	})
+	var aAt, bAt time.Duration
+	c.SetSink(A, func(*packet.Packet) { aAt = loop.Now() })
+	c.SetSink(B, func(*packet.Packet) { bAt = loop.Now() })
+	c.Send(A, &packet.Packet{ID: 1, Size: 1000}) // uplink: 1 ms tx
+	c.Send(B, &packet.Packet{ID: 2, Size: 1000}) // downlink: 0.1 ms tx
+	loop.Run()
+	if bAt <= aAt {
+		// A→B used the slow uplink so must arrive later than B→A.
+		t.Fatalf("uplink arrival %v should be after downlink %v", bAt, aAt)
+	}
+}
+
+func TestStandardPairs(t *testing.T) {
+	loop := sim.NewLoop(1)
+	b5, b6 := WiFiMLO(loop)
+	if !b6.Props().Reliable || b5.Props().Reliable {
+		t.Fatal("6 GHz band should be the reliable one")
+	}
+	if b5.Props().Bandwidth <= b6.Props().Bandwidth {
+		t.Fatal("5 GHz band should be the wide one")
+	}
+	fiber, mw := CISP(loop)
+	if mw.Props().CostPerByte <= 0 || fiber.Props().CostPerByte != 0 {
+		t.Fatal("cISP path should be the priced one")
+	}
+	if mw.Props().BaseRTT >= fiber.Props().BaseRTT {
+		t.Fatal("cISP path should be faster")
+	}
+	terr, leo := LEO(loop)
+	if leo.Props().BaseRTT >= terr.Props().BaseRTT {
+		t.Fatal("LEO should have lower base RTT")
+	}
+	if leo.Props().Bandwidth >= terr.Props().Bandwidth {
+		t.Fatal("LEO should have less bandwidth")
+	}
+}
+
+func TestWiFiTSNContentionCost(t *testing.T) {
+	loop := sim.NewLoop(1)
+	tsn1, be1 := WiFiTSN(loop, 1)
+	_, be8 := WiFiTSN(loop, 8)
+	if !tsn1.Props().Reliable {
+		t.Fatal("TSN channel should be reliable")
+	}
+	if be8.Props().BaseRTT <= be1.Props().BaseRTT {
+		t.Fatal("more TSN users must raise best-effort latency")
+	}
+	if be8.Props().Bandwidth >= be1.Props().Bandwidth {
+		t.Fatal("more TSN users must shrink best-effort capacity")
+	}
+	// Capacity floor holds even at absurd user counts.
+	_, beMany := WiFiTSN(loop, 100)
+	if beMany.Props().Bandwidth < 20e6 {
+		t.Fatalf("best-effort floor violated: %v", beMany.Props().Bandwidth)
+	}
+}
+
+func TestWiFiTSNValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("0 users should panic")
+		}
+	}()
+	WiFiTSN(sim.NewLoop(1), 0)
+}
+
+// Property: a channel delivers every accepted packet exactly once per
+// direction when lossless, regardless of interleaving.
+func TestChannelDeliveryConservation(t *testing.T) {
+	loop := sim.NewLoop(11)
+	c := EMBBFixed(loop)
+	var gotA, gotB int
+	c.SetSink(A, func(*packet.Packet) { gotA++ })
+	c.SetSink(B, func(*packet.Packet) { gotB++ })
+	const n = 500
+	for i := 0; i < n; i++ {
+		i := i
+		loop.At(time.Duration(i)*time.Millisecond, func() {
+			c.Send(A, &packet.Packet{ID: uint64(2 * i), Size: 800})
+			c.Send(B, &packet.Packet{ID: uint64(2*i + 1), Size: 800})
+		})
+	}
+	loop.Run()
+	if gotA != n || gotB != n {
+		t.Fatalf("delivered A=%d B=%d, want %d each", gotA, gotB, n)
+	}
+	if c.Stats(A).Delivered != n || c.Stats(B).Delivered != n {
+		t.Fatalf("stats disagree: %+v %+v", c.Stats(A), c.Stats(B))
+	}
+}
+
+func TestChannelDirectionIsolation(t *testing.T) {
+	// Saturating one direction must not delay the other.
+	loop := sim.NewLoop(12)
+	c := EMBBFixed(loop)
+	var bAt time.Duration
+	c.SetSink(B, func(*packet.Packet) {})
+	c.SetSink(A, func(*packet.Packet) { bAt = loop.Now() })
+	// Flood A→B.
+	for i := 0; i < 500; i++ {
+		c.Send(A, &packet.Packet{ID: uint64(i), Size: 1500})
+	}
+	// One probe B→A at t=0: must arrive at propagation + tx, not
+	// behind the flood.
+	c.Send(B, &packet.Packet{ID: 9999, Size: 1500})
+	loop.Run()
+	if bAt > 26*time.Millisecond {
+		t.Fatalf("reverse-direction probe delayed to %v by forward flood", bAt)
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"hvc/internal/app/abr"
+	"hvc/internal/app/game"
+	"hvc/internal/channel"
+	"hvc/internal/metrics"
+	"hvc/internal/sim"
+	"hvc/internal/transport"
+)
+
+// ABRConfig parameterizes the HTTP-adaptive-streaming experiment (the
+// workload behind the paper's IANS-for-HAS citation): one streaming
+// session over eMBB (trace-driven) + URLLC under a steering policy.
+type ABRConfig struct {
+	Seed int64
+	// Media is the session's media duration.
+	Media time.Duration
+	// Trace names the eMBB trace ("mmwave-driving" stresses the
+	// buffer; see TraceNames).
+	Trace string
+	// Policy names the steering policy for both directions.
+	Policy string
+}
+
+// ABRResult pairs the policy with the playback summary.
+type ABRResult struct {
+	Policy string
+	abr.Result
+}
+
+// RunABR executes one streaming session and drains playback before
+// reporting.
+func RunABR(cfg ABRConfig) (ABRResult, error) {
+	if cfg.Media <= 0 {
+		return ABRResult{}, fmt.Errorf("core: abr media duration must be positive")
+	}
+	if !ValidPolicy(cfg.Policy) {
+		return ABRResult{}, fmt.Errorf("core: unknown steering policy %q", cfg.Policy)
+	}
+	tr, err := NewTrace(cfg.Trace, cfg.Seed, cfg.Media+time.Minute)
+	if err != nil {
+		return ABRResult{}, err
+	}
+
+	loop := sim.NewLoop(cfg.Seed)
+	g := Cellular(loop, tr)
+	client := transport.NewEndpoint(loop, g, channel.A)
+	server := transport.NewEndpoint(loop, g, channel.B)
+
+	abr.Serve(server, func() transport.Config {
+		alg, _ := NewCC("cubic")
+		return transport.Config{CC: alg, Steer: mustPolicy(cfg.Policy, g, channel.B)}
+	})
+	alg, _ := NewCC("cubic")
+	conn := client.Dial(transport.Config{CC: alg, Steer: mustPolicy(cfg.Policy, g, channel.A)})
+
+	c := abr.NewClient(loop, conn, abr.Config{Duration: cfg.Media})
+	c.Start()
+	// Run well past the media length so stalls resolve and playback
+	// finishes.
+	loop.RunUntil(cfg.Media * 4)
+
+	return ABRResult{Policy: cfg.Policy, Result: c.Result()}, nil
+}
+
+// ABRComparison runs the three §1-relevant policies over one trace in
+// order: eMBB-only, IANS-style objectmap, DChannel.
+func ABRComparison(seed int64, media time.Duration, traceName string) ([]ABRResult, error) {
+	var out []ABRResult
+	for _, policy := range []string{PolicyEMBBOnly, PolicyObjectMap, PolicyDChannel} {
+		r, err := RunABR(ABRConfig{Seed: seed, Media: media, Trace: traceName, Policy: policy})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// GameConfig parameterizes the cloud-gaming session runner (the
+// workload the paper's introduction motivates).
+type GameConfig struct {
+	Seed     int64
+	Duration time.Duration
+	Trace    string
+	Policy   string
+}
+
+// GameResult summarizes one session.
+type GameResult struct {
+	Policy         string
+	InputToDisplay metrics.Distribution
+	FramesShown    int
+	FramesLost     int
+}
+
+// RunGame executes one cloud-gaming session over eMBB+URLLC.
+func RunGame(cfg GameConfig) (GameResult, error) {
+	if cfg.Duration <= 0 {
+		return GameResult{}, fmt.Errorf("core: game duration must be positive")
+	}
+	if !ValidPolicy(cfg.Policy) {
+		return GameResult{}, fmt.Errorf("core: unknown steering policy %q", cfg.Policy)
+	}
+	tr, err := NewTrace(cfg.Trace, cfg.Seed, cfg.Duration+time.Minute)
+	if err != nil {
+		return GameResult{}, err
+	}
+
+	loop := sim.NewLoop(cfg.Seed)
+	g := Cellular(loop, tr)
+	client := transport.NewEndpoint(loop, g, channel.A)
+	server := transport.NewEndpoint(loop, g, channel.B)
+
+	conn := client.Dial(transport.Config{
+		Steer: mustPolicy(cfg.Policy, g, channel.A), Unreliable: true, MsgTimeout: 10 * time.Second,
+	})
+	s := game.NewSession(loop, conn, game.Config{Duration: cfg.Duration})
+	server.Listen(func() transport.Config {
+		return transport.Config{
+			Steer: mustPolicy(cfg.Policy, g, channel.B), Unreliable: true, MsgTimeout: 10 * time.Second,
+		}
+	}, func(c *transport.Conn) { s.Attach(c) })
+
+	s.Start()
+	loop.RunUntil(cfg.Duration + 10*time.Second)
+	return GameResult{
+		Policy:         cfg.Policy,
+		InputToDisplay: s.InputToDisplay,
+		FramesShown:    s.FramesShown,
+		FramesLost:     s.FramesLost(),
+	}, nil
+}

@@ -1,0 +1,204 @@
+// Package core is the library's top-level API: it assembles channel
+// groups for the paper's scenarios, constructs congestion-control
+// algorithms and steering policies by name, and runs the experiments
+// behind every figure and table in the paper (see DESIGN.md §3 for the
+// experiment index). The cmd/hvcbench binary, the examples, and the
+// benchmark suite are all thin wrappers over this package.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"hvc/internal/cc"
+	"hvc/internal/channel"
+	"hvc/internal/sim"
+	"hvc/internal/steering"
+	"hvc/internal/trace"
+)
+
+// Steering policy names accepted by the runners.
+const (
+	PolicyEMBBOnly         = "embb-only"
+	PolicyDChannel         = "dchannel"
+	PolicyPriority         = "priority"          // message-priority forcing (video)
+	PolicyDChannelPriority = "dchannel+priority" // DChannel + flow-priority hints (web)
+	PolicyObjectMap        = "objectmap"         // IANS-style whole-object assignment
+)
+
+// CCNames lists the congestion-control algorithms NewCC accepts, in
+// the order Fig. 1a reports them. Each name also has an "hvc-" variant
+// wrapping it in the §3.2 channel-aware filter.
+func CCNames() []string { return []string{"cubic", "bbr", "vegas", "vivace", "reno"} }
+
+// NewCC builds a congestion-control algorithm by name. An "hvc-"
+// prefix wraps the inner algorithm in cc.HVCAware bound to the eMBB
+// channel.
+func NewCC(name string) (cc.Algorithm, error) {
+	if inner, ok := cutPrefix(name, "hvc-"); ok {
+		alg, err := NewCC(inner)
+		if err != nil {
+			return nil, err
+		}
+		return cc.NewHVCAware(alg, channel.NameEMBB), nil
+	}
+	switch name {
+	case "cubic":
+		return cc.NewCubic(), nil
+	case "reno":
+		return cc.NewReno(), nil
+	case "bbr":
+		return cc.NewBBR(), nil
+	case "vegas":
+		return cc.NewVegas(), nil
+	case "vivace":
+		return cc.NewVivace(), nil
+	default:
+		return nil, fmt.Errorf("core: unknown congestion control %q", name)
+	}
+}
+
+func cutPrefix(s, prefix string) (string, bool) {
+	if len(s) >= len(prefix) && s[:len(prefix)] == prefix {
+		return s[len(prefix):], true
+	}
+	return s, false
+}
+
+// TraceNames lists the synthetic 5G trace generators RunVideo and
+// RunWeb accept.
+func TraceNames() []string {
+	return []string{"lowband-stationary", "lowband-walking", "lowband-driving", "mmwave-driving", "fixed"}
+}
+
+// NewTrace builds a named eMBB trace of the given duration from seed.
+func NewTrace(name string, seed int64, dur time.Duration) (*trace.Trace, error) {
+	switch name {
+	case "lowband-stationary":
+		return trace.LowbandStationary(seed, dur), nil
+	case "lowband-walking":
+		return trace.LowbandWalking(seed, dur), nil
+	case "lowband-driving":
+		return trace.LowbandDriving(seed, dur), nil
+	case "mmwave-driving":
+		return trace.MmWaveDriving(seed, dur), nil
+	case "fixed":
+		return trace.Constant("embb-fixed", 50*time.Millisecond, 60e6), nil
+	default:
+		return nil, fmt.Errorf("core: unknown trace %q", name)
+	}
+}
+
+// Cellular assembles the paper's two-channel cellular scenario: a
+// trace-driven eMBB channel plus the constant URLLC channel.
+func Cellular(loop *sim.Loop, embb *trace.Trace) *channel.Group {
+	return channel.NewGroup(channel.EMBB(loop, embb), channel.URLLC(loop))
+}
+
+// NewPolicy builds a steering policy by name over g as seen from side.
+func NewPolicy(name string, g *channel.Group, side channel.Side) (steering.Policy, error) {
+	switch name {
+	case PolicyEMBBOnly:
+		embb := g.Get(channel.NameEMBB)
+		if embb == nil {
+			return nil, fmt.Errorf("core: group has no %q channel", channel.NameEMBB)
+		}
+		return steering.NewSingle(embb), nil
+	case PolicyDChannel:
+		return steering.NewDChannel(g, side, steering.DChannelConfig{}), nil
+	case PolicyPriority:
+		return steering.NewPriority(g, side, steering.PriorityConfig{AdmitPrio: 0}), nil
+	case PolicyDChannelPriority:
+		return steering.NewPriority(g, side, steering.PriorityConfig{AdmitPrio: -1, Heuristic: true}), nil
+	case PolicyObjectMap:
+		return steering.NewObjectMap(g, side, steering.ObjectMapConfig{}), nil
+	default:
+		return nil, fmt.Errorf("core: unknown steering policy %q", name)
+	}
+}
+
+// ValidPolicy reports whether name is a steering policy NewPolicy
+// accepts.
+func ValidPolicy(name string) bool {
+	switch name {
+	case PolicyEMBBOnly, PolicyDChannel, PolicyPriority, PolicyDChannelPriority, PolicyObjectMap:
+		return true
+	}
+	return false
+}
+
+// mustPolicy is NewPolicy for validated names inside runners.
+func mustPolicy(name string, g *channel.Group, side channel.Side) steering.Policy {
+	p, err := NewPolicy(name, g, side)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// SortedCounts renders a per-channel count map deterministically, for
+// experiment output.
+func SortedCounts(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := ""
+	for i, k := range keys {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%d", k, m[k])
+	}
+	return s
+}
+
+// Summary aggregates one scalar metric across repeated runs.
+type Summary struct {
+	N    int
+	Mean float64
+	Std  float64
+	Min  float64
+	Max  float64
+}
+
+// Repeat runs fn once per consecutive seed starting at firstSeed and
+// aggregates the scalar it returns — the multi-seed statistics a
+// defensible experiment report needs. fn's error aborts the sweep.
+func Repeat(firstSeed int64, n int, fn func(seed int64) (float64, error)) (Summary, error) {
+	if n < 1 {
+		return Summary{}, fmt.Errorf("core: Repeat needs n >= 1")
+	}
+	vals := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		v, err := fn(firstSeed + int64(i))
+		if err != nil {
+			return Summary{}, err
+		}
+		vals = append(vals, v)
+	}
+	s := Summary{N: n, Min: vals[0], Max: vals[0]}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(n)
+	var ss float64
+	for _, v := range vals {
+		d := v - s.Mean
+		ss += d * d
+	}
+	if n > 1 {
+		s.Std = math.Sqrt(ss / float64(n-1))
+	}
+	return s, nil
+}

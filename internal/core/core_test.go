@@ -1,0 +1,508 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"hvc/internal/channel"
+	"hvc/internal/sim"
+	"hvc/internal/trace"
+)
+
+func TestNewCCKnownNames(t *testing.T) {
+	for _, name := range CCNames() {
+		alg, err := NewCC(name)
+		if err != nil {
+			t.Fatalf("NewCC(%q): %v", name, err)
+		}
+		if alg.Name() != name {
+			t.Fatalf("NewCC(%q).Name() = %q", name, alg.Name())
+		}
+		wrapped, err := NewCC("hvc-" + name)
+		if err != nil {
+			t.Fatalf("NewCC(hvc-%s): %v", name, err)
+		}
+		if wrapped.Name() != "hvc-"+name {
+			t.Fatalf("wrapped name = %q", wrapped.Name())
+		}
+	}
+	if _, err := NewCC("nope"); err == nil {
+		t.Fatal("unknown CC should error")
+	}
+	if _, err := NewCC("hvc-nope"); err == nil {
+		t.Fatal("unknown wrapped CC should error")
+	}
+}
+
+func TestNewTraceKnownNames(t *testing.T) {
+	for _, name := range TraceNames() {
+		tr, err := NewTrace(name, 1, 10*time.Second)
+		if err != nil {
+			t.Fatalf("NewTrace(%q): %v", name, err)
+		}
+		if len(tr.Samples) == 0 {
+			t.Fatalf("NewTrace(%q) empty", name)
+		}
+	}
+	if _, err := NewTrace("nope", 1, time.Second); err == nil {
+		t.Fatal("unknown trace should error")
+	}
+}
+
+func TestNewPolicyKnownNames(t *testing.T) {
+	loop := sim.NewLoop(1)
+	g := Cellular(loop, trace.Constant("e", 50*time.Millisecond, 60e6))
+	for _, name := range []string{PolicyEMBBOnly, PolicyDChannel, PolicyPriority, PolicyDChannelPriority} {
+		if !ValidPolicy(name) {
+			t.Errorf("ValidPolicy(%q) = false", name)
+		}
+		p, err := NewPolicy(name, g, channel.A)
+		if err != nil || p == nil {
+			t.Fatalf("NewPolicy(%q): %v", name, err)
+		}
+	}
+	if ValidPolicy("nope") {
+		t.Fatal("ValidPolicy(nope) = true")
+	}
+	if _, err := NewPolicy("nope", g, channel.A); err == nil {
+		t.Fatal("unknown policy should error")
+	}
+}
+
+func TestCellularGroup(t *testing.T) {
+	loop := sim.NewLoop(1)
+	g := Cellular(loop, trace.Constant("e", 50*time.Millisecond, 60e6))
+	if g.Len() != 2 || g.Get(channel.NameEMBB) == nil || g.Get(channel.NameURLLC) == nil {
+		t.Fatal("Cellular group malformed")
+	}
+}
+
+func TestSortedCounts(t *testing.T) {
+	got := SortedCounts(map[string]int{"urllc": 2, "embb": 7})
+	if got != "embb=7 urllc=2" {
+		t.Fatalf("SortedCounts = %q", got)
+	}
+	if SortedCounts(nil) != "" {
+		t.Fatal("empty map should render empty")
+	}
+}
+
+// --- experiment shape tests (short durations; the full-length runs
+// live in the benchmark harness) ---
+
+func TestRunBulkValidation(t *testing.T) {
+	if _, err := RunBulk(BulkConfig{CC: "cubic"}); err == nil {
+		t.Fatal("zero duration should error")
+	}
+	if _, err := RunBulk(BulkConfig{CC: "nope", Duration: time.Second}); err == nil {
+		t.Fatal("unknown CC should error")
+	}
+}
+
+func TestFig1aShapeShort(t *testing.T) {
+	results, err := Fig1a(1, 15*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]float64{}
+	for _, r := range results {
+		byName[r.CC] = r.Mbps
+	}
+	// The paper's Figure 1a ordering: CUBIC fills the wide channel;
+	// the delay-based algorithms collapse, Vivace hardest.
+	if byName["cubic"] < 45 {
+		t.Errorf("cubic = %.1f Mbps, want near 60", byName["cubic"])
+	}
+	for _, delayBased := range []string{"bbr", "vegas", "vivace"} {
+		if byName[delayBased] > byName["cubic"]/2 {
+			t.Errorf("%s = %.1f Mbps should collapse well below cubic %.1f",
+				delayBased, byName[delayBased], byName["cubic"])
+		}
+	}
+	if byName["vivace"] > byName["bbr"] {
+		t.Errorf("vivace %.1f should be the worst (bbr %.1f)", byName["vivace"], byName["bbr"])
+	}
+}
+
+func TestFig1bRTTOscillates(t *testing.T) {
+	r, err := Fig1b(1, 15*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RTT.N() < 100 {
+		t.Fatalf("only %d RTT samples", r.RTT.N())
+	}
+	var lo, hi int
+	for _, p := range r.RTT.Points() {
+		if p.Value < 15 {
+			lo++ // both legs URLLC: ≈7 ms
+		}
+		if p.Value > 25 {
+			hi++ // data over eMBB: ≥ its 25 ms one-way
+		}
+	}
+	// The Fig. 1b signature: samples jump between channel-combination
+	// latencies instead of tracking one path.
+	if lo == 0 || hi == 0 {
+		t.Fatalf("RTT not bimodal: %d low, %d high of %d", lo, hi, r.RTT.N())
+	}
+	if len(r.RTTChannels) != r.RTT.N() {
+		t.Fatal("channel labels misaligned")
+	}
+}
+
+func TestAblationHVCAwareRecovers(t *testing.T) {
+	plain, aware, err := AblationHVCAwareCC(1, 15*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		// The §3.2 claim: channel-aware RTT interpretation recovers
+		// throughput for the delay-based algorithms (BBR, Vegas; the
+		// Vivace utility function also improves, if less dramatically).
+		if aware[i].Mbps < plain[i].Mbps {
+			t.Errorf("%s: hvc-aware %.1f Mbps worse than plain %.1f",
+				plain[i].CC, aware[i].Mbps, plain[i].Mbps)
+		}
+	}
+	// BBR and Vegas must recover most of the channel.
+	if aware[0].Mbps < 25 || aware[1].Mbps < 25 {
+		t.Errorf("hvc-bbr %.1f / hvc-vegas %.1f Mbps: expected substantial recovery",
+			aware[0].Mbps, aware[1].Mbps)
+	}
+}
+
+func TestRunVideoValidation(t *testing.T) {
+	if _, err := RunVideo(VideoConfig{Trace: "lowband-driving", Policy: PolicyPriority}); err == nil {
+		t.Fatal("zero duration should error")
+	}
+	if _, err := RunVideo(VideoConfig{Duration: time.Second, Trace: "nope", Policy: PolicyPriority}); err == nil {
+		t.Fatal("unknown trace should error")
+	}
+	if _, err := RunVideo(VideoConfig{Duration: time.Second, Trace: "lowband-driving", Policy: "nope"}); err == nil {
+		t.Fatal("unknown policy should error")
+	}
+}
+
+func TestFig2ShapeShort(t *testing.T) {
+	results, err := Fig2(1, 20*time.Second, "lowband-driving")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("want 3 policies, got %d", len(results))
+	}
+	embb, dch, prio := results[0], results[1], results[2]
+	for _, r := range results {
+		if r.Decoded == 0 {
+			t.Fatalf("%s decoded nothing", r.Policy)
+		}
+	}
+	// The Fig. 2 ordering on tail latency: priority < DChannel < eMBB-only.
+	if !(prio.Latency.Percentile(95) < dch.Latency.Percentile(95)) {
+		t.Errorf("p95: priority %.0f ms should beat dchannel %.0f ms",
+			prio.Latency.Percentile(95), dch.Latency.Percentile(95))
+	}
+	if !(dch.Latency.Percentile(95) < embb.Latency.Percentile(95)) {
+		t.Errorf("p95: dchannel %.0f ms should beat embb-only %.0f ms",
+			dch.Latency.Percentile(95), embb.Latency.Percentile(95))
+	}
+	// And the cost: priority trades a little SSIM for the latency.
+	if prio.SSIM.Mean() > embb.SSIM.Mean() {
+		t.Errorf("priority SSIM %.3f should not beat embb-only %.3f",
+			prio.SSIM.Mean(), embb.SSIM.Mean())
+	}
+}
+
+func TestRunWebValidation(t *testing.T) {
+	if _, err := RunWeb(WebConfig{Trace: "lowband-stationary", Policy: "nope"}); err == nil {
+		t.Fatal("unknown policy should error")
+	}
+	if _, err := RunWeb(WebConfig{Trace: "lowband-stationary", Policy: PolicyPriority}); err == nil {
+		t.Fatal("video-style priority policy should be rejected for web")
+	}
+	if _, err := RunWeb(WebConfig{Trace: "nope", Policy: PolicyDChannel}); err == nil {
+		t.Fatal("unknown trace should error")
+	}
+}
+
+func TestTable1ShapeShort(t *testing.T) {
+	results, err := Table1(1, "lowband-stationary", 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	embb, dch, prio := results[0], results[1], results[2]
+	if embb.PLT.N() != 4 || dch.PLT.N() != 4 || prio.PLT.N() != 4 {
+		t.Fatalf("incomplete loads: %d %d %d", embb.PLT.N(), dch.PLT.N(), prio.PLT.N())
+	}
+	// Table 1 ordering: eMBB-only slowest, flow-priority hints fastest.
+	if !(dch.MeanPLT < embb.MeanPLT) {
+		t.Errorf("dchannel %v should beat embb-only %v", dch.MeanPLT, embb.MeanPLT)
+	}
+	if !(prio.MeanPLT < dch.MeanPLT) {
+		t.Errorf("dchannel+priority %v should beat dchannel %v", prio.MeanPLT, dch.MeanPLT)
+	}
+	if dch.BgUploads == 0 || dch.BgDownloads == 0 {
+		t.Error("background flows made no progress")
+	}
+}
+
+func TestRunMLOShape(t *testing.T) {
+	single := RunMLO(1, 300, 1200, 10*time.Millisecond, false)
+	red := RunMLO(1, 300, 1200, 10*time.Millisecond, true)
+	if !(red.DeliveryRate > single.DeliveryRate) {
+		t.Errorf("redundant delivery %.3f should beat single lossy link %.3f",
+			red.DeliveryRate, single.DeliveryRate)
+	}
+	if red.DeliveryRate < 0.995 {
+		t.Errorf("redundant delivery %.3f should be near-perfect", red.DeliveryRate)
+	}
+	if !(red.PacketsOnAir > single.PacketsOnAir) {
+		t.Error("replication must cost air time")
+	}
+}
+
+func TestRunCostShape(t *testing.T) {
+	free := RunCost(1, 200, 20*time.Millisecond, 0)
+	budget := RunCost(1, 200, 20*time.Millisecond, 50_000)
+	if !(budget.Latency.Mean() < free.Latency.Mean()) {
+		t.Errorf("budgeted mean latency %.1f ms should beat fiber-only %.1f ms",
+			budget.Latency.Mean(), free.Latency.Mean())
+	}
+	if budget.Dollars <= 0 || free.Dollars != 0 {
+		t.Errorf("dollars: budget=%v free=%v", budget.Dollars, free.Dollars)
+	}
+	big := RunCost(1, 200, 20*time.Millisecond, 1e7)
+	if big.Dollars <= budget.Dollars {
+		t.Error("a larger budget should spend more")
+	}
+	if big.Latency.Mean() > budget.Latency.Mean() {
+		t.Error("a larger budget should not be slower")
+	}
+}
+
+func TestRunBulkDeterministic(t *testing.T) {
+	a, err := RunBulk(BulkConfig{Seed: 5, Duration: 5 * time.Second, CC: "bbr"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunBulk(BulkConfig{Seed: 5, Duration: 5 * time.Second, CC: "bbr"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Mbps != b.Mbps || a.RTT.N() != b.RTT.N() {
+		t.Fatalf("nondeterministic: %.3f/%d vs %.3f/%d", a.Mbps, a.RTT.N(), b.Mbps, b.RTT.N())
+	}
+}
+
+func TestRunMultipathShape(t *testing.T) {
+	mp := RunMultipath(1, 10*time.Second, "multipath")
+	dch := RunMultipath(1, 10*time.Second, "dchannel")
+	prio := RunMultipath(1, 10*time.Second, "priority")
+
+	// Aggregation and agnostic steering both bury URLLC; the flow
+	// hint keeps the probe near URLLC's propagation latency.
+	if prio.Probe.Percentile(95) > 30 {
+		t.Errorf("priority probe p95 %.1f ms; URLLC should stay clear", prio.Probe.Percentile(95))
+	}
+	for _, r := range []MultipathResult{mp, dch} {
+		if r.Probe.Percentile(50) < 5*prio.Probe.Percentile(50) {
+			t.Errorf("%s probe p50 %.1f ms should be far above priority's %.1f",
+				r.Mode, r.Probe.Percentile(50), prio.Probe.Percentile(50))
+		}
+	}
+	// Bulk throughput is comparable in all modes (the hint costs a
+	// few percent at most).
+	if prio.BulkMbps < 0.9*dch.BulkMbps {
+		t.Errorf("priority bulk %.1f Mbps lost too much vs dchannel %.1f",
+			prio.BulkMbps, dch.BulkMbps)
+	}
+	if mp.BulkMbps < 0.9*dch.BulkMbps {
+		t.Errorf("multipath bulk %.1f Mbps should match dchannel %.1f",
+			mp.BulkMbps, dch.BulkMbps)
+	}
+}
+
+func TestRunMultipathUnknownModePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown mode should panic")
+		}
+	}()
+	RunMultipath(1, time.Second, "nope")
+}
+
+func TestRunBetaSweepShape(t *testing.T) {
+	points := RunBetaSweep(1, 15*time.Second, []float64{0.5, 4})
+	if len(points) != 2 {
+		t.Fatalf("want 2 points, got %d", len(points))
+	}
+	aggressive, shy := points[0], points[1]
+	// A lower cost coefficient must spend more of URLLC.
+	if aggressive.URLLCShare <= shy.URLLCShare {
+		t.Errorf("β=0.5 URLLC share %.3f should exceed β=4's %.3f",
+			aggressive.URLLCShare, shy.URLLCShare)
+	}
+	for _, p := range points {
+		if p.P95Latency <= 0 || p.SSIM <= 0 {
+			t.Errorf("β=%v produced empty results: %+v", p.Beta, p)
+		}
+	}
+}
+
+func TestRunTailBoostImprovesCompletion(t *testing.T) {
+	plain := RunTailBoost(1, 100, 60_000, 50*time.Millisecond, false)
+	boosted := RunTailBoost(1, 100, 60_000, 50*time.Millisecond, true)
+	if plain.Latency.N() != 100 || boosted.Latency.N() != 100 {
+		t.Fatalf("incomplete: %d vs %d messages", plain.Latency.N(), boosted.Latency.N())
+	}
+	if boosted.Latency.Mean() >= plain.Latency.Mean() {
+		t.Errorf("tail boost mean %.1f ms should beat plain %.1f ms",
+			boosted.Latency.Mean(), plain.Latency.Mean())
+	}
+}
+
+func TestObjectMapWebBetweenBaselines(t *testing.T) {
+	// The §1 claim about IANS: object-granularity channel assignment
+	// helps versus one channel but loses to per-packet steering.
+	run := func(policy string) float64 {
+		r, err := RunWeb(WebConfig{
+			Seed: 1, Trace: "lowband-stationary", Policy: policy,
+			Pages: 4, Loads: 1, NoBackground: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.PLT.Mean()
+	}
+	embb := run(PolicyEMBBOnly)
+	ians := run(PolicyObjectMap)
+	dch := run(PolicyDChannel)
+	if !(ians < embb) {
+		t.Errorf("objectmap %.1f ms should beat embb-only %.1f", ians, embb)
+	}
+	if !(dch < ians) {
+		t.Errorf("dchannel %.1f ms should beat objectmap %.1f", dch, ians)
+	}
+}
+
+func TestRunBulkCapture(t *testing.T) {
+	r, err := RunBulk(BulkConfig{
+		Seed: 1, Duration: 3 * time.Second, CC: "cubic",
+		CaptureEvery: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Capture == nil {
+		t.Fatal("Capture not attached")
+	}
+	// Bulk data flows client→server, i.e. on the link leaving side A.
+	ts := r.Capture.Throughput(channel.NameEMBB, channel.A)
+	if ts == nil || ts.N() < 20 {
+		t.Fatalf("capture recorded %v samples", ts)
+	}
+	if rate := r.Capture.MeanRateMbps(channel.NameEMBB, channel.A); rate < 10 {
+		t.Fatalf("captured eMBB rate %.1f Mbps implausibly low for cubic", rate)
+	}
+}
+
+func TestRunABRValidation(t *testing.T) {
+	if _, err := RunABR(ABRConfig{Trace: "fixed", Policy: PolicyDChannel}); err == nil {
+		t.Fatal("zero media should error")
+	}
+	if _, err := RunABR(ABRConfig{Media: time.Second, Trace: "nope", Policy: PolicyDChannel}); err == nil {
+		t.Fatal("unknown trace should error")
+	}
+	if _, err := RunABR(ABRConfig{Media: time.Second, Trace: "fixed", Policy: "nope"}); err == nil {
+		t.Fatal("unknown policy should error")
+	}
+}
+
+func TestABRComparisonShape(t *testing.T) {
+	rs, err := ABRComparison(1, 30*time.Second, "mmwave-driving")
+	if err != nil {
+		t.Fatal(err)
+	}
+	embb, _, dch := rs[0], rs[1], rs[2]
+	for _, r := range rs {
+		if r.Played < 29*time.Second {
+			t.Errorf("%s played only %v", r.Policy, r.Played)
+		}
+	}
+	// Steering's ABR win concentrates in interactivity: the first
+	// chunk's request and tail ride URLLC, halving startup delay.
+	if dch.StartupDelay >= embb.StartupDelay {
+		t.Errorf("dchannel startup %v should beat embb-only %v",
+			dch.StartupDelay, embb.StartupDelay)
+	}
+}
+
+func TestRunTSNShape(t *testing.T) {
+	be := RunTSN(1, 5*time.Second, false)
+	tsn := RunTSN(1, 5*time.Second, true)
+	if be.MissRate < 0.3 {
+		t.Errorf("best-effort miss rate %.2f should be high under contention", be.MissRate)
+	}
+	if tsn.MissRate > 0.02 {
+		t.Errorf("TSN miss rate %.2f should be near zero", tsn.MissRate)
+	}
+	if tsn.P99Latency >= be.P99Latency && be.Completed > 0 {
+		t.Errorf("TSN p99 %.1f should beat best-effort %.1f", tsn.P99Latency, be.P99Latency)
+	}
+}
+
+func TestRepeatAggregates(t *testing.T) {
+	s, err := Repeat(10, 4, func(seed int64) (float64, error) {
+		return float64(seed), nil // 10, 11, 12, 13
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 4 || s.Mean != 11.5 || s.Min != 10 || s.Max != 13 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.Std < 1.28 || s.Std > 1.30 { // sample std of {10,11,12,13} ≈ 1.29
+		t.Fatalf("std %v", s.Std)
+	}
+}
+
+func TestRepeatPropagatesError(t *testing.T) {
+	_, err := Repeat(1, 3, func(seed int64) (float64, error) {
+		if seed == 2 {
+			return 0, fmt.Errorf("boom")
+		}
+		return 1, nil
+	})
+	if err == nil {
+		t.Fatal("error not propagated")
+	}
+	if _, err := Repeat(1, 0, func(int64) (float64, error) { return 0, nil }); err == nil {
+		t.Fatal("n=0 should error")
+	}
+}
+
+func TestRepeatOverVideoSeeds(t *testing.T) {
+	s, err := Repeat(1, 3, func(seed int64) (float64, error) {
+		r, err := RunVideo(VideoConfig{
+			Seed: seed, Duration: 10 * time.Second,
+			Trace: "lowband-driving", Policy: PolicyPriority,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return r.Latency.Percentile(95), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 3 || s.Mean <= 0 {
+		t.Fatalf("summary %+v", s)
+	}
+	// Priority steering pins the tail near the decode wait regardless
+	// of seed: the spread should be small.
+	if s.Std > 30 {
+		t.Fatalf("priority p95 varies too much across seeds: %+v", s)
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"hvc/internal/app/video"
+	"hvc/internal/channel"
+	"hvc/internal/metrics"
+	"hvc/internal/sim"
+	"hvc/internal/transport"
+)
+
+// VideoConfig parameterizes the Fig. 2 experiment: a real-time SVC
+// stream from client to server over eMBB+URLLC.
+type VideoConfig struct {
+	Seed     int64
+	Duration time.Duration
+	// Trace names the eMBB trace (Fig. 2 uses "lowband-driving" and
+	// "mmwave-driving").
+	Trace string
+	// Policy names the steering policy applied to the video flow.
+	Policy string
+}
+
+// VideoResult reports one video run.
+type VideoResult struct {
+	Trace, Policy string
+	// Latency is the decoded-frame latency distribution in ms; SSIM
+	// the decoded-frame quality distribution.
+	Latency metrics.Distribution
+	SSIM    metrics.Distribution
+	Sent    int
+	Decoded int
+	Frozen  int
+}
+
+// RunVideo executes one video session and drains the network before
+// reporting, so late frames (the eMBB-only latency tail) are counted.
+func RunVideo(cfg VideoConfig) (VideoResult, error) {
+	if cfg.Duration <= 0 {
+		return VideoResult{}, fmt.Errorf("core: video duration must be positive")
+	}
+	tr, err := NewTrace(cfg.Trace, cfg.Seed, cfg.Duration+30*time.Second)
+	if err != nil {
+		return VideoResult{}, err
+	}
+	if !ValidPolicy(cfg.Policy) {
+		return VideoResult{}, fmt.Errorf("core: unknown steering policy %q", cfg.Policy)
+	}
+
+	loop := sim.NewLoop(cfg.Seed)
+	g := Cellular(loop, tr)
+	client := transport.NewEndpoint(loop, g, channel.A)
+	server := transport.NewEndpoint(loop, g, channel.B)
+
+	vcfg := video.Config{Duration: cfg.Duration}
+	recv := video.NewReceiver(loop, vcfg)
+	server.Listen(func() transport.Config {
+		return transport.Config{
+			Steer:      mustPolicy(cfg.Policy, g, channel.B),
+			Unreliable: true,
+			MsgTimeout: 30 * time.Second,
+		}
+	}, func(c *transport.Conn) { recv.Attach(c) })
+
+	conn := client.Dial(transport.Config{
+		Steer:      mustPolicy(cfg.Policy, g, channel.A),
+		Unreliable: true,
+		MsgTimeout: 30 * time.Second,
+	})
+	snd := video.NewSender(loop, conn, vcfg)
+	snd.Start()
+
+	// Run past the stream's end so queued tail traffic (multi-second
+	// under mmWave driving) arrives and decodes.
+	loop.RunUntil(cfg.Duration + 20*time.Second)
+
+	return VideoResult{
+		Trace:   cfg.Trace,
+		Policy:  cfg.Policy,
+		Latency: recv.Latency,
+		SSIM:    recv.SSIM,
+		Sent:    snd.FrameCount(),
+		Decoded: recv.Decoded,
+		Frozen:  recv.Frozen(snd.FrameCount()),
+	}, nil
+}
+
+// Fig2 runs the three steering policies over one trace and returns
+// them in the paper's order: eMBB-only, DChannel, priority.
+func Fig2(seed int64, dur time.Duration, traceName string) ([]VideoResult, error) {
+	var out []VideoResult
+	for _, policy := range []string{PolicyEMBBOnly, PolicyDChannel, PolicyPriority} {
+		r, err := RunVideo(VideoConfig{Seed: seed, Duration: dur, Trace: traceName, Policy: policy})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// videoConfigFor builds the standard Fig. 2 video configuration for a
+// stream of the given duration. Shared by RunVideo and the β sweep.
+func videoConfigFor(dur time.Duration) video.Config {
+	return video.Config{Duration: dur}
+}
+
+// newVideoReceiver and newVideoSender re-export the app constructors
+// so sibling files in this package read uniformly.
+func newVideoReceiver(loop *sim.Loop, cfg video.Config) *video.Receiver {
+	return video.NewReceiver(loop, cfg)
+}
+
+func newVideoSender(loop *sim.Loop, conn *transport.Conn, cfg video.Config) *video.Sender {
+	return video.NewSender(loop, conn, cfg)
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"hvc/internal/app/web"
+	"hvc/internal/channel"
+	"hvc/internal/metrics"
+	"hvc/internal/packet"
+	"hvc/internal/sim"
+	"hvc/internal/transport"
+)
+
+// WebConfig parameterizes the Table 1 experiment: sequential page
+// loads over eMBB+URLLC with two background flows running throughout.
+type WebConfig struct {
+	Seed int64
+	// Trace names the eMBB trace; Table 1 uses "lowband-stationary"
+	// and "lowband-driving".
+	Trace string
+	// Policy is one of PolicyEMBBOnly, PolicyDChannel, or
+	// PolicyDChannelPriority. With PolicyDChannelPriority the
+	// background flows are stamped bulk (the paper's flow-priority
+	// input); with PolicyDChannel they compete unhinted.
+	Policy string
+	// Pages is the corpus size (default 30) and Loads the number of
+	// loads per page (default 5), per the paper's methodology.
+	Pages int
+	Loads int
+	// Background disables the two competing flows when false is
+	// explicitly configured via NoBackground.
+	NoBackground bool
+}
+
+// WebResult reports one web experiment.
+type WebResult struct {
+	Trace, Policy string
+	// MeanPLT is the mean over every load of every page, the Table 1
+	// statistic.
+	MeanPLT time.Duration
+	// PLT is the full distribution in ms.
+	PLT metrics.Distribution
+	// BgUploads and BgDownloads count completed background transfers.
+	BgUploads, BgDownloads int
+}
+
+// RunWeb executes the experiment: each page loaded Loads times in
+// sequence, with a short gap between loads and background flows (when
+// enabled) running for the whole experiment.
+func RunWeb(cfg WebConfig) (WebResult, error) {
+	if !ValidPolicy(cfg.Policy) || cfg.Policy == PolicyPriority {
+		return WebResult{}, fmt.Errorf("core: web does not support policy %q", cfg.Policy)
+	}
+	if cfg.Pages == 0 {
+		cfg.Pages = 30
+	}
+	if cfg.Loads == 0 {
+		cfg.Loads = 5
+	}
+	tr, err := NewTrace(cfg.Trace, cfg.Seed, 5*time.Minute)
+	if err != nil {
+		return WebResult{}, err
+	}
+
+	loop := sim.NewLoop(cfg.Seed)
+	g := Cellular(loop, tr)
+	client := transport.NewEndpoint(loop, g, channel.A)
+	server := transport.NewEndpoint(loop, g, channel.B)
+
+	web.Serve(server, func() transport.Config {
+		alg, _ := NewCC("cubic") // the paper uses TCP CUBIC throughout
+		return transport.Config{CC: alg, Steer: mustPolicy(cfg.Policy, g, channel.B)}
+	})
+
+	pageCfg := func() transport.Config {
+		alg, _ := NewCC("cubic")
+		return transport.Config{CC: alg, Steer: mustPolicy(cfg.Policy, g, channel.A)}
+	}
+
+	res := WebResult{Trace: cfg.Trace, Policy: cfg.Policy}
+
+	var bg *web.Background
+	if !cfg.NoBackground {
+		bgPrio := packet.Priority(0)
+		if cfg.Policy == PolicyDChannelPriority {
+			bgPrio = packet.PriorityBulk
+		}
+		bg = web.StartBackground(client, func() transport.Config {
+			alg, _ := NewCC("cubic")
+			return transport.Config{
+				CC:           alg,
+				Steer:        mustPolicy(cfg.Policy, g, channel.A),
+				FlowPriority: bgPrio,
+			}
+		})
+	}
+
+	corpus := web.GenerateCorpus(cfg.Seed+1000, cfg.Pages)
+	const gap = 200 * time.Millisecond
+
+	// Load pages strictly in sequence: page 0 load 0..L-1, page 1 ...
+	var runLoad func(page, iter int)
+	done := false
+	runLoad = func(page, iter int) {
+		if page >= len(corpus) {
+			done = true
+			loop.Stop()
+			return
+		}
+		web.Load(client, pageCfg(), corpus[page], func(r web.LoadResult) {
+			res.PLT.AddDuration(r.PLT)
+			next := func() {
+				if iter+1 < cfg.Loads {
+					runLoad(page, iter+1)
+				} else {
+					runLoad(page+1, 0)
+				}
+			}
+			loop.After(gap, next)
+		})
+	}
+	runLoad(0, 0)
+	loop.RunUntil(4 * time.Hour) // generous ceiling; Stop ends it early
+
+	if !done {
+		return res, fmt.Errorf("core: web experiment did not finish (%d loads done)", res.PLT.N())
+	}
+	if bg != nil {
+		bg.Stop()
+		res.BgUploads, res.BgDownloads = bg.Uploads, bg.Downloads
+	}
+	res.MeanPLT = time.Duration(res.PLT.Mean() * float64(time.Millisecond))
+	return res, nil
+}
+
+// Table1 runs the three policies over one trace in the paper's column
+// order: eMBB-only, DChannel, DChannel with priority.
+func Table1(seed int64, traceName string, pages, loads int) ([]WebResult, error) {
+	var out []WebResult
+	for _, policy := range []string{PolicyEMBBOnly, PolicyDChannel, PolicyDChannelPriority} {
+		r, err := RunWeb(WebConfig{
+			Seed: seed, Trace: traceName, Policy: policy,
+			Pages: pages, Loads: loads,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,266 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEmptyDistribution(t *testing.T) {
+	var d Distribution
+	if d.N() != 0 || d.Mean() != 0 || d.Min() != 0 || d.Max() != 0 || d.Percentile(95) != 0 {
+		t.Fatal("empty distribution should report zeros")
+	}
+	if d.CDF(10) != nil {
+		t.Fatal("empty distribution CDF should be nil")
+	}
+	if d.String() != "n=0" {
+		t.Fatalf("String() = %q", d.String())
+	}
+}
+
+func TestMeanMinMax(t *testing.T) {
+	var d Distribution
+	for _, v := range []float64{4, 1, 9, 2} {
+		d.Add(v)
+	}
+	if d.N() != 4 {
+		t.Fatalf("N = %d, want 4", d.N())
+	}
+	if d.Mean() != 4 {
+		t.Fatalf("Mean = %v, want 4", d.Mean())
+	}
+	if d.Min() != 1 || d.Max() != 9 {
+		t.Fatalf("Min,Max = %v,%v; want 1,9", d.Min(), d.Max())
+	}
+}
+
+func TestAddAfterSortKeepsOrderStats(t *testing.T) {
+	var d Distribution
+	d.Add(5)
+	_ = d.Median() // forces sort
+	d.Add(1)
+	if d.Min() != 1 {
+		t.Fatalf("Min after post-sort Add = %v, want 1", d.Min())
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	var d Distribution
+	for v := 1.0; v <= 5; v++ {
+		d.Add(v)
+	}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {12.5, 1.5},
+	}
+	for _, c := range cases {
+		if got := d.Percentile(c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileSingleValue(t *testing.T) {
+	var d Distribution
+	d.Add(7)
+	for _, p := range []float64{0, 50, 100} {
+		if got := d.Percentile(p); got != 7 {
+			t.Fatalf("Percentile(%v) = %v, want 7", p, got)
+		}
+	}
+}
+
+func TestPercentileOutOfRangePanics(t *testing.T) {
+	var d Distribution
+	d.Add(1)
+	for _, p := range []float64{-1, 101} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Percentile(%v) should panic", p)
+				}
+			}()
+			d.Percentile(p)
+		}()
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	var d Distribution
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		d.Add(v)
+	}
+	if got := d.StdDev(); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestStdDevFewSamples(t *testing.T) {
+	var d Distribution
+	if d.StdDev() != 0 {
+		t.Fatal("StdDev of empty should be 0")
+	}
+	d.Add(3)
+	if d.StdDev() != 0 {
+		t.Fatal("StdDev of single sample should be 0")
+	}
+}
+
+func TestAddDurationUsesMilliseconds(t *testing.T) {
+	var d Distribution
+	d.AddDuration(1500 * time.Microsecond)
+	if got := d.Mean(); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("AddDuration stored %v ms, want 1.5", got)
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	var d Distribution
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		d.Add(rng.NormFloat64())
+	}
+	cdf := d.CDF(50)
+	if len(cdf) != 50 {
+		t.Fatalf("CDF returned %d points, want 50", len(cdf))
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].Value < cdf[i-1].Value || cdf[i].Frac < cdf[i-1].Frac {
+			t.Fatalf("CDF not monotone at %d: %+v then %+v", i, cdf[i-1], cdf[i])
+		}
+	}
+	if last := cdf[len(cdf)-1]; last.Frac != 1 {
+		t.Fatalf("CDF should end at frac 1, got %v", last.Frac)
+	}
+}
+
+func TestValuesReturnsSortedCopy(t *testing.T) {
+	var d Distribution
+	d.Add(3)
+	d.Add(1)
+	v := d.Values()
+	if !sort.Float64sAreSorted(v) {
+		t.Fatal("Values not sorted")
+	}
+	v[0] = 99
+	if d.Min() == 99 {
+		t.Fatal("Values must return a copy")
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var d Distribution
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			d.Add(v)
+		}
+		p1 := float64(a % 101)
+		p2 := float64(b % 101)
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		v1, v2 := d.Percentile(p1), d.Percentile(p2)
+		return v1 <= v2 && v1 >= d.Min() && v2 <= d.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeSeriesBuckets(t *testing.T) {
+	var ts TimeSeries
+	ts.Add(100*time.Millisecond, 2)
+	ts.Add(200*time.Millisecond, 4)
+	ts.Add(1100*time.Millisecond, 10)
+	b := ts.Buckets(time.Second)
+	if len(b) != 2 {
+		t.Fatalf("got %d buckets, want 2", len(b))
+	}
+	if b[0].Start != 0 || b[0].N != 2 || b[0].Mean != 3 || b[0].Min != 2 || b[0].Max != 4 {
+		t.Fatalf("bucket0 = %+v", b[0])
+	}
+	if b[1].Start != time.Second || b[1].N != 1 || b[1].Mean != 10 {
+		t.Fatalf("bucket1 = %+v", b[1])
+	}
+}
+
+func TestBucketsPanicOnZeroWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Buckets(0) should panic")
+		}
+	}()
+	var ts TimeSeries
+	ts.Buckets(0)
+}
+
+func TestTimeSeriesRate(t *testing.T) {
+	var ts TimeSeries
+	// 1 MB over 1 second = 8 Mbps.
+	ts.Add(0, 500_000)
+	ts.Add(time.Second, 500_000)
+	if got := Mbps(ts.Rate()); math.Abs(got-8) > 1e-9 {
+		t.Fatalf("Rate = %v Mbps, want 8", got)
+	}
+}
+
+func TestRateDegenerate(t *testing.T) {
+	var ts TimeSeries
+	if ts.Rate() != 0 {
+		t.Fatal("empty series rate should be 0")
+	}
+	ts.Add(time.Second, 100)
+	if ts.Rate() != 0 {
+		t.Fatal("single point rate should be 0")
+	}
+	ts.Add(time.Second, 100)
+	if ts.Rate() != 0 {
+		t.Fatal("zero-span rate should be 0")
+	}
+}
+
+func TestFormatCDF(t *testing.T) {
+	s := FormatCDF([]CDFPoint{{Value: 1.5, Frac: 0.5}, {Value: 2, Frac: 1}}, "latency_ms")
+	if !strings.HasPrefix(s, "latency_ms\tcdf\n") {
+		t.Fatalf("missing header: %q", s)
+	}
+	if !strings.Contains(s, "1.500\t0.5000") || !strings.Contains(s, "2.000\t1.0000") {
+		t.Fatalf("rows missing: %q", s)
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	var d Distribution
+	for i := 0; i < 100; i++ {
+		d.Add(float64(i))
+	}
+	s := d.String()
+	for _, want := range []string{"n=100", "mean=49.5", "p95="} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func BenchmarkPercentile(b *testing.B) {
+	var d Distribution
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		d.Add(rng.Float64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Percentile(95)
+	}
+}

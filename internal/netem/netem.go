@@ -1,0 +1,185 @@
+// Package netem emulates network links in virtual time, reproducing
+// the fluid model behind Linux netem / Mahimahi that the paper's
+// testbed used: each unidirectional Link imposes serialization delay
+// (packet size over the link rate), propagation delay, drop-tail
+// queueing with a byte cap, and optional random loss. Conditions may
+// vary over time when driven by a trace, including full outages
+// (rate 0), which is how the 5G driving traces back up queues.
+package netem
+
+import (
+	"fmt"
+	"time"
+
+	"hvc/internal/packet"
+	"hvc/internal/sim"
+	"hvc/internal/trace"
+)
+
+// A Sink receives packets that survive a link's queue, loss, and delay.
+type Sink func(*packet.Packet)
+
+// DefaultQueueBytes is the drop-tail capacity used when Config leaves
+// QueueBytes zero. It is sized like a typical cellular RLC buffer —
+// deep enough that trace outages cause seconds of delay rather than
+// immediate loss, which is the behaviour the paper's latency tails
+// come from.
+const DefaultQueueBytes = 2 << 20
+
+// Config describes one unidirectional link.
+type Config struct {
+	// Name labels the link in stats and errors.
+	Name string
+	// Trace supplies the (possibly time-varying) rate and RTT; the
+	// one-way propagation delay is RTT/2. Required.
+	Trace *trace.Trace
+	// QueueBytes caps the drop-tail queue; 0 means DefaultQueueBytes.
+	QueueBytes int
+	// LossProb drops each packet independently with this probability
+	// before it is queued, modeling non-congestive wireless loss.
+	LossProb float64
+}
+
+// Stats counts a link's activity since creation.
+type Stats struct {
+	Sent           int // packets offered to the link
+	Delivered      int
+	DroppedQueue   int // drop-tail losses
+	DroppedRandom  int // LossProb losses
+	BytesDelivered int64
+}
+
+// A Link is one unidirectional emulated link. Create links with New;
+// the zero value is not usable.
+type Link struct {
+	loop *sim.Loop
+	cfg  Config
+	sink Sink
+
+	queue       []*packet.Packet
+	queuedBytes int
+	busy        bool
+	lastArrival time.Duration // FIFO clamp for delay decreases
+	stats       Stats
+}
+
+// New returns a Link delivering packets to sink. It panics if cfg.Trace
+// or sink is nil: a link without conditions or a destination is a
+// construction bug, not a runtime condition.
+func New(loop *sim.Loop, cfg Config, sink Sink) *Link {
+	if cfg.Trace == nil {
+		panic(fmt.Sprintf("netem: link %q has no trace", cfg.Name))
+	}
+	if sink == nil {
+		panic(fmt.Sprintf("netem: link %q has no sink", cfg.Name))
+	}
+	if cfg.QueueBytes == 0 {
+		cfg.QueueBytes = DefaultQueueBytes
+	}
+	if cfg.LossProb < 0 || cfg.LossProb >= 1 {
+		if cfg.LossProb != 0 {
+			panic(fmt.Sprintf("netem: link %q loss probability %v out of [0,1)", cfg.Name, cfg.LossProb))
+		}
+	}
+	return &Link{loop: loop, cfg: cfg, sink: sink}
+}
+
+// Name reports the link's configured name.
+func (l *Link) Name() string { return l.cfg.Name }
+
+// Stats returns a snapshot of the link's counters.
+func (l *Link) Stats() Stats { return l.stats }
+
+// QueuedBytes reports the bytes currently waiting in the sender-side
+// queue, including the packet being serialized. Steering policies use
+// this as their channel-occupancy signal.
+func (l *Link) QueuedBytes() int { return l.queuedBytes }
+
+// QueueDelay estimates how long a newly arriving byte would wait before
+// starting transmission, given current conditions. During an outage it
+// reports the time to drain the queue at the trace's next nonzero rate
+// observed going forward, bounded by one trace repetition.
+func (l *Link) QueueDelay() time.Duration {
+	now := l.loop.Now()
+	rate := l.cfg.Trace.At(now).Rate
+	if rate > 0 {
+		return time.Duration(float64(l.queuedBytes) * 8 / rate * float64(time.Second))
+	}
+	// Outage: find the next instant with capacity.
+	limit := now + l.cfg.Trace.Duration()
+	for t := l.cfg.Trace.NextChange(now); t < limit; t = l.cfg.Trace.NextChange(t) {
+		if r := l.cfg.Trace.At(t).Rate; r > 0 {
+			return t - now + time.Duration(float64(l.queuedBytes)*8/r*float64(time.Second))
+		}
+	}
+	return limit - now
+}
+
+// Send offers a packet to the link. It reports false when the packet
+// was dropped at entry (queue overflow — a congestion signal) and true
+// when it was accepted. Random wireless loss happens in flight, after
+// serialization, so an accepted packet may still never arrive.
+func (l *Link) Send(p *packet.Packet) bool {
+	l.stats.Sent++
+	if l.queuedBytes+p.Size > l.cfg.QueueBytes {
+		l.stats.DroppedQueue++
+		return false
+	}
+	p.Channel = l.cfg.Name
+	l.queue = append(l.queue, p)
+	l.queuedBytes += p.Size
+	l.kick()
+	return true
+}
+
+// kick starts serializing the head-of-line packet if the transmitter is
+// idle. During an outage it re-arms itself at the next trace boundary.
+func (l *Link) kick() {
+	if l.busy || len(l.queue) == 0 {
+		return
+	}
+	now := l.loop.Now()
+	cond := l.cfg.Trace.At(now)
+	if cond.Rate <= 0 {
+		l.busy = true
+		l.loop.At(l.cfg.Trace.NextChange(now), func() {
+			l.busy = false
+			l.kick()
+		})
+		return
+	}
+	p := l.queue[0]
+	txTime := time.Duration(float64(p.Size) * 8 / cond.Rate * float64(time.Second))
+	l.busy = true
+	l.loop.After(txTime, func() { l.finishTx(p) })
+}
+
+// finishTx completes serialization of p, schedules its arrival after
+// the propagation delay, and starts the next packet.
+func (l *Link) finishTx(p *packet.Packet) {
+	l.queue = l.queue[1:]
+	l.queuedBytes -= p.Size
+	l.busy = false
+
+	// Non-congestive wireless loss strikes in flight: the transmitter
+	// spent the air time but the packet never arrives.
+	if l.cfg.LossProb > 0 && l.loop.Rand().Float64() < l.cfg.LossProb {
+		l.stats.DroppedRandom++
+		l.kick()
+		return
+	}
+
+	now := l.loop.Now()
+	arrival := now + l.cfg.Trace.At(now).RTT/2
+	// Preserve FIFO delivery when the trace's delay drops between
+	// consecutive packets, as a real single path would.
+	if arrival < l.lastArrival {
+		arrival = l.lastArrival
+	}
+	l.lastArrival = arrival
+	l.stats.Delivered++
+	l.stats.BytesDelivered += int64(p.Size)
+	l.loop.At(arrival, func() { l.sink(p) })
+
+	l.kick()
+}

@@ -1,0 +1,165 @@
+package netem
+
+// Additional link-model tests: trace-driven rate changes, conservation
+// of packets, and queue-delay properties.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hvc/internal/packet"
+	"hvc/internal/sim"
+	"hvc/internal/trace"
+)
+
+func TestRateChangeAffectsLaterPackets(t *testing.T) {
+	loop := sim.NewLoop(1)
+	// 8 Mbps for 100 ms, then 0.8 Mbps: identical packets sent in each
+	// regime serialize 10x slower in the second.
+	tr := &trace.Trace{Name: "step", Samples: []trace.Sample{
+		{At: 0, RTT: 10 * time.Millisecond, Rate: 8e6},
+		{At: 100 * time.Millisecond, RTT: 10 * time.Millisecond, Rate: 0.8e6},
+		{At: time.Hour, RTT: 10 * time.Millisecond, Rate: 0.8e6},
+	}}
+	var at []time.Duration
+	l := New(loop, Config{Name: "l", Trace: tr}, func(*packet.Packet) { at = append(at, loop.Now()) })
+
+	loop.At(0, func() { l.Send(mkpkt(1, 1000)) })                    // 1 ms tx
+	loop.At(200*time.Millisecond, func() { l.Send(mkpkt(2, 1000)) }) // 10 ms tx
+	loop.Run()
+
+	if len(at) != 2 {
+		t.Fatalf("delivered %d", len(at))
+	}
+	if at[0] != 6*time.Millisecond {
+		t.Fatalf("fast-regime arrival %v, want 6ms", at[0])
+	}
+	if want := 215 * time.Millisecond; at[1] != want {
+		t.Fatalf("slow-regime arrival %v, want %v", at[1], want)
+	}
+}
+
+func TestStatsBytesDelivered(t *testing.T) {
+	loop := sim.NewLoop(1)
+	l := New(loop, Config{Name: "l", Trace: trace.Constant("c", time.Millisecond, 1e9)},
+		func(*packet.Packet) {})
+	for i := 0; i < 10; i++ {
+		l.Send(mkpkt(uint64(i), 700))
+	}
+	loop.Run()
+	if got := l.Stats().BytesDelivered; got != 7000 {
+		t.Fatalf("BytesDelivered = %d, want 7000", got)
+	}
+}
+
+// Property: every packet offered to a link is exactly one of
+// delivered, dropped by the queue at entry, or lost in flight; and
+// every accepted packet is either delivered or lost in flight.
+func TestPacketConservationProperty(t *testing.T) {
+	f := func(seed int64, sizes []uint16, lossPct uint8) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 300 {
+			sizes = sizes[:300]
+		}
+		loop := sim.NewLoop(seed)
+		delivered := 0
+		l := New(loop, Config{
+			Name:       "l",
+			Trace:      trace.Constant("c", 5*time.Millisecond, 3e6),
+			QueueBytes: 20_000,
+			LossProb:   float64(lossPct%90) / 100,
+		}, func(*packet.Packet) { delivered++ })
+		accepted := 0
+		for i, sz := range sizes {
+			size := int(sz%1400) + 60
+			i := i
+			loop.At(time.Duration(i)*3*time.Millisecond, func() {
+				if l.Send(mkpkt(uint64(i), size)) {
+					accepted++
+				}
+			})
+		}
+		loop.Run()
+		st := l.Stats()
+		if st.Sent != len(sizes) {
+			return false
+		}
+		if st.Delivered != delivered {
+			return false
+		}
+		if accepted != st.Delivered+st.DroppedRandom {
+			return false // accepted packets end as delivered or in-flight loss
+		}
+		return st.Delivered+st.DroppedQueue+st.DroppedRandom == st.Sent
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: QueueDelay is nonnegative and nondecreasing in backlog.
+func TestQueueDelayMonotoneProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		loop := sim.NewLoop(1)
+		l := New(loop, Config{
+			Name:       "l",
+			Trace:      trace.Constant("c", 5*time.Millisecond, 2e6),
+			QueueBytes: 1 << 20,
+		}, func(*packet.Packet) {})
+		prev := l.QueueDelay()
+		if prev != 0 {
+			return false
+		}
+		for i := 0; i < int(n%64); i++ {
+			l.Send(mkpkt(uint64(i), 1000))
+			d := l.QueueDelay()
+			if d < prev {
+				return false
+			}
+			prev = d
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(6))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceWrapKeepsFlowing(t *testing.T) {
+	// A short trace must keep serving traffic long past its duration.
+	loop := sim.NewLoop(1)
+	tr := trace.LowbandStationary(1, 2*time.Second) // wraps every 2 s
+	delivered := 0
+	l := New(loop, Config{Name: "l", Trace: tr}, func(*packet.Packet) { delivered++ })
+	for i := 0; i < 100; i++ {
+		i := i
+		loop.At(time.Duration(i)*100*time.Millisecond, func() {
+			l.Send(mkpkt(uint64(i), 1000))
+		})
+	}
+	loop.RunUntil(12 * time.Second)
+	if delivered != 100 {
+		t.Fatalf("delivered %d/100 across trace wraps", delivered)
+	}
+}
+
+func TestZeroLossConfigNeverDropsRandomly(t *testing.T) {
+	loop := sim.NewLoop(1)
+	l := New(loop, Config{
+		Name:       "l",
+		Trace:      trace.Constant("c", time.Millisecond, 1e9),
+		QueueBytes: 64 << 20,
+	}, func(*packet.Packet) {})
+	for i := 0; i < 5000; i++ {
+		l.Send(mkpkt(uint64(i), 1000))
+	}
+	loop.Run()
+	st := l.Stats()
+	if st.DroppedRandom != 0 || st.Delivered != 5000 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

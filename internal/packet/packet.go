@@ -1,0 +1,120 @@
+// Package packet defines the network-layer unit exchanged across
+// virtual channels, together with the small set of header fields the
+// paper's steering policies read: packet kind, message boundaries, and
+// packet/flow priorities (the "custom application header" of §3.3).
+package packet
+
+import (
+	"fmt"
+	"time"
+)
+
+// A FlowID names one end-to-end flow. IDs are allocated by the caller
+// (typically the transport) and are unique within a simulation.
+type FlowID uint32
+
+// Kind classifies a packet for steering purposes. DChannel-style
+// policies accelerate control traffic (ACKs, probes) ahead of data.
+type Kind uint8
+
+const (
+	// Data carries application payload bytes.
+	Data Kind = iota
+	// Ack carries transport acknowledgment state and no payload.
+	Ack
+	// Control carries other transport control traffic (handshakes,
+	// probes); like Ack it is small and latency-sensitive.
+	Control
+)
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Data:
+		return "data"
+	case Ack:
+		return "ack"
+	case Control:
+		return "control"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Priority orders messages and flows; 0 is the most important (the
+// paper's SVC layer 0), larger values matter less. PriorityBulk marks
+// background traffic that should never occupy a constrained channel.
+type Priority uint8
+
+// PriorityBulk is the lowest priority; priority-aware steering keeps
+// bulk traffic off resource-constrained low-latency channels entirely.
+const PriorityBulk Priority = 255
+
+// HeaderBytes is the fixed per-packet overhead charged on the wire,
+// standing in for IP+transport headers (40 B) plus the steering shim's
+// small custom header the paper describes.
+const HeaderBytes = 44
+
+// MaxPayload is the largest payload carried in one packet, chosen so
+// that payload+header fits a 1500-byte MTU.
+const MaxPayload = 1456
+
+// A Packet is one steerable unit. Packets are passed by pointer through
+// the stack and must not be mutated after being handed to a channel,
+// except by the channel itself (which stamps transit metadata).
+type Packet struct {
+	ID   uint64 // globally unique per simulation, for tracing and dedup
+	Flow FlowID
+	Seq  uint64 // transport-assigned sequence within the flow
+	Size int    // total wire size in bytes, including HeaderBytes
+	Kind Kind
+
+	// Message framing, supplied through the application-transport
+	// interface (§3.3). A message is a byte sequence the receiver can
+	// act on only once complete; MsgRemaining counts the bytes of the
+	// message that follow this packet, so 0 marks the message tail.
+	MsgID        uint64
+	MsgRemaining int
+
+	// Priority of the message this packet belongs to; FlowPriority of
+	// the flow as a whole. Steering may consult either or both.
+	Priority     Priority
+	FlowPriority Priority
+
+	// SentAt is the virtual time the packet entered the network; set
+	// by the sender, used for RTT and one-way-latency accounting.
+	SentAt time.Duration
+
+	// Channel is stamped by the steering layer with the name of the
+	// virtual channel that carried the packet.
+	Channel string
+
+	// Copy reports that this packet is a redundant duplicate created
+	// by reliability-oriented steering; receivers deduplicate on ID.
+	Copy bool
+
+	// Payload carries an opaque reference for the endpoint above the
+	// network layer (a transport segment or an application message
+	// fragment). It contributes Size bytes but is never serialized.
+	Payload any
+}
+
+// MsgEnd reports whether this packet completes its message.
+func (p *Packet) MsgEnd() bool { return p.MsgRemaining == 0 }
+
+// String renders a compact one-line description for logs and tests.
+func (p *Packet) String() string {
+	return fmt.Sprintf("pkt(id=%d flow=%d seq=%d %s %dB prio=%d msg=%d rem=%d)",
+		p.ID, p.Flow, p.Seq, p.Kind, p.Size, p.Priority, p.MsgID, p.MsgRemaining)
+}
+
+// An IDGen hands out unique packet IDs. The zero value is ready for
+// use; it is not safe for concurrent use, matching the single-threaded
+// simulation core.
+type IDGen struct{ next uint64 }
+
+// Next returns a fresh packet ID.
+func (g *IDGen) Next() uint64 {
+	g.next++
+	return g.next
+}

@@ -1,0 +1,65 @@
+package packet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	cases := []struct {
+		k    Kind
+		want string
+	}{
+		{Data, "data"},
+		{Ack, "ack"},
+		{Control, "control"},
+		{Kind(9), "kind(9)"},
+	}
+	for _, c := range cases {
+		if got := c.k.String(); got != c.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", c.k, got, c.want)
+		}
+	}
+}
+
+func TestMsgEnd(t *testing.T) {
+	p := Packet{MsgRemaining: 10}
+	if p.MsgEnd() {
+		t.Fatal("packet with remaining bytes should not be MsgEnd")
+	}
+	p.MsgRemaining = 0
+	if !p.MsgEnd() {
+		t.Fatal("packet with 0 remaining should be MsgEnd")
+	}
+}
+
+func TestMTUBudget(t *testing.T) {
+	if MaxPayload+HeaderBytes != 1500 {
+		t.Fatalf("MaxPayload+HeaderBytes = %d, want 1500", MaxPayload+HeaderBytes)
+	}
+}
+
+func TestIDGenUnique(t *testing.T) {
+	var g IDGen
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		id := g.Next()
+		if id == 0 {
+			t.Fatal("IDs must be nonzero so the zero Packet is distinguishable")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestStringMentionsKeyFields(t *testing.T) {
+	p := Packet{ID: 7, Flow: 3, Seq: 42, Kind: Ack, Size: 44, Priority: 2, MsgID: 5}
+	s := p.String()
+	for _, want := range []string{"id=7", "flow=3", "seq=42", "ack", "44B", "prio=2", "msg=5"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package sim_test
+
+import (
+	"fmt"
+	"time"
+
+	"hvc/internal/sim"
+)
+
+// Example shows the core pattern every simulation in this repository
+// follows: schedule callbacks on a loop, then run it in virtual time.
+func Example() {
+	loop := sim.NewLoop(1)
+	loop.After(10*time.Millisecond, func() {
+		fmt.Println("first at", loop.Now())
+	})
+	loop.After(5*time.Millisecond, func() {
+		fmt.Println("second fires first at", loop.Now())
+	})
+	loop.Run()
+	// Output:
+	// second fires first at 5ms
+	// first at 10ms
+}
+
+// ExampleEvery shows periodic scheduling with cancellation.
+func ExampleEvery() {
+	loop := sim.NewLoop(1)
+	ticks := 0
+	var p *sim.Periodic
+	p = sim.Every(loop, time.Second, func() {
+		ticks++
+		if ticks == 3 {
+			p.Stop()
+		}
+	})
+	loop.Run()
+	fmt.Println(ticks, "ticks, ended at", loop.Now())
+	// Output:
+	// 3 ticks, ended at 3s
+}

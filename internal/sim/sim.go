@@ -1,0 +1,241 @@
+// Package sim provides the deterministic discrete-event simulation core
+// on which every other package in this repository runs.
+//
+// A Loop owns a virtual clock and an event queue. Callbacks scheduled
+// with At or After run in strictly nondecreasing virtual-time order;
+// events scheduled for the same instant run in the order they were
+// scheduled, so a simulation is a pure function of its inputs and seed.
+// The loop is single-goroutine by design: determinism is what makes the
+// experiment harness reproducible and the test suite meaningful.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// A Loop is a virtual-time event scheduler. The zero value is not ready
+// for use; create one with NewLoop.
+type Loop struct {
+	now     time.Duration
+	queue   eventQueue
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+	// pending counts scheduled, non-cancelled events. It lets Run
+	// terminate without draining cancelled timers one by one.
+	pending int
+}
+
+// NewLoop returns a Loop whose clock reads zero and whose random source
+// is seeded with seed. Two loops created with the same seed and driven
+// by the same schedule of callbacks produce identical executions.
+func NewLoop(seed int64) *Loop {
+	return &Loop{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now reports the current virtual time, measured from the start of the
+// simulation.
+func (l *Loop) Now() time.Duration { return l.now }
+
+// Rand returns the loop's deterministic random source. All stochastic
+// behaviour in a simulation (loss, trace noise, workload generation)
+// must draw from it so that a seed fully determines a run.
+func (l *Loop) Rand() *rand.Rand { return l.rng }
+
+// Pending reports the number of scheduled events that have neither run
+// nor been cancelled.
+func (l *Loop) Pending() int { return l.pending }
+
+// A Timer is a handle to a scheduled callback. Its zero value is an
+// already-expired timer.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer's callback if it has not yet run and reports
+// whether it did so. Stopping an expired, cancelled, or zero Timer is a
+// no-op that returns false.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.done {
+		return false
+	}
+	t.ev.cancelled = true
+	t.ev.loop.pending--
+	return true
+}
+
+// Active reports whether the timer's callback is still scheduled.
+func (t *Timer) Active() bool {
+	return t != nil && t.ev != nil && !t.ev.cancelled && !t.ev.done
+}
+
+// At schedules fn to run when the virtual clock reads at. Scheduling in
+// the past (before Now) panics: it would silently reorder causality,
+// which is always a bug in the caller.
+func (l *Loop) At(at time.Duration, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: At called with nil callback")
+	}
+	if at < l.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, l.now))
+	}
+	ev := &event{at: at, seq: l.seq, fn: fn, loop: l}
+	l.seq++
+	l.pending++
+	heap.Push(&l.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d from now. A nonpositive d runs fn at the
+// current instant, after any callbacks already scheduled for it.
+func (l *Loop) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return l.At(l.now+d, fn)
+}
+
+// Step runs the single earliest pending event and reports whether one
+// existed. Cancelled events are discarded without running.
+func (l *Loop) Step() bool {
+	for len(l.queue) > 0 {
+		ev := heap.Pop(&l.queue).(*event)
+		if ev.cancelled {
+			continue
+		}
+		ev.done = true
+		l.pending--
+		l.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (l *Loop) Run() {
+	l.stopped = false
+	for !l.stopped && l.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps at or before deadline, then
+// advances the clock to deadline. Events scheduled beyond the deadline
+// remain queued.
+func (l *Loop) RunUntil(deadline time.Duration) {
+	l.stopped = false
+	for !l.stopped {
+		ev := l.peek()
+		if ev == nil || ev.at > deadline {
+			break
+		}
+		l.Step()
+	}
+	if l.now < deadline {
+		l.now = deadline
+	}
+}
+
+// Stop makes the innermost Run or RunUntil return after the current
+// callback completes. The queue is preserved, so the loop can resume.
+func (l *Loop) Stop() { l.stopped = true }
+
+func (l *Loop) peek() *event {
+	for len(l.queue) > 0 {
+		if ev := l.queue[0]; !ev.cancelled {
+			return ev
+		}
+		heap.Pop(&l.queue)
+	}
+	return nil
+}
+
+type event struct {
+	at        time.Duration
+	seq       uint64 // schedule order; breaks timestamp ties deterministically
+	fn        func()
+	cancelled bool
+	done      bool
+	index     int
+	loop      *Loop
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// A Periodic repeatedly runs a callback at a fixed interval until
+// stopped. Create one with Every.
+type Periodic struct {
+	loop     *Loop
+	interval time.Duration
+	fn       func()
+	timer    *Timer
+	stopped  bool
+}
+
+// Every schedules fn to run every interval, first at now+interval.
+// The callback may call Stop on the returned Periodic to end the
+// series; otherwise it continues until the simulation stops scheduling
+// it (Stop) or the loop is abandoned.
+func Every(l *Loop, interval time.Duration, fn func()) *Periodic {
+	if interval <= 0 {
+		panic("sim: Every with nonpositive interval")
+	}
+	if fn == nil {
+		panic("sim: Every with nil callback")
+	}
+	p := &Periodic{loop: l, interval: interval, fn: fn}
+	p.arm()
+	return p
+}
+
+func (p *Periodic) arm() {
+	p.timer = p.loop.After(p.interval, func() {
+		if p.stopped {
+			return
+		}
+		p.fn()
+		if !p.stopped {
+			p.arm()
+		}
+	})
+}
+
+// Stop ends the series; the pending occurrence is cancelled. Stop is
+// idempotent.
+func (p *Periodic) Stop() {
+	p.stopped = true
+	p.timer.Stop()
+}

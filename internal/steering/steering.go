@@ -1,0 +1,479 @@
+// Package steering implements the packet-steering policies the paper
+// compares across layers of the stack (§3):
+//
+//   - Single: all traffic on one channel (the eMBB-only baseline).
+//   - DChannel: the network-layer reward/cost heuristic of Sentosa et
+//     al. (NSDI '23), application-agnostic, accelerating control
+//     packets and any data whose expected latency gain on the narrow
+//     channel exceeds the cost of occupying it.
+//   - Priority: the paper's cross-layer policy; it additionally sees
+//     message boundaries and priorities through the application-
+//     transport interface, forces high-priority messages onto the
+//     low-latency channel, and keeps bulk background flows off it.
+//   - Redundant: Wi-Fi MLO-style duplication across channels, trading
+//     bandwidth for reliability (§2.2, §3.1).
+//   - CostAware: a budgeted policy for priced low-latency WAN paths
+//     such as cISP (§3.1's latency-vs-cost trade-off).
+//
+// A policy decides; the caller transmits. Policies observe channel
+// queues through the channel package, which is exactly the channel
+// information the paper argues should be exposed upward.
+package steering
+
+import (
+	"fmt"
+	"time"
+
+	"hvc/internal/channel"
+	"hvc/internal/packet"
+)
+
+// A Policy maps each outgoing packet to the channel(s) that should
+// carry it. Pick returns at least one channel; more than one means the
+// packet is replicated (receivers deduplicate by packet ID).
+type Policy interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// Pick chooses the channel(s) for p. Implementations must not
+	// retain p.
+	Pick(p *packet.Packet) []*channel.Channel
+}
+
+// Counter wraps a Policy and tallies per-channel decisions; the
+// experiment harness uses it to report channel shares.
+type Counter struct {
+	Policy
+	counts map[string]int
+}
+
+// NewCounter returns a counting wrapper around p.
+func NewCounter(p Policy) *Counter {
+	return &Counter{Policy: p, counts: make(map[string]int)}
+}
+
+// Pick delegates to the wrapped policy and counts its decisions.
+func (c *Counter) Pick(p *packet.Packet) []*channel.Channel {
+	chs := c.Policy.Pick(p)
+	for _, ch := range chs {
+		c.counts[ch.Name()]++
+	}
+	return chs
+}
+
+// Counts reports decisions per channel name so far.
+func (c *Counter) Counts() map[string]int { return c.counts }
+
+// Single sends everything on one channel.
+type Single struct {
+	ch *channel.Channel
+}
+
+// NewSingle returns the single-channel policy (the eMBB-only
+// baseline). It panics on a nil channel.
+func NewSingle(ch *channel.Channel) *Single {
+	if ch == nil {
+		panic("steering: NewSingle(nil)")
+	}
+	return &Single{ch: ch}
+}
+
+// Name implements Policy.
+func (s *Single) Name() string { return s.ch.Name() + "-only" }
+
+// Pick implements Policy.
+func (s *Single) Pick(*packet.Packet) []*channel.Channel {
+	return []*channel.Channel{s.ch}
+}
+
+// DChannelConfig parameterizes the DChannel heuristic.
+type DChannelConfig struct {
+	// Wide and Narrow name the high-bandwidth and low-latency
+	// channels; they default to the conventional eMBB/URLLC names.
+	Wide, Narrow string
+	// Beta scales the cost term: higher values are more conservative
+	// about occupying the narrow channel. 0 means the default of 1.
+	Beta float64
+}
+
+// DChannel implements the network-layer reward/cost packet steering
+// heuristic. It is deliberately application-agnostic: every packet is
+// treated as if it might complete a message (the paper's explanation
+// of why it underperforms priority-aware steering on SVC video).
+type DChannel struct {
+	side   channel.Side
+	wide   *channel.Channel
+	narrow *channel.Channel
+	beta   float64
+}
+
+// NewDChannel builds the heuristic over g as seen from side. It panics
+// when the configured channels are missing from the group.
+func NewDChannel(g *channel.Group, side channel.Side, cfg DChannelConfig) *DChannel {
+	if cfg.Wide == "" {
+		cfg.Wide = channel.NameEMBB
+	}
+	if cfg.Narrow == "" {
+		cfg.Narrow = channel.NameURLLC
+	}
+	if cfg.Beta == 0 {
+		cfg.Beta = 1
+	}
+	wide, narrow := g.Get(cfg.Wide), g.Get(cfg.Narrow)
+	if wide == nil || narrow == nil {
+		panic(fmt.Sprintf("steering: group lacks %q or %q", cfg.Wide, cfg.Narrow))
+	}
+	return &DChannel{side: side, wide: wide, narrow: narrow, beta: cfg.Beta}
+}
+
+// Name implements Policy.
+func (d *DChannel) Name() string { return "dchannel" }
+
+// Pick implements Policy.
+func (d *DChannel) Pick(p *packet.Packet) []*channel.Channel {
+	if d.pickNarrow(p) {
+		return []*channel.Channel{d.narrow}
+	}
+	return []*channel.Channel{d.wide}
+}
+
+// pickNarrow evaluates the reward/cost rule for p.
+func (d *DChannel) pickNarrow(p *packet.Packet) bool {
+	narrowDelay := d.oneWay(d.narrow) + txTime(p.Size, d.narrow)
+	wideDelay := d.oneWay(d.wide) + txTime(p.Size, d.wide)
+
+	if p.Kind != packet.Data {
+		// Control traffic (ACKs, probes) is tiny and reliably
+		// latency-sensitive; DChannel accelerates it whenever the
+		// narrow channel is currently the faster way to deliver it.
+		return narrowDelay < wideDelay
+	}
+	// Reward: expected one-way latency saved by this packet. Cost:
+	// the transmission time it occupies on the narrow channel, which
+	// delays everything behind it there.
+	reward := wideDelay - narrowDelay
+	cost := time.Duration(d.beta * float64(txTime(p.Size, d.narrow)))
+	return reward > cost
+}
+
+func (d *DChannel) oneWay(ch *channel.Channel) time.Duration {
+	return ch.Props().BaseRTT/2 + ch.QueueDelay(d.side)
+}
+
+func txTime(size int, ch *channel.Channel) time.Duration {
+	bw := ch.Props().Bandwidth
+	if bw <= 0 {
+		return time.Hour // a channel with no capacity is never attractive
+	}
+	return time.Duration(float64(size) * 8 / bw * float64(time.Second))
+}
+
+// PriorityConfig parameterizes the cross-layer policy.
+type PriorityConfig struct {
+	// Wide and Narrow as in DChannelConfig.
+	Wide, Narrow string
+	// AdmitPrio forces messages with Priority ≤ AdmitPrio onto the
+	// narrow channel regardless of its queue (the SVC layer-0 rule).
+	// A negative value disables forcing.
+	AdmitPrio int
+	// Heuristic applies the DChannel reward/cost rule to packets not
+	// otherwise forced, as "DChannel with priority" does for web
+	// traffic. When false such packets use the wide channel.
+	Heuristic bool
+	// Beta is the heuristic's cost scale, as in DChannelConfig.
+	Beta float64
+}
+
+// Priority is the paper's application-aware policy: it reads message
+// priorities and flow priorities from packet headers (supplied through
+// the application-transport interface) and keeps the constrained
+// low-latency channel for traffic the application declared important.
+type Priority struct {
+	cfg      PriorityConfig
+	fallback *DChannel
+	narrow   *channel.Channel
+	wide     *channel.Channel
+}
+
+// NewPriority builds the policy over g as seen from side.
+func NewPriority(g *channel.Group, side channel.Side, cfg PriorityConfig) *Priority {
+	if cfg.Wide == "" {
+		cfg.Wide = channel.NameEMBB
+	}
+	if cfg.Narrow == "" {
+		cfg.Narrow = channel.NameURLLC
+	}
+	fb := NewDChannel(g, side, DChannelConfig{Wide: cfg.Wide, Narrow: cfg.Narrow, Beta: cfg.Beta})
+	return &Priority{cfg: cfg, fallback: fb, narrow: g.Get(cfg.Narrow), wide: g.Get(cfg.Wide)}
+}
+
+// Name implements Policy.
+func (pr *Priority) Name() string {
+	if pr.cfg.Heuristic {
+		return "dchannel+priority"
+	}
+	return "priority"
+}
+
+// Pick implements Policy.
+func (pr *Priority) Pick(p *packet.Packet) []*channel.Channel {
+	// Bulk background flows never occupy the narrow channel; this is
+	// the flow-priority input that removes Table 1's queue build-up.
+	if p.FlowPriority == packet.PriorityBulk {
+		return []*channel.Channel{pr.wide}
+	}
+	if pr.cfg.AdmitPrio >= 0 && p.Kind == packet.Data && int(p.Priority) <= pr.cfg.AdmitPrio {
+		return []*channel.Channel{pr.narrow}
+	}
+	if pr.cfg.Heuristic || p.Kind != packet.Data {
+		return pr.fallback.Pick(p)
+	}
+	return []*channel.Channel{pr.wide}
+}
+
+// Redundant replicates every packet across all channels of the group,
+// trading aggregate bandwidth for delivery probability (Wi-Fi MLO's
+// reliability mode). Receivers deduplicate on packet ID.
+type Redundant struct {
+	g *channel.Group
+}
+
+// NewRedundant builds the replication policy over g, which must hold
+// at least two channels for replication to mean anything.
+func NewRedundant(g *channel.Group) *Redundant {
+	if g.Len() < 2 {
+		panic("steering: Redundant needs at least two channels")
+	}
+	return &Redundant{g: g}
+}
+
+// Name implements Policy.
+func (r *Redundant) Name() string { return "redundant" }
+
+// Pick implements Policy.
+func (r *Redundant) Pick(p *packet.Packet) []*channel.Channel {
+	chs := r.g.All()
+	out := make([]*channel.Channel, len(chs))
+	copy(out, chs)
+	if len(out) > 1 {
+		p.Copy = true // mark so receivers know duplicates may exist
+	}
+	return out
+}
+
+// CostAwareConfig parameterizes budgeted use of a priced channel.
+type CostAwareConfig struct {
+	// Cheap and Priced name the free and per-byte-priced channels.
+	Cheap, Priced string
+	// BudgetBytesPerSec refills the spending allowance; the policy
+	// never sends more than this long-run average over the priced
+	// channel. BurstBytes caps accumulated allowance (default: one
+	// second of budget).
+	BudgetBytesPerSec float64
+	BurstBytes        float64
+	// MinBenefit gates priced use: the estimated one-way saving must
+	// exceed it (default 0: any saving qualifies).
+	MinBenefit time.Duration
+}
+
+// CostAware spends a byte budget on a priced low-latency channel only
+// when doing so buys enough latency, the §3.1 latency-vs-cost policy.
+type CostAware struct {
+	cfg    CostAwareConfig
+	side   channel.Side
+	cheap  *channel.Channel
+	priced *channel.Channel
+
+	now        func() time.Duration
+	tokens     float64
+	lastRefill time.Duration
+	spentBytes int64
+}
+
+// NewCostAware builds the policy; now supplies virtual time (the
+// simulation clock's Now method).
+func NewCostAware(g *channel.Group, side channel.Side, now func() time.Duration, cfg CostAwareConfig) *CostAware {
+	cheap, priced := g.Get(cfg.Cheap), g.Get(cfg.Priced)
+	if cheap == nil || priced == nil {
+		panic(fmt.Sprintf("steering: group lacks %q or %q", cfg.Cheap, cfg.Priced))
+	}
+	if cfg.BudgetBytesPerSec <= 0 {
+		panic("steering: CostAware needs a positive budget")
+	}
+	if cfg.BurstBytes == 0 {
+		cfg.BurstBytes = cfg.BudgetBytesPerSec
+	}
+	return &CostAware{
+		cfg: cfg, side: side, cheap: cheap, priced: priced,
+		now: now, tokens: cfg.BurstBytes,
+	}
+}
+
+// Name implements Policy.
+func (c *CostAware) Name() string { return "costaware" }
+
+// SpentBytes reports the total bytes sent over the priced channel.
+func (c *CostAware) SpentBytes() int64 { return c.spentBytes }
+
+// Cost reports the money spent so far, per the priced channel's
+// CostPerByte.
+func (c *CostAware) Cost() float64 {
+	return float64(c.spentBytes) * c.priced.Props().CostPerByte
+}
+
+// Pick implements Policy.
+func (c *CostAware) Pick(p *packet.Packet) []*channel.Channel {
+	c.refill()
+	benefit := c.cheap.Props().BaseRTT/2 + c.cheap.QueueDelay(c.side) -
+		(c.priced.Props().BaseRTT/2 + c.priced.QueueDelay(c.side) + txTime(p.Size, c.priced))
+	if benefit > c.cfg.MinBenefit && c.tokens >= float64(p.Size) {
+		c.tokens -= float64(p.Size)
+		c.spentBytes += int64(p.Size)
+		return []*channel.Channel{c.priced}
+	}
+	return []*channel.Channel{c.cheap}
+}
+
+func (c *CostAware) refill() {
+	now := c.now()
+	if now <= c.lastRefill {
+		return
+	}
+	c.tokens += (now - c.lastRefill).Seconds() * c.cfg.BudgetBytesPerSec
+	if c.tokens > c.cfg.BurstBytes {
+		c.tokens = c.cfg.BurstBytes
+	}
+	c.lastRefill = now
+}
+
+// TailBoostConfig parameterizes end-of-message acceleration.
+type TailBoostConfig struct {
+	// Narrow names the low-latency channel; defaults to URLLC.
+	Narrow string
+	// TailBytes is how much of each message's tail qualifies for
+	// acceleration; 0 means 8 kB (a handful of packets).
+	TailBytes int
+}
+
+// TailBoost implements §3.2's observation that, because the transport
+// fragments application messages, "segments towards the end of a
+// message can be selectively sent over a low latency path" to avoid
+// head-of-line blocking on the final bytes: a message is useful only
+// when complete, so its tail is the most latency-critical part. The
+// policy wraps a base policy and diverts qualifying tail segments to
+// the narrow channel whenever that is currently the faster way to
+// deliver them.
+type TailBoost struct {
+	base   Policy
+	side   channel.Side
+	narrow *channel.Channel
+	tail   int
+}
+
+// NewTailBoost wraps base over g as seen from side.
+func NewTailBoost(base Policy, g *channel.Group, side channel.Side, cfg TailBoostConfig) *TailBoost {
+	if base == nil {
+		panic("steering: NewTailBoost(nil base)")
+	}
+	if cfg.Narrow == "" {
+		cfg.Narrow = channel.NameURLLC
+	}
+	if cfg.TailBytes == 0 {
+		cfg.TailBytes = 8 << 10
+	}
+	narrow := g.Get(cfg.Narrow)
+	if narrow == nil {
+		panic(fmt.Sprintf("steering: group lacks %q", cfg.Narrow))
+	}
+	return &TailBoost{base: base, side: side, narrow: narrow, tail: cfg.TailBytes}
+}
+
+// Name implements Policy.
+func (t *TailBoost) Name() string { return t.base.Name() + "+tail" }
+
+// Pick implements Policy.
+func (t *TailBoost) Pick(p *packet.Packet) []*channel.Channel {
+	chosen := t.base.Pick(p)
+	if p.Kind != packet.Data || p.MsgRemaining >= t.tail || len(chosen) != 1 || chosen[0] == t.narrow {
+		return chosen
+	}
+	baseDelay := chosen[0].Props().BaseRTT/2 + chosen[0].QueueDelay(t.side) + txTime(p.Size, chosen[0])
+	narrowDelay := t.narrow.Props().BaseRTT/2 + t.narrow.QueueDelay(t.side) + txTime(p.Size, t.narrow)
+	if narrowDelay < baseDelay {
+		return []*channel.Channel{t.narrow}
+	}
+	return chosen
+}
+
+// ObjectMapConfig parameterizes the IANS-style policy.
+type ObjectMapConfig struct {
+	// Wide and Narrow as in DChannelConfig.
+	Wide, Narrow string
+	// SmallBytes is the size at or below which a whole message is
+	// assigned to the narrow channel; 0 means 10 kB (an "interactive
+	// object" intent).
+	SmallBytes int
+}
+
+// ObjectMap implements the Informed Access Network Selection baseline
+// (Enghardt et al.; Socket Intents): the application's size/intent
+// hint assigns each *object* — a whole message — to exactly one
+// channel. The paper's criticism (§1) is the granularity: because an
+// object never spans channels, a large object cannot borrow the
+// low-latency channel for its tail, and a small object on the narrow
+// channel cannot overflow onto the wide one, so ObjectMap
+// underperforms per-packet steering while still beating a single
+// channel.
+type ObjectMap struct {
+	side   channel.Side
+	wide   *channel.Channel
+	narrow *channel.Channel
+	small  int
+	// assignment is sticky per message, the defining IANS property.
+	assignment map[uint64]*channel.Channel
+}
+
+// NewObjectMap builds the policy over g as seen from side.
+func NewObjectMap(g *channel.Group, side channel.Side, cfg ObjectMapConfig) *ObjectMap {
+	if cfg.Wide == "" {
+		cfg.Wide = channel.NameEMBB
+	}
+	if cfg.Narrow == "" {
+		cfg.Narrow = channel.NameURLLC
+	}
+	if cfg.SmallBytes == 0 {
+		cfg.SmallBytes = 10 << 10
+	}
+	wide, narrow := g.Get(cfg.Wide), g.Get(cfg.Narrow)
+	if wide == nil || narrow == nil {
+		panic(fmt.Sprintf("steering: group lacks %q or %q", cfg.Wide, cfg.Narrow))
+	}
+	return &ObjectMap{
+		side: side, wide: wide, narrow: narrow, small: cfg.SmallBytes,
+		assignment: make(map[uint64]*channel.Channel),
+	}
+}
+
+// Name implements Policy.
+func (o *ObjectMap) Name() string { return "objectmap" }
+
+// Pick implements Policy.
+func (o *ObjectMap) Pick(p *packet.Packet) []*channel.Channel {
+	if p.Kind != packet.Data {
+		// IANS operates above the transport; its control traffic just
+		// follows the default (wide) network.
+		return []*channel.Channel{o.wide}
+	}
+	ch, ok := o.assignment[p.MsgID]
+	if !ok {
+		// First packet of the message: its remaining count plus this
+		// payload reveals the object size the application declared.
+		objectSize := p.MsgRemaining + p.Size - packet.HeaderBytes
+		if objectSize <= o.small {
+			ch = o.narrow
+		} else {
+			ch = o.wide
+		}
+		o.assignment[p.MsgID] = ch
+	}
+	return []*channel.Channel{ch}
+}

@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzReadCSV exercises the trace parser with arbitrary input: it must
+// never panic, and anything it accepts must round-trip through
+// WriteCSV and parse to the same samples.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("t_ms,rtt_ms,rate_mbps\n0,10,5\n")
+	f.Add("# trace x\n0,1,1\n100,2,0\n")
+	f.Add("")
+	f.Add("0,10")
+	f.Add("a,b,c\n")
+	f.Add("-5,10,5\n")
+	f.Add("0,1e300,1e300\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := ReadCSV(strings.NewReader(in))
+		if err != nil {
+			return // rejected: fine, as long as no panic
+		}
+		if len(tr.Samples) == 0 {
+			t.Fatal("accepted trace with no samples")
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteCSV(&buf); err != nil {
+			t.Fatalf("WriteCSV of accepted trace: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-parse of own output: %v", err)
+		}
+		if len(back.Samples) != len(tr.Samples) {
+			t.Fatalf("round-trip lost samples: %d -> %d", len(tr.Samples), len(back.Samples))
+		}
+	})
+}
+
+// FuzzTraceAt checks that At and NextChange never panic on generated
+// traces for arbitrary query times, and that NextChange makes forward
+// progress.
+func FuzzTraceAt(f *testing.F) {
+	f.Add(int64(1), uint32(0))
+	f.Add(int64(2), uint32(1_000_000))
+	f.Fuzz(func(t *testing.T, seed int64, ms uint32) {
+		tr := LowbandDriving(seed, 5*time.Second)
+		now := time.Duration(ms) * time.Millisecond
+		_ = tr.At(now)
+		next := tr.NextChange(now)
+		if next <= now {
+			t.Fatalf("NextChange(%v) = %v did not advance", now, next)
+		}
+	})
+}

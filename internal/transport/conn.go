@@ -1,0 +1,330 @@
+package transport
+
+import (
+	"fmt"
+	"time"
+
+	"hvc/internal/cc"
+	"hvc/internal/packet"
+	"hvc/internal/sim"
+	"hvc/internal/steering"
+)
+
+// Config parameterizes one connection.
+type Config struct {
+	// CC is the congestion-control algorithm; required for reliable
+	// connections, ignored for unreliable ones.
+	CC cc.Algorithm
+	// Steer picks the channel for every outgoing packet; required.
+	Steer steering.Policy
+	// FlowPriority is stamped on every packet of the flow; steering
+	// policies use it to keep bulk flows off constrained channels.
+	FlowPriority packet.Priority
+	// Unreliable disables acknowledgments, retransmission, and
+	// congestion control: a best-effort message flow for real-time
+	// media. Senders pace themselves (the video app sends one frame
+	// per tick).
+	Unreliable bool
+	// Multipath enables MPTCP-style operation: one subflow per channel
+	// in the group, each with its own congestion controller built by
+	// NewCC, scheduled min-RTT-first. Steer is ignored for data in
+	// this mode (the scheduler replaces it); CC is unused.
+	Multipath bool
+	// NewCC builds each multipath subflow's congestion controller.
+	NewCC func() cc.Algorithm
+	// MSS is the maximum payload per packet; 0 means packet.MaxPayload.
+	MSS int
+	// AckEvery acknowledges every Nth data packet (plus a delayed-ack
+	// timer); 0 means 2, TCP's default.
+	AckEvery int
+	// MaxAckDelay bounds how long an acknowledgment may be withheld;
+	// 0 means 25 ms.
+	MaxAckDelay time.Duration
+	// MinRTO floors the retransmission timeout; 0 means 400 ms, loose
+	// enough that trace latency spikes do not fire spurious timeouts.
+	MinRTO time.Duration
+	// MsgTimeout expires incomplete unreliable messages; 0 means 2 s.
+	MsgTimeout time.Duration
+}
+
+func (cfg *Config) fillDefaults() {
+	if cfg.Steer == nil && !cfg.Multipath {
+		panic("transport: Config.Steer is required")
+	}
+	if cfg.CC == nil && !cfg.Unreliable && !cfg.Multipath {
+		panic("transport: Config.CC is required for reliable connections")
+	}
+	if cfg.Multipath && cfg.NewCC == nil {
+		panic("transport: Config.NewCC is required for multipath connections")
+	}
+	if cfg.Multipath && cfg.Unreliable {
+		panic("transport: Multipath is a reliable-transport mode")
+	}
+	if cfg.MSS == 0 {
+		cfg.MSS = packet.MaxPayload
+	}
+	if cfg.MSS <= 0 || cfg.MSS > packet.MaxPayload {
+		panic(fmt.Sprintf("transport: MSS %d out of range", cfg.MSS))
+	}
+	if cfg.AckEvery == 0 {
+		cfg.AckEvery = 2
+	}
+	if cfg.MaxAckDelay == 0 {
+		cfg.MaxAckDelay = 25 * time.Millisecond
+	}
+	if cfg.MinRTO == 0 {
+		cfg.MinRTO = 400 * time.Millisecond
+	}
+	if cfg.MsgTimeout == 0 {
+		cfg.MsgTimeout = 2 * time.Second
+	}
+}
+
+// A Message is one application message delivered by a connection.
+type Message struct {
+	ID       uint64
+	Stream   uint32
+	Priority packet.Priority
+	Size     int
+	// Data is the opaque value the sender attached.
+	Data any
+	// SentAt is when the sender queued the message; DeliveredAt when
+	// the final byte arrived. Their difference is the message latency
+	// the experiments report.
+	SentAt      time.Duration
+	DeliveredAt time.Duration
+}
+
+// Latency is the message's queue-to-complete-delivery time.
+func (m Message) Latency() time.Duration { return m.DeliveredAt - m.SentAt }
+
+// Stats counts a connection's activity.
+type Stats struct {
+	BytesSent     int64 // payload bytes given to the network (incl. retransmits)
+	BytesAcked    int64
+	BytesReceived int64 // payload bytes received (excl. duplicates)
+	Retransmits   int
+	RTOs          int
+	MsgsSent      int
+	MsgsDelivered int
+	MsgsExpired   int // unreliable messages that timed out incomplete
+}
+
+// A Conn is one flow between the two endpoints.
+type Conn struct {
+	ep     *Endpoint
+	loop   *sim.Loop
+	flow   packet.FlowID
+	cfg    Config
+	client bool
+
+	established bool
+	closed      bool
+	synTries    int
+	synTimer    *sim.Timer
+
+	// Send state.
+	sched         *scheduler
+	nextSeq       uint64
+	nextMsgID     uint64
+	nextStream    uint32
+	inflight      map[uint64]*sentInfo
+	sentOrder     []uint64 // seqs in send order, pruned as acked/lost
+	bytesInFlight int
+	sentIndex     map[string]int64 // per-channel send counter
+	ackedIndex    map[string]int64 // per-channel highest acked counter
+	pacingNext    time.Duration
+	pacingTimer   *sim.Timer
+	retryTimer    *sim.Timer
+	rtoTimer      *sim.Timer
+	srtt, rttvar  time.Duration
+	rtoBackoff    int
+	delivered     int64
+	deliveredTime time.Duration
+	largestAcked  uint64
+	recoverySeq   uint64
+
+	// Receive state.
+	rcvRanges  rangeSet
+	ackPending int
+	ackTimer   *sim.Timer
+	rcvMsgs    map[uint64]*rcvMsg
+
+	// Multipath state (nil unless Config.Multipath).
+	subflows     map[string]*subflow
+	subflowOrder []string
+
+	onMessage   func(*Conn, Message)
+	onRTTSample func(now, rtt time.Duration, ch string)
+
+	stats Stats
+}
+
+func newConn(e *Endpoint, flow packet.FlowID, cfg Config, client bool) *Conn {
+	cfg.fillDefaults()
+	c := &Conn{
+		ep:         e,
+		loop:       e.loop,
+		flow:       flow,
+		cfg:        cfg,
+		client:     client,
+		sched:      newScheduler(),
+		inflight:   make(map[uint64]*sentInfo),
+		sentIndex:  make(map[string]int64),
+		ackedIndex: make(map[string]int64),
+		rcvMsgs:    make(map[uint64]*rcvMsg),
+		nextMsgID:  1,
+	}
+	if cfg.Multipath {
+		c.initMultipath()
+	}
+	return c
+}
+
+// Flow returns the connection's flow ID.
+func (c *Conn) Flow() packet.FlowID { return c.flow }
+
+// Established reports whether the connection may transfer data.
+func (c *Conn) Established() bool { return c.established }
+
+// Stats returns a snapshot of the connection's counters.
+func (c *Conn) Stats() Stats { return c.stats }
+
+// SRTT returns the smoothed RTT estimate (0 before the first sample).
+func (c *Conn) SRTT() time.Duration { return c.srtt }
+
+// OnMessage installs the complete-message callback. Messages arriving
+// before a callback is installed are dropped, so install it inside the
+// listener's accept function.
+func (c *Conn) OnMessage(fn func(*Conn, Message)) { c.onMessage = fn }
+
+// OnRTTSample installs an observer of every RTT sample the connection
+// takes, tagged with the channel the sampled data traveled on; Fig. 1b
+// is produced from this hook.
+func (c *Conn) OnRTTSample(fn func(now, rtt time.Duration, ch string)) { c.onRTTSample = fn }
+
+// NewStream allocates a stream ID for subsequent messages. Stream IDs
+// are advisory labels: each message is delivered independently,
+// ordered only by its own completeness (HTTP/2-style framing without
+// head-of-line coupling between streams).
+func (c *Conn) NewStream() uint32 {
+	c.nextStream++
+	return c.nextStream
+}
+
+// SendMessage queues a message of size bytes with the given priority
+// on the stream and returns its message ID. data travels opaquely and
+// is handed to the receiver's OnMessage callback on completion.
+func (c *Conn) SendMessage(stream uint32, prio packet.Priority, size int, data any) uint64 {
+	if c.closed {
+		panic("transport: SendMessage on closed connection")
+	}
+	if size <= 0 {
+		panic(fmt.Sprintf("transport: message size %d must be positive", size))
+	}
+	id := c.nextMsgID
+	c.nextMsgID++
+	m := &message{
+		id:     id,
+		stream: stream,
+		prio:   prio,
+		size:   size,
+		data:   data,
+		sentAt: c.loop.Now(),
+	}
+	c.stats.MsgsSent++
+	c.sched.push(m)
+	c.trySend()
+	return id
+}
+
+// Close tears the connection down: timers stop, queued data is
+// discarded, and the endpoint forgets the flow. Close is idempotent.
+func (c *Conn) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, t := range []*sim.Timer{c.synTimer, c.pacingTimer, c.retryTimer, c.rtoTimer, c.ackTimer} {
+		t.Stop()
+	}
+	c.ep.forget(c.flow)
+}
+
+// handshake ---------------------------------------------------------
+
+// ctrlPayload rides Control packets for connection management.
+type ctrlPayload struct {
+	syn    bool
+	synack bool
+}
+
+func (c *Conn) sendSYN() {
+	if c.closed || c.established {
+		return
+	}
+	c.synTries++
+	if c.synTries > 6 {
+		c.Close()
+		return
+	}
+	p := c.newPacket(packet.Control, packet.HeaderBytes)
+	p.Payload = &ctrlPayload{syn: true}
+	c.transmitCtrl(p)
+	c.synTimer = c.loop.After(time.Duration(c.synTries)*time.Second, c.sendSYN)
+}
+
+func (c *Conn) handleCtrl(pl *ctrlPayload) {
+	switch {
+	case pl.syn:
+		// Duplicate SYN for an existing conn: re-answer.
+		p := c.newPacket(packet.Control, packet.HeaderBytes)
+		p.Payload = &ctrlPayload{synack: true}
+		c.transmitCtrl(p)
+	case pl.synack:
+		if !c.established {
+			c.established = true
+			c.synTimer.Stop()
+			c.trySend()
+		}
+	}
+}
+
+// handlePacket dispatches one arriving packet.
+func (c *Conn) handlePacket(p *packet.Packet) {
+	if c.closed {
+		return
+	}
+	switch pl := p.Payload.(type) {
+	case *ctrlPayload:
+		c.handleCtrl(pl)
+	case *fragment:
+		c.handleData(p, pl)
+	case *ackPayload:
+		c.handleAck(p, pl)
+	default:
+		panic(fmt.Sprintf("transport: flow %d: unknown payload %T", c.flow, p.Payload))
+	}
+}
+
+// transmitCtrl sends a control or acknowledgment packet through the
+// steering policy, or on the initial subflow in multipath mode.
+func (c *Conn) transmitCtrl(p *packet.Packet) {
+	if c.subflows != nil {
+		c.multiTransmitCtrl(p)
+		return
+	}
+	c.ep.transmit(c, p)
+}
+
+// newPacket builds a packet stamped with the connection's identity.
+func (c *Conn) newPacket(kind packet.Kind, size int) *packet.Packet {
+	return &packet.Packet{
+		ID:           c.ep.ids.Next(),
+		Flow:         c.flow,
+		Kind:         kind,
+		Size:         size,
+		FlowPriority: c.cfg.FlowPriority,
+		SentAt:       c.loop.Now(),
+	}
+}

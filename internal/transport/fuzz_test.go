@@ -1,0 +1,44 @@
+package transport
+
+import "testing"
+
+// FuzzRangeSetOps drives the SACK range set with an arbitrary script
+// of insertions, checking the structural invariants after each step.
+func FuzzRangeSetOps(f *testing.F) {
+	f.Add([]byte{1, 2, 3})
+	f.Add([]byte{10, 10, 10, 0, 255})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) > 512 {
+			script = script[:512]
+		}
+		var r rangeSet
+		covered := map[uint64]bool{}
+		for i := 0; i+1 < len(script); i += 2 {
+			lo, hi := uint64(script[i]), uint64(script[i])+uint64(script[i+1]%16)
+			var expect uint64
+			for v := lo; v <= hi; v++ {
+				if !covered[v] {
+					expect++
+					covered[v] = true
+				}
+			}
+			if got := r.addRange(lo, hi); got != expect {
+				t.Fatalf("addRange(%d,%d) newly=%d want %d", lo, hi, got, expect)
+			}
+			for j, rg := range r.rs {
+				if rg.hi < rg.lo {
+					t.Fatalf("inverted range %+v", rg)
+				}
+				if j > 0 && rg.lo <= r.rs[j-1].hi+1 {
+					t.Fatalf("unmerged adjacency at %d: %v", j, r.rs)
+				}
+			}
+		}
+		for v := range covered {
+			if !r.contains(v) {
+				t.Fatalf("lost value %d", v)
+			}
+		}
+	})
+}

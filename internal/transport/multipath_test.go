@@ -1,0 +1,348 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"hvc/internal/cc"
+	"hvc/internal/channel"
+	"hvc/internal/sim"
+	"hvc/internal/steering"
+	"hvc/internal/trace"
+)
+
+func multipathCfg() Config {
+	return Config{Multipath: true, NewCC: func() cc.Algorithm { return cc.NewCubic() }}
+}
+
+func TestMultipathTransfer(t *testing.T) {
+	w := newWorld(21)
+	var got []Message
+	w.server.Listen(func() Config { return multipathCfg() }, func(c *Conn) {
+		c.OnMessage(func(_ *Conn, m Message) { got = append(got, m) })
+	})
+	c := w.client.Dial(multipathCfg())
+	const size = 2 << 20
+	c.SendMessage(c.NewStream(), 0, size, "blob")
+	w.loop.RunUntil(10 * time.Second)
+
+	if len(got) != 1 || got[0].Size != size {
+		t.Fatalf("transfer failed: %v", got)
+	}
+	subs := c.Subflows()
+	if len(subs) != 2 {
+		t.Fatalf("want 2 subflows, got %d", len(subs))
+	}
+	for _, sf := range subs {
+		if sf.SRTT <= 0 {
+			t.Errorf("subflow %s has no RTT estimate", sf.Channel)
+		}
+	}
+}
+
+func TestMultipathAggregatesBandwidth(t *testing.T) {
+	// The one thing MPTCP-style aggregation is good at: bulk
+	// throughput beyond any single channel.
+	run := func(multi bool) float64 {
+		w := newWorld(22)
+		var srv *Conn
+		cfgFor := func() Config {
+			if multi {
+				return multipathCfg()
+			}
+			return Config{CC: cc.NewCubic(), Steer: w.embbOnly()}
+		}
+		w.server.Listen(cfgFor, func(c *Conn) { srv = c })
+		c := w.client.Dial(cfgFor())
+		c.SendMessage(c.NewStream(), 0, 200<<20, nil)
+		w.loop.RunUntil(10 * time.Second)
+		_ = c
+		return float64(srv.Stats().BytesReceived) * 8 / 10 / 1e6
+	}
+	single := run(false)
+	multi := run(true)
+	if multi <= single {
+		t.Fatalf("multipath %.1f Mbps should beat single-path %.1f", multi, single)
+	}
+}
+
+func TestMultipathCongestsURLLC(t *testing.T) {
+	// The paper's §1 criticism: the min-RTT scheduler fills the
+	// low-latency channel with bulk bytes, queueing it heavily.
+	w := newWorld(23)
+	var srv *Conn
+	w.server.Listen(func() Config { return multipathCfg() }, func(c *Conn) { srv = c })
+	c := w.client.Dial(multipathCfg())
+	c.SendMessage(c.NewStream(), 0, 200<<20, nil)
+
+	maxQueued := 0
+	for i := 1; i <= 100; i++ {
+		w.loop.RunUntil(time.Duration(i) * 100 * time.Millisecond)
+		if q := w.group.Get(channel.NameURLLC).QueuedBytes(channel.A); q > maxQueued {
+			maxQueued = q
+		}
+	}
+	_ = srv
+	// URLLC at 2 Mbps: >25 kB queued means >100 ms of queueing delay
+	// imposed on anything latency-critical.
+	if maxQueued < 25_000 {
+		t.Fatalf("URLLC max queue %d bytes; multipath should congest it", maxQueued)
+	}
+	urllcStats := w.group.Get(channel.NameURLLC).Stats(channel.A)
+	if urllcStats.Sent < 100 {
+		t.Fatalf("URLLC carried only %d packets", urllcStats.Sent)
+	}
+}
+
+func TestMultipathSurvivesLossySubflow(t *testing.T) {
+	loop := sim.NewLoop(24)
+	clean := channel.New(loop, channel.Config{
+		Props:     channel.Properties{Name: "clean", BaseRTT: 30 * time.Millisecond, Bandwidth: 40e6},
+		DownTrace: trace.Constant("clean", 30*time.Millisecond, 40e6),
+	})
+	lossy := channel.New(loop, channel.Config{
+		Props:     channel.Properties{Name: "lossy", BaseRTT: 10 * time.Millisecond, Bandwidth: 20e6, LossProb: 0.1},
+		DownTrace: trace.Constant("lossy", 10*time.Millisecond, 20e6),
+	})
+	g := channel.NewGroup(clean, lossy)
+	client := NewEndpoint(loop, g, channel.A)
+	server := NewEndpoint(loop, g, channel.B)
+
+	var got []Message
+	server.Listen(func() Config { return multipathCfg() }, func(c *Conn) {
+		c.OnMessage(func(_ *Conn, m Message) { got = append(got, m) })
+	})
+	c := client.Dial(multipathCfg())
+	const size = 1 << 20
+	c.SendMessage(c.NewStream(), 0, size, nil)
+	loop.RunUntil(30 * time.Second)
+
+	if len(got) != 1 || got[0].Size != size {
+		t.Fatalf("transfer over lossy subflow failed: %v", got)
+	}
+	if c.Stats().Retransmits == 0 {
+		t.Fatal("expected retransmits on the lossy subflow")
+	}
+}
+
+func TestMultipathSchedulerPrefersLowRTT(t *testing.T) {
+	w := newWorld(25)
+	var srv *Conn
+	w.server.Listen(func() Config { return multipathCfg() }, func(c *Conn) { srv = c })
+	c := w.client.Dial(multipathCfg())
+	// A trickle far below URLLC's capacity: min-RTT scheduling should
+	// put essentially all of it on URLLC once RTTs are measured.
+	st := c.NewStream()
+	for i := 0; i < 40; i++ {
+		i := i
+		w.loop.At(time.Duration(i)*200*time.Millisecond, func() {
+			c.SendMessage(st, 0, 1000, nil)
+		})
+	}
+	w.loop.RunUntil(10 * time.Second)
+	_ = srv
+	urllc := w.group.Get(channel.NameURLLC).Stats(channel.A).Sent
+	embb := w.group.Get(channel.NameEMBB).Stats(channel.A).Sent
+	if urllc <= embb {
+		t.Fatalf("min-RTT scheduler sent %d on urllc vs %d on embb", urllc, embb)
+	}
+}
+
+func TestMultipathValidation(t *testing.T) {
+	w := newWorld(26)
+	for name, cfg := range map[string]Config{
+		"no NewCC":   {Multipath: true},
+		"unreliable": {Multipath: true, Unreliable: true, NewCC: func() cc.Algorithm { return cc.NewCubic() }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: want panic", name)
+				}
+			}()
+			w.client.Dial(cfg)
+		}()
+	}
+}
+
+func TestMultipathDeterministic(t *testing.T) {
+	run := func() (time.Duration, Stats) {
+		w := newWorld(27)
+		var got []Message
+		w.server.Listen(func() Config { return multipathCfg() }, func(c *Conn) {
+			c.OnMessage(func(_ *Conn, m Message) { got = append(got, m) })
+		})
+		c := w.client.Dial(multipathCfg())
+		c.SendMessage(c.NewStream(), 0, 4<<20, nil)
+		w.loop.RunUntil(20 * time.Second)
+		if len(got) != 1 {
+			t.Fatal("transfer incomplete")
+		}
+		return got[0].DeliveredAt, c.Stats()
+	}
+	at1, st1 := run()
+	at2, st2 := run()
+	if at1 != at2 || st1 != st2 {
+		t.Fatalf("nondeterministic: %v/%+v vs %v/%+v", at1, st1, at2, st2)
+	}
+}
+
+func TestSubflowsNilForSinglePath(t *testing.T) {
+	w := newWorld(28)
+	c := w.client.Dial(Config{CC: cc.NewCubic(), Steer: w.embbOnly()})
+	if c.Subflows() != nil {
+		t.Fatal("single-path conn should report nil subflows")
+	}
+}
+
+func TestMultipathAndVideoProbeCoexist(t *testing.T) {
+	// A multipath bulk flow plus a small-message latency probe on the
+	// same channels: the probe's latency should suffer versus an idle
+	// network — the measurable harm of aggregation.
+	probeLatency := func(withBulk bool) time.Duration {
+		w := newWorld(29)
+		var probeDone time.Duration
+		// One listener serves both: the multipath bulk conn's server
+		// half is an ordinary reliable conn (it only acknowledges),
+		// and the probe conn auto-detects as unreliable.
+		w.server.Listen(func() Config {
+			return Config{
+				CC:    cc.NewCubic(),
+				Steer: steering.NewDChannel(w.group, channel.B, steering.DChannelConfig{}),
+			}
+		}, func(c *Conn) {
+			c.OnMessage(func(_ *Conn, m Message) {
+				if m.Size == 500 {
+					probeDone = m.Latency()
+				}
+			})
+		})
+		if withBulk {
+			bulk := w.client.Dial(multipathCfg())
+			bulk.SendMessage(bulk.NewStream(), 0, 100<<20, nil)
+		}
+		probe := w.client.Dial(Config{
+			Steer:      steering.NewDChannel(w.group, channel.A, steering.DChannelConfig{}),
+			Unreliable: true,
+		})
+		w.loop.At(3*time.Second, func() {
+			probe.SendMessage(probe.NewStream(), 0, 500, nil)
+		})
+		w.loop.RunUntil(8 * time.Second)
+		if probeDone == 0 {
+			t.Fatal("probe never delivered")
+		}
+		return probeDone
+	}
+	idle := probeLatency(false)
+	loaded := probeLatency(true)
+	if loaded <= idle {
+		t.Fatalf("probe latency with multipath bulk (%v) should exceed idle (%v)", loaded, idle)
+	}
+}
+
+func TestMultipathThreeChannels(t *testing.T) {
+	loop := sim.NewLoop(41)
+	chs := []*channel.Channel{
+		channel.EMBBFixed(loop),
+		channel.URLLC(loop),
+	}
+	b5, _ := channel.WiFiMLO(loop)
+	chs = append(chs, b5)
+	g := channel.NewGroup(chs...)
+	client := NewEndpoint(loop, g, channel.A)
+	server := NewEndpoint(loop, g, channel.B)
+
+	var got []Message
+	server.Listen(func() Config { return multipathCfg() }, func(c *Conn) {
+		c.OnMessage(func(_ *Conn, m Message) { got = append(got, m) })
+	})
+	c := client.Dial(multipathCfg())
+	c.SendMessage(c.NewStream(), 0, 8<<20, nil)
+	loop.RunUntil(10 * time.Second)
+
+	if len(got) != 1 {
+		t.Fatal("transfer failed")
+	}
+	if subs := c.Subflows(); len(subs) != 3 {
+		t.Fatalf("want 3 subflows, got %d", len(subs))
+	}
+	// All three channels should have carried data at this size.
+	for _, ch := range g.All() {
+		if ch.Stats(channel.A).Sent == 0 {
+			t.Errorf("channel %s carried nothing", ch.Name())
+		}
+	}
+}
+
+func TestMultipathSubflowCCIsolation(t *testing.T) {
+	// Loss on the lossy subflow must not shrink the clean subflow's
+	// window: each controller is independent.
+	loop := sim.NewLoop(42)
+	clean := channel.New(loop, channel.Config{
+		Props:     channel.Properties{Name: "clean", BaseRTT: 30 * time.Millisecond, Bandwidth: 40e6},
+		DownTrace: trace.Constant("clean", 30*time.Millisecond, 40e6),
+	})
+	lossy := channel.New(loop, channel.Config{
+		Props:     channel.Properties{Name: "lossy", BaseRTT: 10 * time.Millisecond, Bandwidth: 20e6, LossProb: 0.05},
+		DownTrace: trace.Constant("lossy", 10*time.Millisecond, 20e6),
+	})
+	g := channel.NewGroup(clean, lossy)
+	client := NewEndpoint(loop, g, channel.A)
+	server := NewEndpoint(loop, g, channel.B)
+	server.Listen(func() Config { return multipathCfg() }, func(c *Conn) {})
+
+	c := client.Dial(multipathCfg())
+	c.SendMessage(c.NewStream(), 0, 50<<20, nil)
+	loop.RunUntil(10 * time.Second)
+
+	var cleanCwnd, lossyCwnd int
+	for _, sf := range c.Subflows() {
+		switch sf.Channel {
+		case "clean":
+			cleanCwnd = sf.CWND
+		case "lossy":
+			lossyCwnd = sf.CWND
+		}
+	}
+	// The clean subflow's window should be allowed to grow well past
+	// the lossy one's loss-limited plateau.
+	if cleanCwnd <= lossyCwnd {
+		t.Fatalf("clean cwnd %d should exceed lossy cwnd %d", cleanCwnd, lossyCwnd)
+	}
+}
+
+func TestMultipathRecoversFromTotalOutage(t *testing.T) {
+	loop := sim.NewLoop(43)
+	// Both channels die at 1 s and recover at 3 s.
+	mk := func(name string, rtt time.Duration, rate float64) *channel.Channel {
+		tr := &trace.Trace{Name: name, Samples: []trace.Sample{
+			{At: 0, RTT: rtt, Rate: rate},
+			{At: time.Second, RTT: rtt, Rate: 0},
+			{At: 3 * time.Second, RTT: rtt, Rate: rate},
+			{At: 10 * time.Minute, RTT: rtt, Rate: rate},
+		}}
+		return channel.New(loop, channel.Config{
+			Props:      channel.Properties{Name: name, BaseRTT: rtt, Bandwidth: rate},
+			DownTrace:  tr,
+			QueueBytes: 32 << 10,
+		})
+	}
+	g := channel.NewGroup(mk("a", 20*time.Millisecond, 20e6), mk("b", 40*time.Millisecond, 40e6))
+	client := NewEndpoint(loop, g, channel.A)
+	server := NewEndpoint(loop, g, channel.B)
+	var got []Message
+	server.Listen(func() Config { return multipathCfg() }, func(c *Conn) {
+		c.OnMessage(func(_ *Conn, m Message) { got = append(got, m) })
+	})
+	c := client.Dial(multipathCfg())
+	c.SendMessage(c.NewStream(), 0, 4<<20, nil)
+	loop.RunUntil(60 * time.Second)
+
+	if len(got) != 1 {
+		t.Fatalf("transfer did not survive total outage (RTOs=%d)", c.Stats().RTOs)
+	}
+	if c.Stats().RTOs == 0 {
+		t.Fatal("a 2 s total outage should fire the shared RTO")
+	}
+}

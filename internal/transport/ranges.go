@@ -1,0 +1,83 @@
+package transport
+
+import "sort"
+
+// seqRange is an inclusive range of sequence numbers (or byte offsets).
+type seqRange struct{ lo, hi uint64 }
+
+// rangeSet maintains disjoint, ascending, non-adjacent inclusive
+// ranges. The zero value is an empty set.
+type rangeSet struct {
+	rs []seqRange
+}
+
+// add inserts a single value, reporting whether it was new.
+func (r *rangeSet) add(v uint64) bool { return r.addRange(v, v) > 0 }
+
+// addRange inserts [lo, hi] and returns how many values were newly
+// covered.
+func (r *rangeSet) addRange(lo, hi uint64) uint64 {
+	if hi < lo {
+		panic("transport: inverted range")
+	}
+	// Find the first range that could overlap or be adjacent.
+	i := sort.Search(len(r.rs), func(i int) bool { return r.rs[i].hi+1 >= lo })
+	newly := hi - lo + 1
+	merged := seqRange{lo, hi}
+	j := i
+	for j < len(r.rs) && r.rs[j].lo <= hi+1 {
+		o := r.rs[j]
+		// Subtract the overlap with [lo, hi] from the newly count.
+		oLo, oHi := o.lo, o.hi
+		if oLo < lo {
+			oLo = lo
+		}
+		if oHi > hi {
+			oHi = hi
+		}
+		if oLo <= oHi {
+			newly -= oHi - oLo + 1
+		}
+		if o.lo < merged.lo {
+			merged.lo = o.lo
+		}
+		if o.hi > merged.hi {
+			merged.hi = o.hi
+		}
+		j++
+	}
+	out := append(r.rs[:i:i], merged)
+	r.rs = append(out, r.rs[j:]...)
+	return newly
+}
+
+// contains reports whether v is covered.
+func (r *rangeSet) contains(v uint64) bool {
+	i := sort.Search(len(r.rs), func(i int) bool { return r.rs[i].hi >= v })
+	return i < len(r.rs) && r.rs[i].lo <= v
+}
+
+// covered reports whether every value in [lo, hi] is present.
+func (r *rangeSet) covered(lo, hi uint64) bool {
+	i := sort.Search(len(r.rs), func(i int) bool { return r.rs[i].hi >= lo })
+	return i < len(r.rs) && r.rs[i].lo <= lo && r.rs[i].hi >= hi
+}
+
+// max returns the largest covered value, or 0 for an empty set.
+func (r *rangeSet) max() uint64 {
+	if len(r.rs) == 0 {
+		return 0
+	}
+	return r.rs[len(r.rs)-1].hi
+}
+
+// empty reports whether the set has no values.
+func (r *rangeSet) empty() bool { return len(r.rs) == 0 }
+
+// tail returns up to n of the highest ranges, ascending, as a copy.
+func (r *rangeSet) tail(n int) []seqRange {
+	if len(r.rs) <= n {
+		return append([]seqRange(nil), r.rs...)
+	}
+	return append([]seqRange(nil), r.rs[len(r.rs)-n:]...)
+}

@@ -1,0 +1,257 @@
+package transport
+
+import (
+	"sort"
+	"time"
+
+	"hvc/internal/cc"
+	"hvc/internal/packet"
+	"hvc/internal/sim"
+)
+
+// ackAfterGap triggers per-channel loss detection once this many later
+// packets on the same channel have been acknowledged, mirroring TCP's
+// three-duplicate-ACK rule on each channel independently.
+const ackAfterGap = 3
+
+// maxAckRanges bounds the SACK state carried per acknowledgment.
+const maxAckRanges = 32
+
+// ackPayload rides Ack packets: the receiver's highest ranges.
+type ackPayload struct {
+	ranges []seqRange
+}
+
+// rcvMsg is a message under reassembly on the receive side.
+type rcvMsg struct {
+	stream  uint32
+	prio    packet.Priority
+	total   int
+	got     rangeSet
+	data    any
+	sentAt  time.Duration
+	expiry  *sim.Timer
+	started time.Duration
+}
+
+// handleData processes one arriving data packet.
+func (c *Conn) handleData(p *packet.Packet, frag *fragment) {
+	isNew := c.rcvRanges.add(p.Seq)
+	if !c.cfg.Unreliable {
+		c.scheduleAck(p)
+	}
+	if !isNew {
+		return // duplicate (redundant copy or spurious retransmit)
+	}
+
+	rm, ok := c.rcvMsgs[frag.msgID]
+	if !ok {
+		rm = &rcvMsg{
+			stream:  frag.stream,
+			prio:    frag.prio,
+			total:   frag.total,
+			sentAt:  frag.sentAt,
+			started: c.loop.Now(),
+		}
+		c.rcvMsgs[frag.msgID] = rm
+		if c.cfg.Unreliable {
+			id := frag.msgID
+			t := c.loop.After(c.cfg.MsgTimeout, func() { c.expireMsg(id) })
+			rm.expiry = t
+		}
+	}
+	if frag.length > 0 {
+		newBytes := rm.got.addRange(uint64(frag.offset), uint64(frag.offset+frag.length-1))
+		c.stats.BytesReceived += int64(newBytes)
+	}
+	if frag.data != nil {
+		rm.data = frag.data
+	}
+	if rm.total > 0 && rm.got.covered(0, uint64(rm.total-1)) {
+		c.deliverMsg(frag.msgID, rm)
+	}
+}
+
+func (c *Conn) deliverMsg(id uint64, rm *rcvMsg) {
+	delete(c.rcvMsgs, id)
+	if rm.expiry != nil {
+		rm.expiry.Stop()
+	}
+	c.stats.MsgsDelivered++
+	if c.onMessage == nil {
+		return
+	}
+	c.onMessage(c, Message{
+		ID:          id,
+		Stream:      rm.stream,
+		Priority:    rm.prio,
+		Size:        rm.total,
+		Data:        rm.data,
+		SentAt:      rm.sentAt,
+		DeliveredAt: c.loop.Now(),
+	})
+}
+
+func (c *Conn) expireMsg(id uint64) {
+	if _, ok := c.rcvMsgs[id]; !ok {
+		return
+	}
+	delete(c.rcvMsgs, id)
+	c.stats.MsgsExpired++
+}
+
+// scheduleAck decides when to acknowledge: immediately on reordering
+// or when AckEvery packets are pending, otherwise within MaxAckDelay.
+func (c *Conn) scheduleAck(p *packet.Packet) {
+	c.ackPending++
+	outOfOrder := p.Seq != c.rcvRanges.max() || len(c.rcvRanges.rs) > 1
+	if outOfOrder || c.ackPending >= c.cfg.AckEvery {
+		c.sendAck()
+		return
+	}
+	if !c.ackTimer.Active() {
+		c.ackTimer = c.loop.After(c.cfg.MaxAckDelay, c.sendAck)
+	}
+}
+
+// sendAck emits the receiver's current SACK state.
+func (c *Conn) sendAck() {
+	if c.closed || c.rcvRanges.empty() {
+		return
+	}
+	c.ackPending = 0
+	c.ackTimer.Stop()
+	ranges := c.rcvRanges.tail(maxAckRanges)
+	p := c.newPacket(packet.Ack, packet.HeaderBytes+4*len(ranges))
+	p.Payload = &ackPayload{ranges: ranges}
+	c.transmitCtrl(p)
+}
+
+// handleAck processes acknowledgment state from the peer.
+func (c *Conn) handleAck(_ *packet.Packet, pl *ackPayload) {
+	if c.subflows != nil {
+		c.multiAck(pl)
+		return
+	}
+	now := c.loop.Now()
+	contains := func(seq uint64) bool {
+		i := sort.Search(len(pl.ranges), func(i int) bool { return pl.ranges[i].hi >= seq })
+		return i < len(pl.ranges) && pl.ranges[i].lo <= seq
+	}
+
+	var newlyBytes int
+	var newest *sentInfo
+	remaining := c.sentOrder[:0]
+	for _, seq := range c.sentOrder {
+		info, ok := c.inflight[seq]
+		if !ok {
+			continue // already lost/requeued
+		}
+		if !contains(seq) {
+			remaining = append(remaining, seq)
+			continue
+		}
+		delete(c.inflight, seq)
+		c.bytesInFlight -= info.size
+		c.delivered += int64(info.size)
+		newlyBytes += info.size
+		c.stats.BytesAcked += int64(info.size)
+		for name, idx := range info.chIdx {
+			if idx > c.ackedIndex[name] {
+				c.ackedIndex[name] = idx
+			}
+		}
+		if newest == nil || info.seq > newest.seq {
+			newest = info
+		}
+		if seq > c.largestAcked {
+			c.largestAcked = seq
+		}
+	}
+	c.sentOrder = remaining
+	if newest == nil {
+		return // pure duplicate: nothing new
+	}
+	c.deliveredTime = now
+	c.rtoBackoff = 0
+
+	rtt := now - newest.sentAt
+	c.updateRTT(rtt)
+	chName := ""
+	if len(newest.channels) == 1 {
+		chName = newest.channels[0]
+	}
+	if c.onRTTSample != nil {
+		c.onRTTSample(now, rtt, chName)
+	}
+
+	var rate float64
+	if dt := now - newest.deliveredTimeAtSent; dt > 0 {
+		rate = float64(c.delivered-newest.deliveredAtSent) * 8 / dt.Seconds()
+	}
+	c.cfg.CC.OnAck(cc.AckEvent{
+		Now:          now,
+		RTT:          rtt,
+		Bytes:        newlyBytes,
+		InFlight:     c.bytesInFlight,
+		DeliveryRate: rate,
+		Channel:      chName,
+		AppLimited:   newest.appLimited,
+	})
+
+	c.detectLosses(now)
+
+	// Fresh forward progress: push the timeout out.
+	c.rtoTimer.Stop()
+	c.armRTO()
+	c.trySend()
+}
+
+// updateRTT folds one sample into the RFC 6298 estimators.
+func (c *Conn) updateRTT(rtt time.Duration) {
+	if rtt <= 0 {
+		return
+	}
+	if c.srtt == 0 {
+		c.srtt = rtt
+		c.rttvar = rtt / 2
+		return
+	}
+	diff := c.srtt - rtt
+	if diff < 0 {
+		diff = -diff
+	}
+	c.rttvar = (3*c.rttvar + diff) / 4
+	c.srtt = (7*c.srtt + rtt) / 8
+}
+
+// detectLosses applies the per-channel packet-threshold rule: an
+// outstanding packet is lost once ackAfterGap later packets have been
+// acknowledged on every channel that carried a copy of it.
+func (c *Conn) detectLosses(now time.Duration) {
+	var lostBytes int
+	remaining := c.sentOrder[:0]
+	for _, seq := range c.sentOrder {
+		info, ok := c.inflight[seq]
+		if !ok {
+			continue
+		}
+		lost := len(info.channels) > 0
+		for _, name := range info.channels {
+			if c.ackedIndex[name] < info.chIdx[name]+ackAfterGap {
+				lost = false
+				break
+			}
+		}
+		if !lost {
+			remaining = append(remaining, seq)
+			continue
+		}
+		lostBytes += info.size
+		c.requeue(info)
+	}
+	c.sentOrder = remaining
+	if lostBytes > 0 {
+		c.notifyLoss(now, lostBytes)
+	}
+}

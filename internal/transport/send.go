@@ -1,0 +1,337 @@
+package transport
+
+import (
+	"time"
+
+	"hvc/internal/cc"
+	"hvc/internal/packet"
+)
+
+// message is a queued application message on the send side.
+type message struct {
+	id     uint64
+	stream uint32
+	prio   packet.Priority
+	size   int
+	data   any
+	sentAt time.Duration
+	offset int // next byte to packetize
+}
+
+// fragment is the wire payload of one data packet: a contiguous byte
+// range of a message. The receiver reassembles fragments by (MsgID,
+// Offset); retransmissions carry fresh sequence numbers but identical
+// fragment coordinates.
+type fragment struct {
+	stream     uint32
+	msgID      uint64
+	offset     int
+	length     int
+	total      int
+	prio       packet.Priority
+	sentAt     time.Duration // when the message entered the send queue
+	data       any           // attached to the final fragment only
+	unreliable bool
+}
+
+// chunk pairs a fragment with retransmission bookkeeping.
+type chunk struct {
+	frag fragment
+}
+
+// scheduler orders outgoing work: strict priority across messages,
+// FIFO within a priority level, retransmissions ahead of fresh data at
+// the same priority.
+type scheduler struct {
+	// retx holds chunks awaiting retransmission, in loss-detection
+	// order.
+	retx []*chunk
+	// msgs holds partially sent messages per priority bucket.
+	msgs map[packet.Priority][]*message
+	// prios tracks nonempty buckets in ascending priority.
+	prios []packet.Priority
+}
+
+func newScheduler() *scheduler {
+	return &scheduler{msgs: make(map[packet.Priority][]*message)}
+}
+
+func (s *scheduler) push(m *message) {
+	q := s.msgs[m.prio]
+	if len(q) == 0 {
+		s.insertPrio(m.prio)
+	}
+	s.msgs[m.prio] = append(q, m)
+}
+
+func (s *scheduler) insertPrio(p packet.Priority) {
+	for i, q := range s.prios {
+		if q == p {
+			return
+		}
+		if q > p {
+			s.prios = append(s.prios[:i], append([]packet.Priority{p}, s.prios[i:]...)...)
+			return
+		}
+	}
+	s.prios = append(s.prios, p)
+}
+
+func (s *scheduler) pushRetx(ch *chunk) { s.retx = append(s.retx, ch) }
+
+func (s *scheduler) empty() bool {
+	if len(s.retx) > 0 {
+		return false
+	}
+	for _, q := range s.msgs {
+		if len(q) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// next carves the next chunk of at most mss bytes, or nil when idle.
+func (s *scheduler) next(mss int, unreliable bool) *chunk {
+	if len(s.retx) > 0 {
+		ch := s.retx[0]
+		s.retx = s.retx[1:]
+		return ch
+	}
+	for len(s.prios) > 0 {
+		p := s.prios[0]
+		q := s.msgs[p]
+		if len(q) == 0 {
+			s.prios = s.prios[1:]
+			continue
+		}
+		m := q[0]
+		n := m.size - m.offset
+		if n > mss {
+			n = mss
+		}
+		ch := &chunk{frag: fragment{
+			stream:     m.stream,
+			msgID:      m.id,
+			offset:     m.offset,
+			length:     n,
+			total:      m.size,
+			prio:       m.prio,
+			sentAt:     m.sentAt,
+			unreliable: unreliable,
+		}}
+		m.offset += n
+		if m.offset >= m.size {
+			ch.frag.data = m.data
+			s.msgs[p] = q[1:]
+		}
+		return ch
+	}
+	return nil
+}
+
+// sentInfo tracks one in-flight data packet.
+type sentInfo struct {
+	seq                 uint64
+	sub                 *subflow // multipath only
+	size                int      // payload bytes
+	chunk               *chunk
+	sentAt              time.Duration
+	channels            []string         // channels that carried copies
+	chIdx               map[string]int64 // per-channel send index for loss detection
+	deliveredAtSent     int64
+	deliveredTimeAtSent time.Duration
+	appLimited          bool
+}
+
+// trySend transmits as much queued data as the congestion window and
+// pacing allow.
+func (c *Conn) trySend() {
+	if c.subflows != nil {
+		c.tryMultiSend()
+		return
+	}
+	if c.closed || !c.established {
+		return
+	}
+	for {
+		if c.sched.empty() {
+			return
+		}
+		if !c.cfg.Unreliable {
+			if c.bytesInFlight >= c.cfg.CC.CWND() {
+				return // an ack will reopen the window
+			}
+			if rate := c.cfg.CC.PacingRate(); rate > 0 {
+				now := c.loop.Now()
+				if c.pacingNext > now {
+					if !c.pacingTimer.Active() {
+						c.pacingTimer = c.loop.At(c.pacingNext, c.trySend)
+					}
+					return
+				}
+			}
+		}
+		ch := c.sched.next(c.cfg.MSS, c.cfg.Unreliable)
+		if ch == nil {
+			return
+		}
+		if !c.sendChunk(ch) {
+			// The channel's entry queue is full. Retrying at the same
+			// instant cannot succeed (nothing drains in zero time), so
+			// back off briefly — the local-queue analogue of a blocked
+			// qdisc.
+			if !c.retryTimer.Active() {
+				c.retryTimer = c.loop.After(entryDropBackoff, c.trySend)
+			}
+			return
+		}
+	}
+}
+
+// entryDropBackoff is how long a sender waits after a channel refused a
+// packet at entry before offering more data.
+const entryDropBackoff = 10 * time.Millisecond
+
+// sendChunk packetizes and transmits one chunk, reporting whether any
+// channel accepted the packet.
+func (c *Conn) sendChunk(ch *chunk) bool {
+	now := c.loop.Now()
+	p := c.newPacket(packet.Data, ch.frag.length+packet.HeaderBytes)
+	c.nextSeq++
+	p.Seq = c.nextSeq
+	p.Priority = ch.frag.prio
+	p.MsgID = ch.frag.msgID
+	p.MsgRemaining = ch.frag.total - ch.frag.offset - ch.frag.length
+	frag := ch.frag // copy: the packet owns its payload value
+	p.Payload = &frag
+
+	carried := c.ep.transmit(c, p)
+	c.stats.BytesSent += int64(ch.frag.length)
+
+	if c.cfg.Unreliable {
+		return true // fire and forget; entry drops are just loss
+	}
+
+	info := &sentInfo{
+		seq:                 p.Seq,
+		size:                ch.frag.length,
+		chunk:               ch,
+		sentAt:              now,
+		channels:            carried,
+		chIdx:               make(map[string]int64, len(carried)),
+		deliveredAtSent:     c.delivered,
+		deliveredTimeAtSent: c.deliveredTime,
+	}
+	for _, name := range carried {
+		c.sentIndex[name]++
+		info.chIdx[name] = c.sentIndex[name]
+	}
+	c.inflight[p.Seq] = info
+	c.sentOrder = append(c.sentOrder, p.Seq)
+	c.bytesInFlight += info.size
+	c.cfg.CC.OnSent(now, info.size)
+	info.appLimited = c.sched.empty()
+
+	if rate := c.cfg.CC.PacingRate(); rate > 0 {
+		interval := time.Duration(float64(p.Size) * 8 / rate * float64(time.Second))
+		if c.pacingNext < now {
+			c.pacingNext = now
+		}
+		c.pacingNext += interval
+	}
+	if len(carried) == 0 {
+		// Every copy was dropped at channel entry: the packet will
+		// never be acked, and no later ack on any channel can pass
+		// it. Declare it lost at once — entry drops are queue
+		// overflow, i.e. a congestion signal.
+		c.requeue(info)
+		c.notifyLoss(now, info.size)
+		return false
+	}
+	c.armRTO()
+	return true
+}
+
+// rto returns the current retransmission timeout.
+func (c *Conn) rto() time.Duration {
+	var d time.Duration
+	if c.srtt == 0 {
+		d = time.Second
+	} else {
+		d = c.srtt + 4*c.rttvar + c.cfg.MaxAckDelay
+	}
+	if d < c.cfg.MinRTO {
+		d = c.cfg.MinRTO
+	}
+	d <<= c.rtoBackoff
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
+}
+
+func (c *Conn) armRTO() {
+	if len(c.inflight) == 0 {
+		c.rtoTimer.Stop()
+		return
+	}
+	if c.rtoTimer.Active() {
+		return
+	}
+	c.rtoTimer = c.loop.After(c.rto(), c.onRTO)
+}
+
+func (c *Conn) onRTO() {
+	if c.subflows != nil {
+		c.onMultiRTO()
+		return
+	}
+	if c.closed || len(c.inflight) == 0 {
+		return
+	}
+	c.stats.RTOs++
+	c.rtoBackoff++
+	if c.rtoBackoff > 6 {
+		c.rtoBackoff = 6
+	}
+	// Declare everything outstanding lost and rebuild from the model.
+	var lostBytes int
+	for _, seq := range append([]uint64(nil), c.sentOrder...) {
+		if info, ok := c.inflight[seq]; ok {
+			lostBytes += info.size
+			c.requeue(info)
+		}
+	}
+	c.sentOrder = c.sentOrder[:0]
+	c.cfg.CC.OnLoss(cc.LossEvent{
+		Now:     c.loop.Now(),
+		Bytes:   lostBytes,
+		Timeout: true,
+	})
+	c.rtoTimer = c.loop.After(c.rto(), c.onRTO)
+	c.trySend()
+}
+
+// requeue returns an inflight packet's chunk to the scheduler.
+func (c *Conn) requeue(info *sentInfo) {
+	delete(c.inflight, info.seq)
+	c.bytesInFlight -= info.size
+	c.stats.Retransmits++
+	c.sched.pushRetx(info.chunk)
+}
+
+// notifyLoss reports non-timeout loss to congestion control, at most
+// once per recovery window (TCP fast-recovery semantics: one window
+// reduction per flight, however many packets it lost).
+func (c *Conn) notifyLoss(now time.Duration, bytes int) {
+	if c.largestAcked < c.recoverySeq {
+		return // still recovering from the previous notification
+	}
+	c.recoverySeq = c.nextSeq
+	c.cfg.CC.OnLoss(cc.LossEvent{
+		Now:      now,
+		Bytes:    bytes,
+		InFlight: c.bytesInFlight,
+	})
+}

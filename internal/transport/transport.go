@@ -1,0 +1,170 @@
+// Package transport implements a reliable, message-oriented transport
+// that runs over a set of heterogeneous virtual channels through a
+// steering policy — the architecture the paper argues for in §3.2/§3.3:
+//
+//   - The unit of steering is the individual segment, so an ACK can
+//     return over a different channel than the data it acknowledges,
+//     and the tail of a message can be accelerated.
+//   - The application-transport interface carries message boundaries
+//     and priorities (SendMessage), and flows carry a flow priority;
+//     steering policies read both from packet headers.
+//   - Congestion control is pluggable (package cc) and is told which
+//     channel each acknowledged segment traveled on, enabling the
+//     HVC-aware controller.
+//   - Loss detection is per-channel: a segment is declared lost only
+//     when later segments on the same channel have been acknowledged,
+//     so cross-channel reordering (URLLC packets overtaking eMBB ones
+//     by tens of milliseconds) does not trigger spurious retransmits.
+//
+// An Endpoint demultiplexes one side's channels among connections; a
+// Conn is one flow. Reliable connections carry ordered messages on
+// lightweight stream IDs; unreliable connections (Config.Unreliable)
+// carry best-effort messages for real-time media.
+package transport
+
+import (
+	"fmt"
+
+	"hvc/internal/channel"
+	"hvc/internal/packet"
+	"hvc/internal/sim"
+)
+
+// An Endpoint is one host's attachment to the channel group. It owns
+// the side's connections and routes arriving packets to them.
+type Endpoint struct {
+	loop  *sim.Loop
+	side  channel.Side
+	group *channel.Group
+
+	conns    map[packet.FlowID]*Conn
+	nextFlow packet.FlowID
+	ids      packet.IDGen
+
+	listenCfg func() Config
+	accept    func(*Conn)
+}
+
+// NewEndpoint attaches an endpoint to side of every channel in group.
+// Exactly one endpoint may exist per side of a group.
+func NewEndpoint(loop *sim.Loop, group *channel.Group, side channel.Side) *Endpoint {
+	e := &Endpoint{
+		loop:  loop,
+		side:  side,
+		group: group,
+		conns: make(map[packet.FlowID]*Conn),
+	}
+	// Client-side flows are even, server-side odd, so simultaneous
+	// dials from both sides cannot collide.
+	if side == channel.A {
+		e.nextFlow = 2
+	} else {
+		e.nextFlow = 1
+	}
+	for _, ch := range group.All() {
+		ch.SetSink(side, e.receive)
+	}
+	return e
+}
+
+// Side reports which side of the channel group this endpoint is.
+func (e *Endpoint) Side() channel.Side { return e.side }
+
+// Loop returns the endpoint's simulation loop.
+func (e *Endpoint) Loop() *sim.Loop { return e.loop }
+
+// Listen makes the endpoint accept incoming connections. cfgFactory
+// builds the configuration (congestion control, steering) for each
+// accepted connection; accept is invoked with the new Conn before any
+// of its messages are delivered.
+func (e *Endpoint) Listen(cfgFactory func() Config, accept func(*Conn)) {
+	if cfgFactory == nil || accept == nil {
+		panic("transport: Listen requires a config factory and accept callback")
+	}
+	e.listenCfg = cfgFactory
+	e.accept = accept
+}
+
+// Dial opens a connection to the peer endpoint. Reliable connections
+// perform a one-round-trip handshake; messages sent before it
+// completes are queued. Unreliable connections may send immediately.
+func (e *Endpoint) Dial(cfg Config) *Conn {
+	c := newConn(e, e.nextFlow, cfg, true)
+	e.nextFlow += 2
+	e.conns[c.flow] = c
+	if cfg.Unreliable {
+		c.established = true
+	} else {
+		c.sendSYN()
+	}
+	return c
+}
+
+// receive routes an arriving packet to its connection, creating a
+// server-side connection on a handshake (or, for unreliable flows,
+// first data) packet when a listener is installed.
+func (e *Endpoint) receive(p *packet.Packet) {
+	c, ok := e.conns[p.Flow]
+	if !ok {
+		c = e.acceptConn(p)
+		if c == nil {
+			return // no listener, or a stray packet: drop
+		}
+	}
+	c.handlePacket(p)
+}
+
+func (e *Endpoint) acceptConn(p *packet.Packet) *Conn {
+	if e.listenCfg == nil {
+		return nil
+	}
+	switch pl := p.Payload.(type) {
+	case *ctrlPayload:
+		if !pl.syn {
+			return nil
+		}
+	case *fragment:
+		if !pl.unreliable {
+			return nil // reliable data for an unknown flow: stray
+		}
+	default:
+		return nil
+	}
+	cfg := e.listenCfg()
+	if frag, ok := p.Payload.(*fragment); ok && frag.unreliable {
+		cfg.Unreliable = true
+	}
+	// Adopt the peer's flow priority so responses to a bulk flow are
+	// themselves stamped bulk and stay off constrained channels.
+	cfg.FlowPriority = p.FlowPriority
+	c := newConn(e, p.Flow, cfg, false)
+	c.established = true
+	e.conns[p.Flow] = c
+	e.accept(c)
+	return c
+}
+
+// forget removes a closed connection from the demux table.
+func (e *Endpoint) forget(flow packet.FlowID) { delete(e.conns, flow) }
+
+// transmit steers and transmits p, cloning it per channel when the
+// policy replicates. It returns the names of the channels that
+// accepted the packet (empty when every copy was dropped at entry).
+func (e *Endpoint) transmit(c *Conn, p *packet.Packet) []string {
+	chs := c.cfg.Steer.Pick(p)
+	if len(chs) == 0 {
+		panic(fmt.Sprintf("transport: policy %q picked no channel", c.cfg.Steer.Name()))
+	}
+	var carried []string
+	for i, ch := range chs {
+		q := p
+		if i > 0 {
+			clone := *p
+			q = &clone
+		}
+		if ch.Send(e.side, q) {
+			carried = append(carried, ch.Name())
+		}
+	}
+	return carried
+}
