@@ -45,7 +45,7 @@ func BenchmarkFig1a(b *testing.B) {
 // (the bimodality is the figure's point).
 func BenchmarkFig1b(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := core.Fig1b(benchSeed, bulkDur)
+		r, err := core.Fig1b(benchSeed, bulkDur, nil)
 		if err != nil {
 			b.Fatal(err)
 		}

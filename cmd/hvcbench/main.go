@@ -13,7 +13,15 @@
 //	hvcbench -exp ablation-tail end-of-message acceleration (§3.2)
 //	hvcbench -exp ablation-ians object-granularity (IANS) baseline (§1)
 //	hvcbench -exp ablation-has  adaptive streaming comparison
+//	hvcbench -exp ablation-tsn  wireless TSN vs best-effort Wi-Fi (§2.2)
 //	hvcbench -exp all          everything above
+//
+// -report writes a machine-readable JSON run report (schema
+// hvc-run-report/v1: config, seed, headline metrics, counter
+// snapshot); -trace writes a Chrome trace-event file loadable in
+// Perfetto (ui.perfetto.dev) with one track per channel and flow;
+// -events writes the raw event stream as JSONL. All three are
+// deterministic per seed.
 //
 // Absolute numbers come from a simulator, not the authors' testbed;
 // the shapes (who wins, by what factor, where crossovers fall) are the
@@ -24,19 +32,33 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"hvc/internal/core"
 	"hvc/internal/metrics"
+	"hvc/internal/telemetry"
 )
+
+// expOrder lists every experiment in "all" execution order; it is also
+// the source of the -exp usage string, so the two cannot drift.
+var expOrder = []string{
+	"fig1a", "fig1b", "fig2", "table1",
+	"ablation-cc", "ablation-mptcp", "ablation-mlo", "ablation-cost",
+	"ablation-beta", "ablation-tail", "ablation-ians", "ablation-has", "ablation-tsn",
+}
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment to run (fig1a, fig1b, fig2, table1, ablation-cc, ablation-mptcp, ablation-mlo, ablation-cost, all)")
-		seed  = flag.Int64("seed", 1, "simulation seed")
-		seeds = flag.Int("seeds", 1, "repeat headline experiments over this many consecutive seeds and report means")
-		quick = flag.Bool("quick", false, "shorter runs and smaller corpora (for smoke testing)")
-		cdf   = flag.Bool("cdf", false, "dump full CDFs/time series instead of summaries")
+		exp = flag.String("exp", "all",
+			"experiment to run ("+strings.Join(expOrder, ", ")+", all)")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		seeds   = flag.Int("seeds", 1, "repeat headline experiments over this many consecutive seeds and report means")
+		quick   = flag.Bool("quick", false, "shorter runs and smaller corpora (for smoke testing)")
+		cdf     = flag.Bool("cdf", false, "dump full CDFs/time series instead of summaries")
+		report  = flag.String("report", "", "write a JSON run report (config, metrics, counters) to this file")
+		traceF  = flag.String("trace", "", "write a Chrome trace-event file (Perfetto-loadable) to this file")
+		eventsF = flag.String("events", "", "write the raw telemetry event stream as JSONL to this file")
 	)
 	flag.Parse()
 
@@ -45,7 +67,7 @@ func main() {
 		cfg = scale{bulkDur: 15 * time.Second, videoDur: 20 * time.Second, pages: 6, loads: 2}
 	}
 
-	runners := map[string]func(int64, scale, bool) error{
+	runners := map[string]func(env) error{
 		"fig1a":          fig1a,
 		"fig1b":          fig1b,
 		"fig2":           fig2,
@@ -60,11 +82,10 @@ func main() {
 		"ablation-has":   ablationHAS,
 		"ablation-tsn":   ablationTSN,
 	}
-	order := []string{"fig1a", "fig1b", "fig2", "table1", "ablation-cc", "ablation-mptcp", "ablation-mlo", "ablation-cost", "ablation-beta", "ablation-tail", "ablation-ians", "ablation-has", "ablation-tsn"}
 
 	var names []string
 	if *exp == "all" {
-		names = order
+		names = expOrder
 	} else if _, ok := runners[*exp]; ok {
 		names = []string{*exp}
 	} else {
@@ -74,15 +95,77 @@ func main() {
 	if *seeds < 1 {
 		*seeds = 1
 	}
+
+	e := env{sc: cfg, cdf: *cdf}
+	var sinks []telemetry.Sink
+	var files []*os.File
+	openSink := func(path string, mk func(*os.File) telemetry.Sink) {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hvcbench: %v\n", err)
+			os.Exit(1)
+		}
+		files = append(files, f)
+		sinks = append(sinks, mk(f))
+	}
+	if *traceF != "" {
+		openSink(*traceF, func(f *os.File) telemetry.Sink { return telemetry.NewChromeTrace(f) })
+	}
+	if *eventsF != "" {
+		openSink(*eventsF, func(f *os.File) telemetry.Sink { return telemetry.NewJSONL(f) })
+	}
+	if len(sinks) > 0 || *report != "" {
+		e.tracer = telemetry.New(sinks...)
+	}
+	if *report != "" {
+		e.report = telemetry.NewReport(strings.Join(names, ","), *seed)
+		e.report.SetConfig("seeds", fmt.Sprint(*seeds))
+		e.report.SetConfig("quick", fmt.Sprint(*quick))
+		e.report.SetConfig("bulk_dur", cfg.bulkDur.String())
+		e.report.SetConfig("video_dur", cfg.videoDur.String())
+		e.report.SetConfig("pages", fmt.Sprint(cfg.pages))
+		e.report.SetConfig("loads", fmt.Sprint(cfg.loads))
+	}
+
 	for _, name := range names {
 		for s := 0; s < *seeds; s++ {
 			if *seeds > 1 {
 				fmt.Printf("--- seed %d ---\n", *seed+int64(s))
 			}
-			if err := runners[name](*seed+int64(s), cfg, *cdf); err != nil {
+			e.seed = *seed + int64(s)
+			e.prefix = name + "/"
+			if *seeds > 1 {
+				e.prefix = fmt.Sprintf("%s/seed%d/", name, e.seed)
+			}
+			if err := runners[name](e); err != nil {
 				fmt.Fprintf(os.Stderr, "hvcbench: %s: %v\n", name, err)
 				os.Exit(1)
 			}
+		}
+	}
+
+	if e.report != nil {
+		e.report.AttachCounters(e.tracer.Registry())
+		f, err := os.Create(*report)
+		if err == nil {
+			err = e.report.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hvcbench: report: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if err := e.tracer.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "hvcbench: trace: %v\n", err)
+		os.Exit(1)
+	}
+	for _, f := range files {
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "hvcbench: %v\n", err)
+			os.Exit(1)
 		}
 	}
 }
@@ -94,27 +177,47 @@ type scale struct {
 	loads    int
 }
 
-func fig1a(seed int64, sc scale, _ bool) error {
-	fmt.Printf("== Figure 1a: CCA throughput with DChannel steering (eMBB 50ms/60Mbps + URLLC 5ms/2Mbps, %v) ==\n", sc.bulkDur)
+// env carries one runner invocation's knobs and observability hooks.
+type env struct {
+	seed   int64
+	sc     scale
+	cdf    bool
+	tracer *telemetry.Tracer // nil unless -trace/-events/-report given
+	report *telemetry.Report // nil unless -report given
+	prefix string            // metric-name prefix, "<exp>/" or "<exp>/seed<N>/"
+}
+
+// metric records one headline value into the run report, when one is
+// being assembled.
+func (e env) metric(name string, v float64, unit string) {
+	if e.report != nil {
+		e.report.AddMetric(e.prefix+name, v, unit)
+	}
+}
+
+func fig1a(e env) error {
+	fmt.Printf("== Figure 1a: CCA throughput with DChannel steering (eMBB 50ms/60Mbps + URLLC 5ms/2Mbps, %v) ==\n", e.sc.bulkDur)
 	fmt.Printf("%-8s %12s %12s %8s\n", "cca", "mbps", "retransmits", "rtos")
-	results, err := core.Fig1a(seed, sc.bulkDur)
+	results, err := core.Fig1a(e.seed, e.sc.bulkDur, e.tracer)
 	if err != nil {
 		return err
 	}
 	for _, r := range results {
 		fmt.Printf("%-8s %12.2f %12d %8d\n", r.CC, r.Mbps, r.Retransmits, r.RTOs)
+		e.metric(r.CC+"/goodput", r.Mbps, "Mbps")
+		e.metric(r.CC+"/retransmits", float64(r.Retransmits), "")
 	}
 	fmt.Println()
 	return nil
 }
 
-func fig1b(seed int64, sc scale, cdf bool) error {
-	fmt.Printf("== Figure 1b: BBR packet RTTs under DChannel steering (%v) ==\n", sc.bulkDur)
-	r, err := core.Fig1b(seed, sc.bulkDur)
+func fig1b(e env) error {
+	fmt.Printf("== Figure 1b: BBR packet RTTs under DChannel steering (%v) ==\n", e.sc.bulkDur)
+	r, err := core.Fig1b(e.seed, e.sc.bulkDur, e.tracer)
 	if err != nil {
 		return err
 	}
-	if cdf {
+	if e.cdf {
 		fmt.Println("t_s\trtt_ms\tchannel")
 		for i, p := range r.RTT.Points() {
 			fmt.Printf("%.3f\t%.2f\t%s\n", p.At.Seconds(), p.Value, r.RTTChannels[i])
@@ -125,14 +228,16 @@ func fig1b(seed int64, sc scale, cdf bool) error {
 			fmt.Printf("%8v %10.1f %10.1f %10.1f\n", b.Start, b.Min, b.Mean, b.Max)
 		}
 	}
-	fmt.Printf("throughput: %.2f Mbps over %v\n\n", r.Mbps, sc.bulkDur)
+	fmt.Printf("throughput: %.2f Mbps over %v\n\n", r.Mbps, e.sc.bulkDur)
+	e.metric("goodput", r.Mbps, "Mbps")
+	e.metric("rtt_samples", float64(r.RTT.N()), "")
 	return nil
 }
 
-func fig2(seed int64, sc scale, cdf bool) error {
+func fig2(e env) error {
 	for _, tr := range []string{"lowband-driving", "mmwave-driving"} {
-		fmt.Printf("== Figure 2: real-time SVC video over %s + URLLC (%v) ==\n", tr, sc.videoDur)
-		results, err := core.Fig2(seed, sc.videoDur, tr)
+		fmt.Printf("== Figure 2: real-time SVC video over %s + URLLC (%v) ==\n", tr, e.sc.videoDur)
+		results, err := core.Fig2(e.seed, e.sc.videoDur, tr, e.tracer)
 		if err != nil {
 			return err
 		}
@@ -144,8 +249,11 @@ func fig2(seed int64, sc scale, cdf bool) error {
 				r.Latency.Percentile(50), r.Latency.Percentile(95),
 				r.Latency.Percentile(99), r.Latency.Max(),
 				r.SSIM.Mean(), r.Frozen)
+			e.metric(tr+"/"+r.Policy+"/latency_p95", r.Latency.Percentile(95), "ms")
+			e.metric(tr+"/"+r.Policy+"/ssim_mean", r.SSIM.Mean(), "")
+			e.metric(tr+"/"+r.Policy+"/frozen", float64(r.Frozen), "frames")
 		}
-		if cdf {
+		if e.cdf {
 			for _, r := range results {
 				fmt.Printf("-- latency CDF (%s/%s) --\n%s", tr, r.Policy,
 					metrics.FormatCDF(r.Latency.CDF(50), "latency_ms"))
@@ -158,11 +266,11 @@ func fig2(seed int64, sc scale, cdf bool) error {
 	return nil
 }
 
-func table1(seed int64, sc scale, _ bool) error {
-	fmt.Printf("== Table 1: web PLT (ms) with background traffic (%d pages x %d loads) ==\n", sc.pages, sc.loads)
+func table1(e env) error {
+	fmt.Printf("== Table 1: web PLT (ms) with background traffic (%d pages x %d loads) ==\n", e.sc.pages, e.sc.loads)
 	fmt.Printf("%-22s %14s %20s %24s\n", "trace", "embb-only", "dchannel", "dchannel+priority")
 	for _, tr := range []string{"lowband-stationary", "lowband-driving"} {
-		results, err := core.Table1(seed, tr, sc.pages, sc.loads)
+		results, err := core.Table1(e.seed, tr, e.sc.pages, e.sc.loads, e.tracer)
 		if err != nil {
 			return err
 		}
@@ -174,6 +282,7 @@ func table1(seed int64, sc scale, _ bool) error {
 			} else {
 				cells[i] = fmt.Sprintf("%.1f (%.1f%%)", r.PLT.Mean(), 100*(1-r.PLT.Mean()/base))
 			}
+			e.metric(tr+"/"+r.Policy+"/plt_mean", r.PLT.Mean(), "ms")
 		}
 		fmt.Printf("%-22s %14s %20s %24s\n", tr, cells[0], cells[1], cells[2])
 	}
@@ -181,9 +290,9 @@ func table1(seed int64, sc scale, _ bool) error {
 	return nil
 }
 
-func ablationCC(seed int64, sc scale, _ bool) error {
-	fmt.Printf("== Ablation (§3.2): HVC-aware congestion control (%v) ==\n", sc.bulkDur)
-	plain, aware, err := core.AblationHVCAwareCC(seed, sc.bulkDur)
+func ablationCC(e env) error {
+	fmt.Printf("== Ablation (§3.2): HVC-aware congestion control (%v) ==\n", e.sc.bulkDur)
+	plain, aware, err := core.AblationHVCAwareCC(e.seed, e.sc.bulkDur, e.tracer)
 	if err != nil {
 		return err
 	}
@@ -191,12 +300,15 @@ func ablationCC(seed int64, sc scale, _ bool) error {
 	for i := range plain {
 		fmt.Printf("%-8s %14.2f %14.2f %9.1fx\n",
 			plain[i].CC, plain[i].Mbps, aware[i].Mbps, aware[i].Mbps/plain[i].Mbps)
+		e.metric(plain[i].CC+"/plain_goodput", plain[i].Mbps, "Mbps")
+		e.metric(plain[i].CC+"/hvc_goodput", aware[i].Mbps, "Mbps")
 	}
 	fmt.Println()
 	return nil
 }
 
-func ablationMLO(seed int64, _ scale, _ bool) error {
+func ablationMLO(e env) error {
+	seed := e.seed
 	fmt.Println("== Ablation (§2.2/§3.1): Wi-Fi MLO redundancy, 1200B messages at 100/s ==")
 	fmt.Printf("%-12s %10s %10s %10s %12s\n", "mode", "delivery", "p50_ms", "p99_ms", "pkts_on_air")
 	for _, red := range []bool{false, true} {
@@ -208,7 +320,8 @@ func ablationMLO(seed int64, _ scale, _ bool) error {
 	return nil
 }
 
-func ablationCost(seed int64, _ scale, _ bool) error {
+func ablationCost(e env) error {
+	seed := e.seed
 	fmt.Println("== Ablation (§3.1): latency vs cost on a priced cISP-style path ==")
 	fmt.Printf("%-14s %10s %10s %12s %10s\n", "budget_B/s", "mean_ms", "p95_ms", "spent_bytes", "dollars")
 	for _, budget := range []float64{0, 5_000, 50_000, 500_000, 5_000_000} {
@@ -220,7 +333,8 @@ func ablationCost(seed int64, _ scale, _ bool) error {
 	return nil
 }
 
-func ablationMultipath(seed int64, sc scale, _ bool) error {
+func ablationMultipath(e env) error {
+	seed, sc := e.seed, e.sc
 	fmt.Printf("== Ablation (§1/§3.1): MPTCP-style aggregation vs steering (%v) ==\n", sc.bulkDur)
 	fmt.Printf("%-12s %12s %12s %12s %14s\n", "bulk mode", "bulk_mbps", "probe_p50", "probe_p95", "urllc_maxq_B")
 	for _, mode := range []string{"multipath", "dchannel", "priority"} {
@@ -232,7 +346,8 @@ func ablationMultipath(seed int64, sc scale, _ bool) error {
 	return nil
 }
 
-func ablationBeta(seed int64, _ scale, _ bool) error {
+func ablationBeta(e env) error {
+	seed := e.seed
 	fmt.Println("== Ablation (design choice): DChannel reward/cost β on SVC video (lowband-driving, 30s) ==")
 	fmt.Printf("%-8s %12s %10s %14s\n", "beta", "p95_ms", "ssim", "urllc_share")
 	for _, p := range core.RunBetaSweep(seed, 30*time.Second, []float64{0.25, 0.5, 1, 2, 4, 8}) {
@@ -242,7 +357,8 @@ func ablationBeta(seed int64, _ scale, _ bool) error {
 	return nil
 }
 
-func ablationTail(seed int64, _ scale, _ bool) error {
+func ablationTail(e env) error {
+	seed := e.seed
 	fmt.Println("== Ablation (§3.2): end-of-message tail acceleration, 60kB messages at 20/s ==")
 	fmt.Printf("%-12s %10s %10s %10s\n", "mode", "mean_ms", "p95_ms", "max_ms")
 	for _, boost := range []bool{false, true} {
@@ -254,13 +370,14 @@ func ablationTail(seed int64, _ scale, _ bool) error {
 	return nil
 }
 
-func ablationIANS(seed int64, sc scale, _ bool) error {
+func ablationIANS(e env) error {
+	seed, sc := e.seed, e.sc
 	fmt.Printf("== Ablation (§1 baseline): object-granularity (IANS) vs packet steering, web PLT (%d pages x %d loads) ==\n", sc.pages, sc.loads)
 	fmt.Printf("%-14s %12s %12s\n", "policy", "mean_plt_ms", "p95_plt_ms")
 	for _, policy := range []string{core.PolicyEMBBOnly, core.PolicyObjectMap, core.PolicyDChannel} {
 		r, err := core.RunWeb(core.WebConfig{
 			Seed: seed, Trace: "lowband-stationary", Policy: policy,
-			Pages: sc.pages, Loads: sc.loads,
+			Pages: sc.pages, Loads: sc.loads, Tracer: e.tracer,
 		})
 		if err != nil {
 			return err
@@ -271,7 +388,8 @@ func ablationIANS(seed int64, sc scale, _ bool) error {
 	return nil
 }
 
-func ablationHAS(seed int64, _ scale, _ bool) error {
+func ablationHAS(e env) error {
+	seed := e.seed
 	fmt.Println("== Ablation (§1 IANS-for-HAS): adaptive streaming over mmwave-driving + URLLC, 60s media ==")
 	fmt.Printf("%-12s %10s %12s %10s %10s %10s\n", "policy", "startup", "rebuffer", "events", "mean_mbps", "switches")
 	rs, err := core.ABRComparison(seed, 60*time.Second, "mmwave-driving")
@@ -288,7 +406,8 @@ func ablationHAS(seed int64, _ scale, _ bool) error {
 	return nil
 }
 
-func ablationTSN(seed int64, _ scale, _ bool) error {
+func ablationTSN(e env) error {
+	seed := e.seed
 	fmt.Println("== Ablation (§2.2): wireless TSN vs contended best-effort Wi-Fi, 60ms control loops ==")
 	fmt.Printf("%-14s %12s %12s %12s\n", "mode", "miss_rate", "p99_ms", "completed")
 	for _, useTSN := range []bool{false, true} {

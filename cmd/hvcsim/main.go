@@ -7,6 +7,11 @@
 //	hvcsim -workload bulk  -cc bbr   -policy dchannel -dur 30s
 //	hvcsim -workload video -policy priority -trace mmwave-driving
 //	hvcsim -workload web   -policy dchannel+priority -trace lowband-driving
+//
+// -report writes a machine-readable JSON run report and -tracefile a
+// Perfetto-loadable Chrome trace of the run (bulk, video, and web
+// workloads; -trace names the eMBB bandwidth trace, hence the longer
+// flag for the event trace).
 package main
 
 import (
@@ -17,29 +22,44 @@ import (
 
 	"hvc/internal/core"
 	"hvc/internal/metrics"
+	"hvc/internal/telemetry"
 )
 
 func main() {
 	var (
-		workload = flag.String("workload", "bulk", "bulk, video, web, abr, or game")
-		ccName   = flag.String("cc", "cubic", "congestion control for bulk/web (cubic, reno, bbr, vegas, vivace, hvc-*)")
-		policy   = flag.String("policy", core.PolicyDChannel, "steering policy (embb-only, dchannel, priority, dchannel+priority)")
-		traceNm  = flag.String("trace", "fixed", "eMBB trace (fixed, lowband-stationary, lowband-driving, mmwave-driving)")
-		dur      = flag.Duration("dur", 30*time.Second, "run duration")
-		seed     = flag.Int64("seed", 1, "simulation seed")
-		pages    = flag.Int("pages", 5, "web: pages to load")
-		capFile  = flag.String("capture", "", "bulk: write per-channel time series CSV to this file")
+		workload  = flag.String("workload", "bulk", "bulk, video, web, abr, or game")
+		ccName    = flag.String("cc", "cubic", "congestion control for bulk/web (cubic, reno, bbr, vegas, vivace, hvc-*)")
+		policy    = flag.String("policy", core.PolicyDChannel, "steering policy (embb-only, dchannel, priority, dchannel+priority)")
+		traceNm   = flag.String("trace", "fixed", "eMBB trace (fixed, lowband-stationary, lowband-driving, mmwave-driving)")
+		dur       = flag.Duration("dur", 30*time.Second, "run duration")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		pages     = flag.Int("pages", 5, "web: pages to load")
+		capFile   = flag.String("capture", "", "bulk: write per-channel time series CSV to this file")
+		report    = flag.String("report", "", "write a JSON run report to this file (bulk/video/web)")
+		traceFile = flag.String("tracefile", "", "write a Chrome trace-event file (Perfetto-loadable) to this file (bulk/video/web)")
 	)
 	flag.Parse()
 
-	var err error
+	obs, err := newObserver(*workload, *seed, *report, *traceFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hvcsim: %v\n", err)
+		os.Exit(1)
+	}
+	obs.config("workload", *workload)
+	obs.config("policy", *policy)
+	obs.config("trace", *traceNm)
+
 	switch *workload {
 	case "bulk":
-		err = runBulk(*seed, *dur, *ccName, *policy, *traceNm, *capFile)
+		obs.config("cc", *ccName)
+		obs.config("dur", dur.String())
+		err = runBulk(*seed, *dur, *ccName, *policy, *traceNm, *capFile, obs)
 	case "video":
-		err = runVideo(*seed, *dur, *policy, *traceNm)
+		obs.config("dur", dur.String())
+		err = runVideo(*seed, *dur, *policy, *traceNm, obs)
 	case "web":
-		err = runWeb(*seed, *policy, *traceNm, *pages)
+		obs.config("pages", fmt.Sprint(*pages))
+		err = runWeb(*seed, *policy, *traceNm, *pages, obs)
 	case "abr":
 		err = runABR(*seed, *dur, *policy, *traceNm)
 	case "game":
@@ -47,19 +67,94 @@ func main() {
 	default:
 		err = fmt.Errorf("unknown workload %q", *workload)
 	}
+	if err == nil {
+		err = obs.finish(*report)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hvcsim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func runBulk(seed int64, dur time.Duration, ccName, policy, traceNm, capFile string) error {
+// observer bundles the optional tracer and run report of one scenario.
+// The zero observer (no -report/-tracefile) is fully inert.
+type observer struct {
+	tracer    *telemetry.Tracer
+	report    *telemetry.Report
+	traceFile *os.File
+}
+
+func newObserver(workload string, seed int64, reportPath, tracePath string) (*observer, error) {
+	o := &observer{}
+	if reportPath == "" && tracePath == "" {
+		return o, nil
+	}
+	switch workload {
+	case "bulk", "video", "web":
+	default:
+		return nil, fmt.Errorf("-report/-tracefile are not supported for workload %q", workload)
+	}
+	var sinks []telemetry.Sink
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		o.traceFile = f
+		sinks = append(sinks, telemetry.NewChromeTrace(f))
+	}
+	o.tracer = telemetry.New(sinks...)
+	if reportPath != "" {
+		o.report = telemetry.NewReport(workload, seed)
+	}
+	return o, nil
+}
+
+func (o *observer) config(key, value string) {
+	if o.report != nil {
+		o.report.SetConfig(key, value)
+	}
+}
+
+func (o *observer) metric(name string, v float64, unit string) {
+	if o.report != nil {
+		o.report.AddMetric(name, v, unit)
+	}
+}
+
+// finish flushes the trace and, when requested, writes the report.
+func (o *observer) finish(reportPath string) error {
+	if o.report != nil {
+		o.report.AttachCounters(o.tracer.Registry())
+		f, err := os.Create(reportPath)
+		if err != nil {
+			return err
+		}
+		if err := o.report.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if err := o.tracer.Close(); err != nil {
+		return err
+	}
+	if o.traceFile != nil {
+		return o.traceFile.Close()
+	}
+	return nil
+}
+
+func runBulk(seed int64, dur time.Duration, ccName, policy, traceNm, capFile string, obs *observer) error {
 	tr, err := core.NewTrace(traceNm, seed, dur+time.Minute)
 	if err != nil {
 		return err
 	}
 	cfg := core.BulkConfig{
 		Seed: seed, Duration: dur, CC: ccName, Policy: policy, EMBB: tr,
+		Tracer: obs.tracer,
 	}
 	if capFile != "" {
 		cfg.CaptureEvery = 100 * time.Millisecond
@@ -84,6 +179,9 @@ func runBulk(seed int64, dur time.Duration, ccName, policy, traceNm, capFile str
 	fmt.Printf("  retransmits  %d (rtos %d)\n", r.Retransmits, r.RTOs)
 	fmt.Printf("  rtt          %s\n", summarizeRTT(r))
 	fmt.Printf("  channels     %s\n", core.SortedCounts(r.ChannelShare))
+	obs.metric("goodput", r.Mbps, "Mbps")
+	obs.metric("retransmits", float64(r.Retransmits), "")
+	obs.metric("rtos", float64(r.RTOs), "")
 	return nil
 }
 
@@ -99,8 +197,8 @@ func summarizeRTT(r core.BulkResult) string {
 		dist.N(), dist.Percentile(50), dist.Percentile(95), dist.Max())
 }
 
-func runVideo(seed int64, dur time.Duration, policy, traceNm string) error {
-	r, err := core.RunVideo(core.VideoConfig{Seed: seed, Duration: dur, Trace: traceNm, Policy: policy})
+func runVideo(seed int64, dur time.Duration, policy, traceNm string, obs *observer) error {
+	r, err := core.RunVideo(core.VideoConfig{Seed: seed, Duration: dur, Trace: traceNm, Policy: policy, Tracer: obs.tracer})
 	if err != nil {
 		return err
 	}
@@ -109,12 +207,16 @@ func runVideo(seed int64, dur time.Duration, policy, traceNm string) error {
 	fmt.Printf("  latency      p50=%.0fms p95=%.0fms p99=%.0fms max=%.0fms\n",
 		r.Latency.Percentile(50), r.Latency.Percentile(95), r.Latency.Percentile(99), r.Latency.Max())
 	fmt.Printf("  ssim         mean=%.3f p5=%.3f\n", r.SSIM.Mean(), r.SSIM.Percentile(5))
+	obs.metric("latency_p95", r.Latency.Percentile(95), "ms")
+	obs.metric("ssim_mean", r.SSIM.Mean(), "")
+	obs.metric("frozen", float64(r.Frozen), "frames")
 	return nil
 }
 
-func runWeb(seed int64, policy, traceNm string, pages int) error {
+func runWeb(seed int64, policy, traceNm string, pages int, obs *observer) error {
 	r, err := core.RunWeb(core.WebConfig{
 		Seed: seed, Trace: traceNm, Policy: policy, Pages: pages, Loads: 1,
+		Tracer: obs.tracer,
 	})
 	if err != nil {
 		return err
@@ -123,6 +225,8 @@ func runWeb(seed int64, policy, traceNm string, pages int) error {
 	fmt.Printf("  mean PLT     %v\n", r.MeanPLT.Round(time.Millisecond))
 	fmt.Printf("  p95 PLT      %.0f ms\n", r.PLT.Percentile(95))
 	fmt.Printf("  background   %d uploads, %d downloads\n", r.BgUploads, r.BgDownloads)
+	obs.metric("plt_mean", r.PLT.Mean(), "ms")
+	obs.metric("plt_p95", r.PLT.Percentile(95), "ms")
 	return nil
 }
 

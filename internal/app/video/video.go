@@ -20,6 +20,7 @@ import (
 	"hvc/internal/metrics"
 	"hvc/internal/packet"
 	"hvc/internal/sim"
+	"hvc/internal/telemetry"
 	"hvc/internal/transport"
 )
 
@@ -117,8 +118,9 @@ func (s *Sender) sendFrame(f int) {
 // Receiver applies the decode rule and accumulates the latency and
 // SSIM distributions Fig. 2 plots.
 type Receiver struct {
-	loop *sim.Loop
-	cfg  Config
+	loop   *sim.Loop
+	cfg    Config
+	tracer *telemetry.Tracer
 
 	frames  map[int]*frameState
 	decoded map[int]int // frame → decoded layer (-1 not decoded)
@@ -153,9 +155,20 @@ func NewReceiver(loop *sim.Loop, cfg Config) *Receiver {
 	}
 }
 
+// SetTracer installs the telemetry hook; nil disables tracing.
+func (r *Receiver) SetTracer(t *telemetry.Tracer) { r.tracer = t }
+
 // Attach installs the receiver as conn's message handler.
 func (r *Receiver) Attach(conn *transport.Conn) {
 	conn.OnMessage(func(_ *transport.Conn, m transport.Message) { r.onMessage(m) })
+}
+
+// deadline is the decode rule's worst-case wait: DecodeWait after layer
+// 0 arrives, which itself may trail the send by up to two frame
+// intervals before the next-two-frames condition fires. A frame decoded
+// within it is a telemetry "hit"; later, a "miss" (visible freeze).
+func (r *Receiver) deadline() time.Duration {
+	return r.cfg.DecodeWait + 2*time.Second/time.Duration(r.cfg.FPS)
 }
 
 func (r *Receiver) onMessage(m transport.Message) {
@@ -233,8 +246,21 @@ func (r *Receiver) decode(f int) {
 	fs.decodedL = level
 	r.decoded[f] = level
 	r.Decoded++
-	r.Latency.AddDuration(r.loop.Now() - fs.sentAt)
+	latency := r.loop.Now() - fs.sentAt
+	r.Latency.AddDuration(latency)
 	r.SSIM.Add(SSIMByLayer[level])
+	if r.tracer.Enabled() {
+		result := "hit"
+		if latency > r.deadline() {
+			result = "miss"
+		}
+		r.tracer.Emit(telemetry.Event{
+			Layer: telemetry.LayerApp, Name: telemetry.EvFrameDecode,
+			Msg: uint64(f), Dur: latency, Value: float64(level), Detail: result,
+		})
+		r.tracer.Count("video_frames_decoded_total", 1, "result", result)
+		r.tracer.SetGauge("video_ssim_last", SSIMByLayer[level])
+	}
 	// Drop per-layer state we no longer need (keep decodedL for the
 	// dependency checks of the next frames).
 	fs.timer = nil

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"hvc/internal/packet"
+	"hvc/internal/telemetry"
 	"hvc/internal/transport"
 )
 
@@ -227,6 +228,9 @@ type LoadOptions struct {
 	// favor render-blocking resources. Off, every request/response is
 	// priority 0, the paper's Table 1 configuration.
 	KindPriorities bool
+	// Tracer receives per-object completion and page-complete events;
+	// nil disables app-layer tracing for the load.
+	Tracer *telemetry.Tracer
 }
 
 // Load fetches page over a fresh connection from ep and calls done at
@@ -263,6 +267,14 @@ func LoadWith(ep *transport.Endpoint, cfg transport.Config, page *Page, opts Loa
 	finish := func() {
 		res.PLT = loop.Now() - start
 		conn.Close()
+		if opts.Tracer.Enabled() {
+			opts.Tracer.Emit(telemetry.Event{
+				Layer: telemetry.LayerApp, Name: telemetry.EvPageComplete,
+				Flow: uint32(conn.Flow()), Bytes: res.Bytes,
+				Dur: res.PLT, Value: float64(res.Objects), Detail: page.Name,
+			})
+			opts.Tracer.Count("web_pages_loaded_total", 1)
+		}
 		done(res)
 	}
 
@@ -284,6 +296,14 @@ func LoadWith(ep *transport.Endpoint, cfg transport.Config, page *Page, opts Loa
 		}
 		res.Objects++
 		res.Bytes += obj.Size
+		if opts.Tracer.Enabled() {
+			opts.Tracer.Emit(telemetry.Event{
+				Layer: telemetry.LayerApp, Name: telemetry.EvObjectDone,
+				Flow: uint32(conn.Flow()), Msg: uint64(obj.ID), Bytes: obj.Size,
+				Dur: m.Latency(), Detail: page.Name,
+			})
+			opts.Tracer.Count("web_objects_loaded_total", 1)
+		}
 		if blocking[obj.ID] {
 			blockingLeft--
 			if blockingLeft == 0 {

@@ -134,3 +134,43 @@ func TestSamplerValidation(t *testing.T) {
 	}()
 	NewSampler(loop, g, 0)
 }
+
+// TestSamplerCSVGolden pins WriteCSV's exact output for a small
+// deterministic scenario: one 1000-byte packet into URLLC's A side at
+// t=0, sampled every 50 ms for 200 ms. Row order is group order
+// (embb, urllc) then side (A, B) then time; any format or ordering
+// change must update this golden.
+func TestSamplerCSVGolden(t *testing.T) {
+	loop, g := world(7)
+	s := NewSampler(loop, g, 50*time.Millisecond)
+	urllc := g.Get(channel.NameURLLC)
+	loop.At(0, func() { urllc.Send(channel.A, &packet.Packet{ID: 1, Size: 1000}) })
+	loop.RunUntil(200 * time.Millisecond)
+	s.Stop()
+
+	var sb strings.Builder
+	if err := s.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	const golden = `t_ms,channel,side,queue_bytes,delivered_bytes,drops
+50,embb,A,0,0,0
+100,embb,A,0,0,0
+150,embb,A,0,0,0
+200,embb,A,0,0,0
+50,embb,B,0,0,0
+100,embb,B,0,0,0
+150,embb,B,0,0,0
+200,embb,B,0,0,0
+50,urllc,A,0,1000,0
+100,urllc,A,0,0,0
+150,urllc,A,0,0,0
+200,urllc,A,0,0,0
+50,urllc,B,0,0,0
+100,urllc,B,0,0,0
+150,urllc,B,0,0,0
+200,urllc,B,0,0,0
+`
+	if got := sb.String(); got != golden {
+		t.Fatalf("WriteCSV output drifted from golden:\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"hvc/internal/netem"
 	"hvc/internal/packet"
 	"hvc/internal/sim"
+	"hvc/internal/telemetry"
 	"hvc/internal/trace"
 )
 
@@ -112,6 +113,13 @@ func New(loop *sim.Loop, cfg Config) *Channel {
 	return c
 }
 
+// SetTracer installs the telemetry hook on both directions' links;
+// nil disables tracing.
+func (c *Channel) SetTracer(t *telemetry.Tracer) {
+	c.toA.SetTracer(t)
+	c.toB.SetTracer(t)
+}
+
 // Props returns the channel's property sheet.
 func (c *Channel) Props() Properties { return c.props }
 
@@ -188,6 +196,14 @@ func (g *Group) All() []*Channel { return g.channels }
 
 // Get returns the named channel, or nil when absent.
 func (g *Group) Get(name string) *Channel { return g.byName[name] }
+
+// SetTracer installs the telemetry hook on every channel of the
+// group; nil disables tracing.
+func (g *Group) SetTracer(t *telemetry.Tracer) {
+	for _, c := range g.channels {
+		c.SetTracer(t)
+	}
+}
 
 // Len reports the number of channels.
 func (g *Group) Len() int { return len(g.channels) }

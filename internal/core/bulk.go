@@ -9,6 +9,7 @@ import (
 	"hvc/internal/metrics"
 	"hvc/internal/sim"
 	"hvc/internal/steering"
+	"hvc/internal/telemetry"
 	"hvc/internal/trace"
 	"hvc/internal/transport"
 )
@@ -29,6 +30,10 @@ type BulkConfig struct {
 	// CaptureEvery, when positive, attaches a channel sampler at that
 	// cadence; the result's Capture field exposes the recorded series.
 	CaptureEvery time.Duration
+	// Tracer receives cross-layer telemetry for the run; nil disables
+	// tracing. The runner binds the run's virtual clock and announces a
+	// run boundary, so one tracer may span several runs.
+	Tracer *telemetry.Tracer
 }
 
 // BulkResult reports one bulk run.
@@ -78,6 +83,12 @@ func RunBulk(cfg BulkConfig) (BulkResult, error) {
 	client := transport.NewEndpoint(loop, g, channel.A)
 	server := transport.NewEndpoint(loop, g, channel.B)
 
+	cfg.Tracer.BeginRun(fmt.Sprintf("bulk cc=%s policy=%s seed=%d", cfg.CC, cfg.Policy, cfg.Seed))
+	cfg.Tracer.BindClock(loop.Now)
+	g.SetTracer(cfg.Tracer)
+	client.SetTracer(cfg.Tracer)
+	server.SetTracer(cfg.Tracer)
+
 	res := BulkResult{CC: cfg.CC, Policy: cfg.Policy}
 	if cfg.CaptureEvery > 0 {
 		res.Capture = capture.NewSampler(loop, g, cfg.CaptureEvery)
@@ -117,11 +128,12 @@ func RunBulk(cfg BulkConfig) (BulkResult, error) {
 }
 
 // Fig1a runs the four-CCA comparison of Figure 1a and returns results
-// in CCA order: CUBIC, BBR, Vegas, Vivace.
-func Fig1a(seed int64, dur time.Duration) ([]BulkResult, error) {
+// in CCA order: CUBIC, BBR, Vegas, Vivace. tr (optionally nil) traces
+// every run.
+func Fig1a(seed int64, dur time.Duration, tr *telemetry.Tracer) ([]BulkResult, error) {
 	var out []BulkResult
 	for _, name := range []string{"cubic", "bbr", "vegas", "vivace"} {
-		r, err := RunBulk(BulkConfig{Seed: seed, Duration: dur, CC: name})
+		r, err := RunBulk(BulkConfig{Seed: seed, Duration: dur, CC: name, Tracer: tr})
 		if err != nil {
 			return nil, err
 		}
@@ -130,20 +142,21 @@ func Fig1a(seed int64, dur time.Duration) ([]BulkResult, error) {
 	return out, nil
 }
 
-// Fig1b runs the BBR RTT-trace experiment of Figure 1b.
-func Fig1b(seed int64, dur time.Duration) (BulkResult, error) {
-	return RunBulk(BulkConfig{Seed: seed, Duration: dur, CC: "bbr"})
+// Fig1b runs the BBR RTT-trace experiment of Figure 1b. tr (optionally
+// nil) traces the run.
+func Fig1b(seed int64, dur time.Duration, tr *telemetry.Tracer) (BulkResult, error) {
+	return RunBulk(BulkConfig{Seed: seed, Duration: dur, CC: "bbr", Tracer: tr})
 }
 
 // AblationHVCAwareCC runs the §3.2 remedy: each delay-sensitive CCA
 // with and without the HVC-aware sample filter, same setup as Fig. 1a.
-func AblationHVCAwareCC(seed int64, dur time.Duration) (plain, aware []BulkResult, err error) {
+func AblationHVCAwareCC(seed int64, dur time.Duration, tr *telemetry.Tracer) (plain, aware []BulkResult, err error) {
 	for _, name := range []string{"bbr", "vegas", "vivace"} {
-		p, err := RunBulk(BulkConfig{Seed: seed, Duration: dur, CC: name})
+		p, err := RunBulk(BulkConfig{Seed: seed, Duration: dur, CC: name, Tracer: tr})
 		if err != nil {
 			return nil, nil, err
 		}
-		a, err := RunBulk(BulkConfig{Seed: seed, Duration: dur, CC: "hvc-" + name})
+		a, err := RunBulk(BulkConfig{Seed: seed, Duration: dur, CC: "hvc-" + name, Tracer: tr})
 		if err != nil {
 			return nil, nil, err
 		}

@@ -101,7 +101,7 @@ func TestRunBulkValidation(t *testing.T) {
 }
 
 func TestFig1aShapeShort(t *testing.T) {
-	results, err := Fig1a(1, 15*time.Second)
+	results, err := Fig1a(1, 15*time.Second, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +126,7 @@ func TestFig1aShapeShort(t *testing.T) {
 }
 
 func TestFig1bRTTOscillates(t *testing.T) {
-	r, err := Fig1b(1, 15*time.Second)
+	r, err := Fig1b(1, 15*time.Second, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +153,7 @@ func TestFig1bRTTOscillates(t *testing.T) {
 }
 
 func TestAblationHVCAwareRecovers(t *testing.T) {
-	plain, aware, err := AblationHVCAwareCC(1, 15*time.Second)
+	plain, aware, err := AblationHVCAwareCC(1, 15*time.Second, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +186,7 @@ func TestRunVideoValidation(t *testing.T) {
 }
 
 func TestFig2ShapeShort(t *testing.T) {
-	results, err := Fig2(1, 20*time.Second, "lowband-driving")
+	results, err := Fig2(1, 20*time.Second, "lowband-driving", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +228,7 @@ func TestRunWebValidation(t *testing.T) {
 }
 
 func TestTable1ShapeShort(t *testing.T) {
-	results, err := Table1(1, "lowband-stationary", 4, 1)
+	results, err := Table1(1, "lowband-stationary", 4, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

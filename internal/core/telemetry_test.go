@@ -1,0 +1,158 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"hvc/internal/telemetry"
+)
+
+// traceBulk runs a short bulk experiment with the given sinks attached
+// and returns the result.
+func traceBulk(t *testing.T, seed int64, sinks ...telemetry.Sink) BulkResult {
+	t.Helper()
+	tr := telemetry.New(sinks...)
+	r, err := RunBulk(BulkConfig{Seed: seed, Duration: 3 * time.Second, CC: "bbr", Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestTraceDeterministic is the tentpole reproducibility guarantee:
+// two runs with identical configuration and seed must serialize to
+// bit-identical trace bytes, for both exporters.
+func TestTraceDeterministic(t *testing.T) {
+	var jsonl1, jsonl2, chrome1, chrome2 bytes.Buffer
+	traceBulk(t, 7, telemetry.NewJSONL(&jsonl1), telemetry.NewChromeTrace(&chrome1))
+	traceBulk(t, 7, telemetry.NewJSONL(&jsonl2), telemetry.NewChromeTrace(&chrome2))
+
+	if jsonl1.Len() == 0 {
+		t.Fatal("JSONL trace is empty")
+	}
+	if !bytes.Equal(jsonl1.Bytes(), jsonl2.Bytes()) {
+		t.Fatal("JSONL trace bytes differ between identical-seed runs")
+	}
+	if !bytes.Equal(chrome1.Bytes(), chrome2.Bytes()) {
+		t.Fatal("Chrome trace bytes differ between identical-seed runs")
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chrome1.Bytes(), &doc); err != nil {
+		t.Fatalf("Chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("Chrome trace has no events")
+	}
+}
+
+// TestTraceSeedSensitive guards against a trivially-constant trace
+// satisfying the determinism test: different seeds must diverge.
+func TestTraceSeedSensitive(t *testing.T) {
+	var a, b bytes.Buffer
+	traceBulk(t, 7, telemetry.NewJSONL(&a))
+	traceBulk(t, 8, telemetry.NewJSONL(&b))
+	if bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("traces for different seeds are identical")
+	}
+}
+
+// TestTracingDoesNotChangeMetrics asserts the zero-interference
+// property: an experiment's results are identical whether tracing is
+// off (nil tracer), on with no sinks, or on with a live exporter.
+func TestTracingDoesNotChangeMetrics(t *testing.T) {
+	plain, err := RunBulk(BulkConfig{Seed: 11, Duration: 3 * time.Second, CC: "cubic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range []*telemetry.Tracer{telemetry.New(), telemetry.New(telemetry.NewJSONL(&bytes.Buffer{}))} {
+		traced, err := RunBulk(BulkConfig{Seed: 11, Duration: 3 * time.Second, CC: "cubic", Tracer: tr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if traced.Mbps != plain.Mbps || traced.Retransmits != plain.Retransmits ||
+			traced.RTOs != plain.RTOs || traced.RTT.N() != plain.RTT.N() {
+			t.Fatalf("tracing changed bulk metrics: plain %+v traced %+v",
+				[]any{plain.Mbps, plain.Retransmits, plain.RTOs, plain.RTT.N()},
+				[]any{traced.Mbps, traced.Retransmits, traced.RTOs, traced.RTT.N()})
+		}
+	}
+
+	vplain, err := RunVideo(VideoConfig{Seed: 11, Duration: 4 * time.Second, Trace: "lowband-driving", Policy: PolicyDChannel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vtraced, err := RunVideo(VideoConfig{Seed: 11, Duration: 4 * time.Second, Trace: "lowband-driving", Policy: PolicyDChannel,
+		Tracer: telemetry.New(telemetry.NewJSONL(&bytes.Buffer{}))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vtraced.Decoded != vplain.Decoded || vtraced.Frozen != vplain.Frozen ||
+		vtraced.Latency.Mean() != vplain.Latency.Mean() || vtraced.SSIM.Mean() != vplain.SSIM.Mean() {
+		t.Fatalf("tracing changed video metrics: plain %+v traced %+v",
+			[]any{vplain.Decoded, vplain.Frozen, vplain.Latency.Mean()},
+			[]any{vtraced.Decoded, vtraced.Frozen, vtraced.Latency.Mean()})
+	}
+}
+
+// TestTraceEmitsAllLayers checks that one bulk run exercises every
+// instrumented layer the workload can reach.
+func TestTraceEmitsAllLayers(t *testing.T) {
+	var buf bytes.Buffer
+	traceBulk(t, 3, telemetry.NewJSONL(&buf))
+	for _, want := range []string{
+		`"layer":"channel","name":"enqueue"`,
+		`"layer":"channel","name":"deliver"`,
+		`"layer":"transport","name":"send"`,
+		`"layer":"transport","name":"ack"`,
+		`"layer":"transport","name":"rtt"`,
+		`"layer":"cc","name":"cwnd"`,
+		`"layer":"steering","name":"decision"`,
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("trace missing %s events", want)
+		}
+	}
+}
+
+// TestRunReportCounters checks that a traced run's registry lands in
+// the report with the layered counters populated.
+func TestRunReportCounters(t *testing.T) {
+	tr := telemetry.New()
+	if _, err := RunBulk(BulkConfig{Seed: 5, Duration: 2 * time.Second, CC: "cubic", Tracer: tr}); err != nil {
+		t.Fatal(err)
+	}
+	rep := telemetry.NewReport("bulk", 5)
+	rep.AddMetric("goodput", 1.23, "Mbps")
+	rep.AttachCounters(tr.Registry())
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed telemetry.Report
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if parsed.Schema != telemetry.ReportSchema {
+		t.Fatalf("schema = %q, want %q", parsed.Schema, telemetry.ReportSchema)
+	}
+	names := make(map[string]bool)
+	for _, c := range parsed.Counters {
+		names[c.Name] = true
+	}
+	for _, want := range []string{
+		"netem_sent_total", "netem_delivered_bytes_total",
+		"transport_sent_bytes_total", "transport_acked_bytes_total",
+		"steering_decisions_total", "cc_cwnd_bytes",
+	} {
+		if !names[want] {
+			t.Errorf("report counters missing %s", want)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"hvc/internal/channel"
 	"hvc/internal/metrics"
 	"hvc/internal/sim"
+	"hvc/internal/telemetry"
 	"hvc/internal/transport"
 )
 
@@ -21,6 +22,9 @@ type VideoConfig struct {
 	Trace string
 	// Policy names the steering policy applied to the video flow.
 	Policy string
+	// Tracer receives cross-layer telemetry for the run; nil disables
+	// tracing.
+	Tracer *telemetry.Tracer
 }
 
 // VideoResult reports one video run.
@@ -54,8 +58,15 @@ func RunVideo(cfg VideoConfig) (VideoResult, error) {
 	client := transport.NewEndpoint(loop, g, channel.A)
 	server := transport.NewEndpoint(loop, g, channel.B)
 
+	cfg.Tracer.BeginRun(fmt.Sprintf("video trace=%s policy=%s seed=%d", cfg.Trace, cfg.Policy, cfg.Seed))
+	cfg.Tracer.BindClock(loop.Now)
+	g.SetTracer(cfg.Tracer)
+	client.SetTracer(cfg.Tracer)
+	server.SetTracer(cfg.Tracer)
+
 	vcfg := video.Config{Duration: cfg.Duration}
 	recv := video.NewReceiver(loop, vcfg)
+	recv.SetTracer(cfg.Tracer)
 	server.Listen(func() transport.Config {
 		return transport.Config{
 			Steer:      mustPolicy(cfg.Policy, g, channel.B),
@@ -88,11 +99,12 @@ func RunVideo(cfg VideoConfig) (VideoResult, error) {
 }
 
 // Fig2 runs the three steering policies over one trace and returns
-// them in the paper's order: eMBB-only, DChannel, priority.
-func Fig2(seed int64, dur time.Duration, traceName string) ([]VideoResult, error) {
+// them in the paper's order: eMBB-only, DChannel, priority. tr
+// (optionally nil) traces every run.
+func Fig2(seed int64, dur time.Duration, traceName string, tr *telemetry.Tracer) ([]VideoResult, error) {
 	var out []VideoResult
 	for _, policy := range []string{PolicyEMBBOnly, PolicyDChannel, PolicyPriority} {
-		r, err := RunVideo(VideoConfig{Seed: seed, Duration: dur, Trace: traceName, Policy: policy})
+		r, err := RunVideo(VideoConfig{Seed: seed, Duration: dur, Trace: traceName, Policy: policy, Tracer: tr})
 		if err != nil {
 			return nil, err
 		}

@@ -9,6 +9,7 @@ import (
 	"hvc/internal/metrics"
 	"hvc/internal/packet"
 	"hvc/internal/sim"
+	"hvc/internal/telemetry"
 	"hvc/internal/transport"
 )
 
@@ -31,6 +32,9 @@ type WebConfig struct {
 	// Background disables the two competing flows when false is
 	// explicitly configured via NoBackground.
 	NoBackground bool
+	// Tracer receives cross-layer telemetry for the run; nil disables
+	// tracing.
+	Tracer *telemetry.Tracer
 }
 
 // WebResult reports one web experiment.
@@ -67,6 +71,12 @@ func RunWeb(cfg WebConfig) (WebResult, error) {
 	g := Cellular(loop, tr)
 	client := transport.NewEndpoint(loop, g, channel.A)
 	server := transport.NewEndpoint(loop, g, channel.B)
+
+	cfg.Tracer.BeginRun(fmt.Sprintf("web trace=%s policy=%s seed=%d", cfg.Trace, cfg.Policy, cfg.Seed))
+	cfg.Tracer.BindClock(loop.Now)
+	g.SetTracer(cfg.Tracer)
+	client.SetTracer(cfg.Tracer)
+	server.SetTracer(cfg.Tracer)
 
 	web.Serve(server, func() transport.Config {
 		alg, _ := NewCC("cubic") // the paper uses TCP CUBIC throughout
@@ -108,7 +118,7 @@ func RunWeb(cfg WebConfig) (WebResult, error) {
 			loop.Stop()
 			return
 		}
-		web.Load(client, pageCfg(), corpus[page], func(r web.LoadResult) {
+		web.LoadWith(client, pageCfg(), corpus[page], web.LoadOptions{Tracer: cfg.Tracer}, func(r web.LoadResult) {
 			res.PLT.AddDuration(r.PLT)
 			next := func() {
 				if iter+1 < cfg.Loads {
@@ -135,13 +145,14 @@ func RunWeb(cfg WebConfig) (WebResult, error) {
 }
 
 // Table1 runs the three policies over one trace in the paper's column
-// order: eMBB-only, DChannel, DChannel with priority.
-func Table1(seed int64, traceName string, pages, loads int) ([]WebResult, error) {
+// order: eMBB-only, DChannel, DChannel with priority. tr (optionally
+// nil) traces every run.
+func Table1(seed int64, traceName string, pages, loads int, tr *telemetry.Tracer) ([]WebResult, error) {
 	var out []WebResult
 	for _, policy := range []string{PolicyEMBBOnly, PolicyDChannel, PolicyDChannelPriority} {
 		r, err := RunWeb(WebConfig{
 			Seed: seed, Trace: traceName, Policy: policy,
-			Pages: pages, Loads: loads,
+			Pages: pages, Loads: loads, Tracer: tr,
 		})
 		if err != nil {
 			return nil, err

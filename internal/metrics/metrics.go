@@ -223,7 +223,11 @@ func (ts *TimeSeries) Buckets(width time.Duration) []Bucket {
 
 // Rate interprets each point's value as a byte count and reports the
 // aggregate rate in bits per second between the first and last point.
-// It returns 0 when the series spans no time.
+// The first point anchors the interval and its value is excluded: a
+// point's bytes belong to the interval ending at its timestamp, and
+// the interval ending at the first point lies outside the span (an
+// N-point series covers N-1 intervals). It returns 0 when the series
+// spans no time.
 func (ts *TimeSeries) Rate() float64 {
 	if len(ts.points) < 2 {
 		return 0
@@ -233,7 +237,7 @@ func (ts *TimeSeries) Rate() float64 {
 		return 0
 	}
 	var bytes float64
-	for _, p := range ts.points {
+	for _, p := range ts.points[1:] {
 		bytes += p.Value
 	}
 	return bytes * 8 / span.Seconds()

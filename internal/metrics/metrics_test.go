@@ -207,9 +207,24 @@ func TestBucketsPanicOnZeroWidth(t *testing.T) {
 
 func TestTimeSeriesRate(t *testing.T) {
 	var ts TimeSeries
-	// 1 MB over 1 second = 8 Mbps.
+	// The first point anchors the interval: its 500 kB arrived before
+	// the measured span and must not be counted. 500 kB over 1 second
+	// = 4 Mbps.
 	ts.Add(0, 500_000)
 	ts.Add(time.Second, 500_000)
+	if got := Mbps(ts.Rate()); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("Rate = %v Mbps, want 4", got)
+	}
+}
+
+func TestTimeSeriesRateMultiPoint(t *testing.T) {
+	var ts TimeSeries
+	// Steady 250 kB every 250 ms after the anchor: 1 MB over 1 s
+	// regardless of how many interior points record it.
+	ts.Add(0, 999_999) // anchor value ignored
+	for i := 1; i <= 4; i++ {
+		ts.Add(time.Duration(i)*250*time.Millisecond, 250_000)
+	}
 	if got := Mbps(ts.Rate()); math.Abs(got-8) > 1e-9 {
 		t.Fatalf("Rate = %v Mbps, want 8", got)
 	}
@@ -262,5 +277,73 @@ func BenchmarkPercentile(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d.Percentile(95)
+	}
+}
+
+func TestCDFSingleValue(t *testing.T) {
+	var d Distribution
+	d.Add(42)
+	pts := d.CDF(5)
+	if len(pts) != 5 {
+		t.Fatalf("CDF returned %d points, want 5", len(pts))
+	}
+	for _, p := range pts {
+		if p.Value != 42 || p.Frac != 1 {
+			t.Fatalf("single-value CDF point = %+v, want {42 1}", p)
+		}
+	}
+}
+
+func TestCDFDuplicates(t *testing.T) {
+	var d Distribution
+	for _, v := range []float64{2, 1, 2, 3, 2} {
+		d.Add(v)
+	}
+	pts := d.CDF(5)
+	if len(pts) != 5 {
+		t.Fatalf("CDF returned %d points, want 5", len(pts))
+	}
+	if pts[0].Value != 1 || pts[len(pts)-1].Value != 3 {
+		t.Fatalf("CDF endpoints = %v..%v, want 1..3", pts[0].Value, pts[len(pts)-1].Value)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Value < pts[i-1].Value || pts[i].Frac < pts[i-1].Frac {
+			t.Fatalf("CDF not monotone at %d: %+v -> %+v", i, pts[i-1], pts[i])
+		}
+	}
+	if pts[len(pts)-1].Frac != 1 {
+		t.Fatalf("CDF final frac = %v, want 1", pts[len(pts)-1].Frac)
+	}
+}
+
+func TestCDFMorePointsThanValues(t *testing.T) {
+	var d Distribution
+	d.Add(1)
+	d.Add(2)
+	pts := d.CDF(10)
+	if len(pts) != 10 {
+		t.Fatalf("CDF returned %d points, want 10", len(pts))
+	}
+	if pts[0].Value != 1 || pts[len(pts)-1].Value != 2 {
+		t.Fatalf("CDF endpoints = %v..%v, want 1..2", pts[0].Value, pts[len(pts)-1].Value)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Value < pts[i-1].Value || pts[i].Frac < pts[i-1].Frac {
+			t.Fatalf("CDF not monotone at %d: %+v -> %+v", i, pts[i-1], pts[i])
+		}
+	}
+	if pts[len(pts)-1].Frac != 1 {
+		t.Fatalf("CDF final frac = %v, want 1", pts[len(pts)-1].Frac)
+	}
+}
+
+func TestCDFDegenerate(t *testing.T) {
+	var d Distribution
+	if d.CDF(10) != nil {
+		t.Fatal("empty distribution should yield nil CDF")
+	}
+	d.Add(1)
+	if d.CDF(1) != nil {
+		t.Fatal("points < 2 should yield nil CDF")
 	}
 }

@@ -13,6 +13,7 @@ import (
 
 	"hvc/internal/packet"
 	"hvc/internal/sim"
+	"hvc/internal/telemetry"
 	"hvc/internal/trace"
 )
 
@@ -61,6 +62,7 @@ type Link struct {
 	busy        bool
 	lastArrival time.Duration // FIFO clamp for delay decreases
 	stats       Stats
+	tracer      *telemetry.Tracer
 }
 
 // New returns a Link delivering packets to sink. It panics if cfg.Trace
@@ -86,6 +88,11 @@ func New(loop *sim.Loop, cfg Config, sink Sink) *Link {
 
 // Name reports the link's configured name.
 func (l *Link) Name() string { return l.cfg.Name }
+
+// SetTracer installs the telemetry hook; nil disables tracing. The
+// link emits enqueue, drop, and deliver events and maintains the
+// netem_* counters, all labeled with the link's name.
+func (l *Link) SetTracer(t *telemetry.Tracer) { l.tracer = t }
 
 // Stats returns a snapshot of the link's counters.
 func (l *Link) Stats() Stats { return l.stats }
@@ -123,11 +130,23 @@ func (l *Link) Send(p *packet.Packet) bool {
 	l.stats.Sent++
 	if l.queuedBytes+p.Size > l.cfg.QueueBytes {
 		l.stats.DroppedQueue++
+		l.tracer.Emit(telemetry.Event{
+			Layer: telemetry.LayerChannel, Name: telemetry.EvDrop,
+			Channel: l.cfg.Name, Flow: uint32(p.Flow), Seq: p.Seq,
+			Bytes: p.Size, Detail: "queue",
+		})
+		l.tracer.Count("netem_dropped_total", 1, "channel", l.cfg.Name, "reason", "queue")
 		return false
 	}
 	p.Channel = l.cfg.Name
 	l.queue = append(l.queue, p)
 	l.queuedBytes += p.Size
+	l.tracer.Emit(telemetry.Event{
+		Layer: telemetry.LayerChannel, Name: telemetry.EvEnqueue,
+		Channel: l.cfg.Name, Flow: uint32(p.Flow), Seq: p.Seq,
+		Bytes: p.Size, Value: float64(l.queuedBytes),
+	})
+	l.tracer.Count("netem_sent_total", 1, "channel", l.cfg.Name)
 	l.kick()
 	return true
 }
@@ -165,6 +184,12 @@ func (l *Link) finishTx(p *packet.Packet) {
 	// spent the air time but the packet never arrives.
 	if l.cfg.LossProb > 0 && l.loop.Rand().Float64() < l.cfg.LossProb {
 		l.stats.DroppedRandom++
+		l.tracer.Emit(telemetry.Event{
+			Layer: telemetry.LayerChannel, Name: telemetry.EvDrop,
+			Channel: l.cfg.Name, Flow: uint32(p.Flow), Seq: p.Seq,
+			Bytes: p.Size, Detail: "loss",
+		})
+		l.tracer.Count("netem_dropped_total", 1, "channel", l.cfg.Name, "reason", "loss")
 		l.kick()
 		return
 	}
@@ -179,7 +204,15 @@ func (l *Link) finishTx(p *packet.Packet) {
 	l.lastArrival = arrival
 	l.stats.Delivered++
 	l.stats.BytesDelivered += int64(p.Size)
-	l.loop.At(arrival, func() { l.sink(p) })
+	l.loop.At(arrival, func() {
+		l.tracer.Emit(telemetry.Event{
+			Layer: telemetry.LayerChannel, Name: telemetry.EvDeliver,
+			Channel: l.cfg.Name, Flow: uint32(p.Flow), Seq: p.Seq,
+			Bytes: p.Size, Dur: l.loop.Now() - p.SentAt,
+		})
+		l.tracer.Count("netem_delivered_bytes_total", float64(p.Size), "channel", l.cfg.Name)
+		l.sink(p)
+	})
 
 	l.kick()
 }

@@ -39,6 +39,27 @@ type Policy interface {
 	Pick(p *packet.Packet) []*channel.Channel
 }
 
+// A Reasoner is a Policy that can explain its most recent Pick: a
+// short machine-greppable string ("control:narrow-faster",
+// "bulk-flow") recorded by the telemetry layer with each steering
+// decision. Every policy in this package implements it.
+type Reasoner interface {
+	// LastReason describes the most recent Pick. Valid until the next
+	// Pick on the same policy.
+	LastReason() string
+}
+
+// Reason extracts p's last decision reason when p explains itself,
+// and falls back to the policy name otherwise.
+func Reason(p Policy) string {
+	if r, ok := p.(Reasoner); ok {
+		if s := r.LastReason(); s != "" {
+			return s
+		}
+	}
+	return p.Name()
+}
+
 // Counter wraps a Policy and tallies per-channel decisions; the
 // experiment harness uses it to report channel shares.
 type Counter struct {
@@ -63,6 +84,14 @@ func (c *Counter) Pick(p *packet.Packet) []*channel.Channel {
 // Counts reports decisions per channel name so far.
 func (c *Counter) Counts() map[string]int { return c.counts }
 
+// LastReason implements Reasoner by delegating to the wrapped policy.
+func (c *Counter) LastReason() string {
+	if r, ok := c.Policy.(Reasoner); ok {
+		return r.LastReason()
+	}
+	return ""
+}
+
 // Single sends everything on one channel.
 type Single struct {
 	ch *channel.Channel
@@ -85,6 +114,9 @@ func (s *Single) Pick(*packet.Packet) []*channel.Channel {
 	return []*channel.Channel{s.ch}
 }
 
+// LastReason implements Reasoner.
+func (s *Single) LastReason() string { return "single" }
+
 // DChannelConfig parameterizes the DChannel heuristic.
 type DChannelConfig struct {
 	// Wide and Narrow name the high-bandwidth and low-latency
@@ -100,10 +132,11 @@ type DChannelConfig struct {
 // treated as if it might complete a message (the paper's explanation
 // of why it underperforms priority-aware steering on SVC video).
 type DChannel struct {
-	side   channel.Side
-	wide   *channel.Channel
-	narrow *channel.Channel
-	beta   float64
+	side       channel.Side
+	wide       *channel.Channel
+	narrow     *channel.Channel
+	beta       float64
+	lastReason string
 }
 
 // NewDChannel builds the heuristic over g as seen from side. It panics
@@ -128,6 +161,9 @@ func NewDChannel(g *channel.Group, side channel.Side, cfg DChannelConfig) *DChan
 // Name implements Policy.
 func (d *DChannel) Name() string { return "dchannel" }
 
+// LastReason implements Reasoner.
+func (d *DChannel) LastReason() string { return d.lastReason }
+
 // Pick implements Policy.
 func (d *DChannel) Pick(p *packet.Packet) []*channel.Channel {
 	if d.pickNarrow(p) {
@@ -145,14 +181,24 @@ func (d *DChannel) pickNarrow(p *packet.Packet) bool {
 		// Control traffic (ACKs, probes) is tiny and reliably
 		// latency-sensitive; DChannel accelerates it whenever the
 		// narrow channel is currently the faster way to deliver it.
-		return narrowDelay < wideDelay
+		if narrowDelay < wideDelay {
+			d.lastReason = "control:narrow-faster"
+			return true
+		}
+		d.lastReason = "control:wide-faster"
+		return false
 	}
 	// Reward: expected one-way latency saved by this packet. Cost:
 	// the transmission time it occupies on the narrow channel, which
 	// delays everything behind it there.
 	reward := wideDelay - narrowDelay
 	cost := time.Duration(d.beta * float64(txTime(p.Size, d.narrow)))
-	return reward > cost
+	if reward > cost {
+		d.lastReason = "reward>cost"
+		return true
+	}
+	d.lastReason = "reward<=cost"
+	return false
 }
 
 func (d *DChannel) oneWay(ch *channel.Channel) time.Duration {
@@ -188,10 +234,11 @@ type PriorityConfig struct {
 // the application-transport interface) and keeps the constrained
 // low-latency channel for traffic the application declared important.
 type Priority struct {
-	cfg      PriorityConfig
-	fallback *DChannel
-	narrow   *channel.Channel
-	wide     *channel.Channel
+	cfg        PriorityConfig
+	fallback   *DChannel
+	narrow     *channel.Channel
+	wide       *channel.Channel
+	lastReason string
 }
 
 // NewPriority builds the policy over g as seen from side.
@@ -214,19 +261,27 @@ func (pr *Priority) Name() string {
 	return "priority"
 }
 
+// LastReason implements Reasoner.
+func (pr *Priority) LastReason() string { return pr.lastReason }
+
 // Pick implements Policy.
 func (pr *Priority) Pick(p *packet.Packet) []*channel.Channel {
 	// Bulk background flows never occupy the narrow channel; this is
 	// the flow-priority input that removes Table 1's queue build-up.
 	if p.FlowPriority == packet.PriorityBulk {
+		pr.lastReason = "bulk-flow"
 		return []*channel.Channel{pr.wide}
 	}
 	if pr.cfg.AdmitPrio >= 0 && p.Kind == packet.Data && int(p.Priority) <= pr.cfg.AdmitPrio {
+		pr.lastReason = "prio-admit"
 		return []*channel.Channel{pr.narrow}
 	}
 	if pr.cfg.Heuristic || p.Kind != packet.Data {
-		return pr.fallback.Pick(p)
+		chs := pr.fallback.Pick(p)
+		pr.lastReason = pr.fallback.LastReason()
+		return chs
 	}
+	pr.lastReason = "default-wide"
 	return []*channel.Channel{pr.wide}
 }
 
@@ -248,6 +303,9 @@ func NewRedundant(g *channel.Group) *Redundant {
 
 // Name implements Policy.
 func (r *Redundant) Name() string { return "redundant" }
+
+// LastReason implements Reasoner.
+func (r *Redundant) LastReason() string { return "replicate" }
 
 // Pick implements Policy.
 func (r *Redundant) Pick(p *packet.Packet) []*channel.Channel {
@@ -287,6 +345,7 @@ type CostAware struct {
 	tokens     float64
 	lastRefill time.Duration
 	spentBytes int64
+	lastReason string
 }
 
 // NewCostAware builds the policy; now supplies virtual time (the
@@ -320,6 +379,9 @@ func (c *CostAware) Cost() float64 {
 	return float64(c.spentBytes) * c.priced.Props().CostPerByte
 }
 
+// LastReason implements Reasoner.
+func (c *CostAware) LastReason() string { return c.lastReason }
+
 // Pick implements Policy.
 func (c *CostAware) Pick(p *packet.Packet) []*channel.Channel {
 	c.refill()
@@ -328,7 +390,13 @@ func (c *CostAware) Pick(p *packet.Packet) []*channel.Channel {
 	if benefit > c.cfg.MinBenefit && c.tokens >= float64(p.Size) {
 		c.tokens -= float64(p.Size)
 		c.spentBytes += int64(p.Size)
+		c.lastReason = "benefit-in-budget"
 		return []*channel.Channel{c.priced}
+	}
+	if benefit > c.cfg.MinBenefit {
+		c.lastReason = "budget-exhausted"
+	} else {
+		c.lastReason = "no-benefit"
 	}
 	return []*channel.Channel{c.cheap}
 }
@@ -363,10 +431,11 @@ type TailBoostConfig struct {
 // the narrow channel whenever that is currently the faster way to
 // deliver them.
 type TailBoost struct {
-	base   Policy
-	side   channel.Side
-	narrow *channel.Channel
-	tail   int
+	base       Policy
+	side       channel.Side
+	narrow     *channel.Channel
+	tail       int
+	lastReason string
 }
 
 // NewTailBoost wraps base over g as seen from side.
@@ -390,15 +459,20 @@ func NewTailBoost(base Policy, g *channel.Group, side channel.Side, cfg TailBoos
 // Name implements Policy.
 func (t *TailBoost) Name() string { return t.base.Name() + "+tail" }
 
+// LastReason implements Reasoner.
+func (t *TailBoost) LastReason() string { return t.lastReason }
+
 // Pick implements Policy.
 func (t *TailBoost) Pick(p *packet.Packet) []*channel.Channel {
 	chosen := t.base.Pick(p)
+	t.lastReason = Reason(t.base)
 	if p.Kind != packet.Data || p.MsgRemaining >= t.tail || len(chosen) != 1 || chosen[0] == t.narrow {
 		return chosen
 	}
 	baseDelay := chosen[0].Props().BaseRTT/2 + chosen[0].QueueDelay(t.side) + txTime(p.Size, chosen[0])
 	narrowDelay := t.narrow.Props().BaseRTT/2 + t.narrow.QueueDelay(t.side) + txTime(p.Size, t.narrow)
 	if narrowDelay < baseDelay {
+		t.lastReason = "tail-boost"
 		return []*channel.Channel{t.narrow}
 	}
 	return chosen
@@ -430,6 +504,7 @@ type ObjectMap struct {
 	small  int
 	// assignment is sticky per message, the defining IANS property.
 	assignment map[uint64]*channel.Channel
+	lastReason string
 }
 
 // NewObjectMap builds the policy over g as seen from side.
@@ -456,11 +531,15 @@ func NewObjectMap(g *channel.Group, side channel.Side, cfg ObjectMapConfig) *Obj
 // Name implements Policy.
 func (o *ObjectMap) Name() string { return "objectmap" }
 
+// LastReason implements Reasoner.
+func (o *ObjectMap) LastReason() string { return o.lastReason }
+
 // Pick implements Policy.
 func (o *ObjectMap) Pick(p *packet.Packet) []*channel.Channel {
 	if p.Kind != packet.Data {
 		// IANS operates above the transport; its control traffic just
 		// follows the default (wide) network.
+		o.lastReason = "control-default"
 		return []*channel.Channel{o.wide}
 	}
 	ch, ok := o.assignment[p.MsgID]
@@ -470,10 +549,14 @@ func (o *ObjectMap) Pick(p *packet.Packet) []*channel.Channel {
 		objectSize := p.MsgRemaining + p.Size - packet.HeaderBytes
 		if objectSize <= o.small {
 			ch = o.narrow
+			o.lastReason = "object-small"
 		} else {
 			ch = o.wide
+			o.lastReason = "object-large"
 		}
 		o.assignment[p.MsgID] = ch
+	} else {
+		o.lastReason = "object-sticky"
 	}
 	return []*channel.Channel{ch}
 }

@@ -1,0 +1,158 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// A ChromeTraceSink writes the Chrome trace-event JSON format, which
+// Perfetto (ui.perfetto.dev) and chrome://tracing load directly.
+//
+// Layout: each run (BeginRun) is one process; within a run, events
+// are grouped onto one track (thread) per virtual channel, one per
+// flow for channel-less transport events, and one per layer for the
+// rest. Congestion-window updates additionally emit Chrome counter
+// events, so cwnd renders as a stepped graph per flow.
+//
+// Events stream to the writer as they arrive; Close finalizes the
+// JSON document.
+type ChromeTraceSink struct {
+	w       io.Writer
+	err     error
+	started bool
+	wrote   bool
+
+	pid    int
+	tids   map[string]int
+	nextID int
+}
+
+// NewChromeTrace returns a sink writing to w.
+func NewChromeTrace(w io.Writer) *ChromeTraceSink {
+	return &ChromeTraceSink{w: w, pid: 1, tids: make(map[string]int), nextID: 1}
+}
+
+// BeginRun implements Sink: subsequent events belong to a new process
+// named label.
+func (s *ChromeTraceSink) BeginRun(label string) {
+	if s.started {
+		s.pid++
+		s.tids = make(map[string]int)
+		s.nextID = 1
+	}
+	s.emit(map[string]any{
+		"ph": "M", "pid": s.pid, "tid": 0, "name": "process_name",
+		"args": map[string]any{"name": label},
+	})
+}
+
+// track maps an event to its thread ID, allocating (and naming) the
+// track on first use.
+func (s *ChromeTraceSink) track(ev Event) int {
+	var key string
+	switch {
+	case ev.Channel != "" && ev.Layer == LayerChannel:
+		key = "channel " + ev.Channel
+	case ev.Flow != 0:
+		key = fmt.Sprintf("flow %d %s", ev.Flow, ev.Layer)
+	default:
+		key = ev.Layer
+	}
+	tid, ok := s.tids[key]
+	if !ok {
+		tid = s.nextID
+		s.nextID++
+		s.tids[key] = tid
+		s.emit(map[string]any{
+			"ph": "M", "pid": s.pid, "tid": tid, "name": "thread_name",
+			"args": map[string]any{"name": key},
+		})
+	}
+	return tid
+}
+
+// Event implements Sink.
+func (s *ChromeTraceSink) Event(ev Event) {
+	tid := s.track(ev)
+	ts := float64(ev.At) / float64(time.Microsecond)
+	args := map[string]any{}
+	if ev.Channel != "" {
+		args["channel"] = ev.Channel
+	}
+	if ev.Flow != 0 {
+		args["flow"] = ev.Flow
+	}
+	if ev.Seq != 0 {
+		args["seq"] = ev.Seq
+	}
+	if ev.Msg != 0 {
+		args["msg"] = ev.Msg
+	}
+	if ev.Bytes != 0 {
+		args["bytes"] = ev.Bytes
+	}
+	if ev.Dur != 0 {
+		args["dur_us"] = int64(ev.Dur / time.Microsecond)
+	}
+	if ev.Value != 0 {
+		args["value"] = ev.Value
+	}
+	if ev.Detail != "" {
+		args["detail"] = ev.Detail
+	}
+	s.emit(map[string]any{
+		"name": ev.Layer + "." + ev.Name, "cat": ev.Layer,
+		"ph": "i", "s": "t", "ts": ts, "pid": s.pid, "tid": tid,
+		"args": args,
+	})
+	if ev.Name == EvCwnd {
+		s.emit(map[string]any{
+			"name": fmt.Sprintf("cwnd flow %d", ev.Flow), "ph": "C",
+			"ts": ts, "pid": s.pid, "tid": 0,
+			"args": map[string]any{"cwnd_bytes": ev.Value},
+		})
+	}
+}
+
+// emit streams one trace record. json.Marshal sorts map keys, so the
+// byte stream is deterministic for a deterministic event stream.
+func (s *ChromeTraceSink) emit(rec map[string]any) {
+	if s.err != nil {
+		return
+	}
+	if !s.started {
+		s.started = true
+		if _, err := io.WriteString(s.w, `{"traceEvents":[`); err != nil {
+			s.err = err
+			return
+		}
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		s.err = err
+		return
+	}
+	if s.wrote {
+		b = append([]byte{',', '\n'}, b...)
+	}
+	s.wrote = true
+	if _, err := s.w.Write(b); err != nil {
+		s.err = err
+	}
+}
+
+// Close implements Sink, terminating the JSON document.
+func (s *ChromeTraceSink) Close() error {
+	if s.err != nil {
+		return s.err
+	}
+	if !s.started {
+		if _, err := io.WriteString(s.w, `{"traceEvents":[`); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(s.w, `],"displayTimeUnit":"ms"}`+"\n")
+	return err
+}

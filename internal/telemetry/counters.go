@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Metric kinds recorded by the Registry.
+const (
+	KindCounter = "counter"
+	KindGauge   = "gauge"
+)
+
+// A Record is one registry entry in a Snapshot: a named, labeled
+// scalar with counter or gauge semantics.
+type Record struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Kind   string            `json:"kind"`
+	Value  float64           `json:"value"`
+}
+
+// A Registry holds labeled counters and gauges. Counters accumulate
+// (Add); gauges hold the most recent value (Set). A nil *Registry is
+// the disabled registry: every method is a no-op.
+//
+// Snapshots are deterministic: entries come out sorted by name, then
+// by their canonical label encoding, independent of insertion order.
+type Registry struct {
+	entries map[string]*entry
+}
+
+type entry struct {
+	name   string
+	labels []string // alternating key,value, as given
+	kind   string
+	value  float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+// Add accumulates n into the named counter. labels are alternating
+// key,value pairs; an odd trailing key panics (a call-site bug).
+func (r *Registry) Add(name string, n float64, labels ...string) {
+	if r == nil {
+		return
+	}
+	e := r.get(name, KindCounter, labels)
+	e.value += n
+}
+
+// Set records v as the named gauge's current value.
+func (r *Registry) Set(name string, v float64, labels ...string) {
+	if r == nil {
+		return
+	}
+	e := r.get(name, KindGauge, labels)
+	e.value = v
+}
+
+// Value reads a metric's current value, or 0 when absent.
+func (r *Registry) Value(name string, labels ...string) float64 {
+	if r == nil {
+		return 0
+	}
+	e, ok := r.entries[canonical(name, labels)]
+	if !ok {
+		return 0
+	}
+	return e.value
+}
+
+func (r *Registry) get(name, kind string, labels []string) *entry {
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("telemetry: metric %q has an odd label list %v", name, labels))
+	}
+	key := canonical(name, labels)
+	e, ok := r.entries[key]
+	if !ok {
+		e = &entry{name: name, labels: append([]string(nil), labels...), kind: kind}
+		r.entries[key] = e
+	}
+	if e.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %q used as both %s and %s", name, e.kind, kind))
+	}
+	return e
+}
+
+// canonical encodes a metric identity as "name{k=v,k=v}" with label
+// keys sorted, so the same labels in any order address one entry.
+func canonical(name string, labels []string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	pairs := make([]string, 0, len(labels)/2)
+	for i := 0; i+1 < len(labels); i += 2 {
+		pairs = append(pairs, labels[i]+"="+labels[i+1])
+	}
+	sort.Strings(pairs)
+	return name + "{" + strings.Join(pairs, ",") + "}"
+}
+
+// Snapshot returns every entry as a Record, sorted by name then by
+// canonical label encoding. The records copy the registry's state;
+// mutating them does not affect it.
+func (r *Registry) Snapshot() []Record {
+	if r == nil {
+		return nil
+	}
+	keys := make([]string, 0, len(r.entries))
+	for k := range r.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Record, 0, len(keys))
+	for _, k := range keys {
+		e := r.entries[k]
+		rec := Record{Name: e.name, Kind: e.kind, Value: e.value}
+		if len(e.labels) > 0 {
+			rec.Labels = make(map[string]string, len(e.labels)/2)
+			for i := 0; i+1 < len(e.labels); i += 2 {
+				rec.Labels[e.labels[i]] = e.labels[i+1]
+			}
+		}
+		out = append(out, rec)
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// A JSONLSink writes one JSON object per line: run-boundary records
+// as {"run": label} and events with a fixed field order (struct-tag
+// order, empties omitted). Field order and number formatting are
+// stable across runs, so identical event streams produce identical
+// bytes — the property the determinism test asserts.
+type JSONLSink struct {
+	w   io.Writer
+	err error
+}
+
+// NewJSONL returns a sink writing to w.
+func NewJSONL(w io.Writer) *JSONLSink { return &JSONLSink{w: w} }
+
+// jsonlEvent is the serialized shape of an Event. Times are integer
+// microseconds of virtual time: exact for the granularities the
+// simulator uses, and free of float formatting pitfalls.
+type jsonlEvent struct {
+	AtUS    int64   `json:"at_us"`
+	Layer   string  `json:"layer"`
+	Name    string  `json:"name"`
+	Channel string  `json:"channel,omitempty"`
+	Flow    uint32  `json:"flow,omitempty"`
+	Seq     uint64  `json:"seq,omitempty"`
+	Msg     uint64  `json:"msg,omitempty"`
+	Bytes   int     `json:"bytes,omitempty"`
+	DurUS   int64   `json:"dur_us,omitempty"`
+	Value   float64 `json:"value,omitempty"`
+	Detail  string  `json:"detail,omitempty"`
+}
+
+// Event implements Sink.
+func (s *JSONLSink) Event(ev Event) {
+	if s.err != nil {
+		return
+	}
+	s.write(jsonlEvent{
+		AtUS:    int64(ev.At / time.Microsecond),
+		Layer:   ev.Layer,
+		Name:    ev.Name,
+		Channel: ev.Channel,
+		Flow:    ev.Flow,
+		Seq:     ev.Seq,
+		Msg:     ev.Msg,
+		Bytes:   ev.Bytes,
+		DurUS:   int64(ev.Dur / time.Microsecond),
+		Value:   ev.Value,
+		Detail:  ev.Detail,
+	})
+}
+
+// BeginRun implements Sink.
+func (s *JSONLSink) BeginRun(label string) {
+	if s.err != nil {
+		return
+	}
+	s.write(struct {
+		Run string `json:"run"`
+	}{Run: label})
+}
+
+func (s *JSONLSink) write(v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		s.err = err
+		return
+	}
+	b = append(b, '\n')
+	if _, err := s.w.Write(b); err != nil {
+		s.err = err
+	}
+}
+
+// Close implements Sink, reporting any write error seen.
+func (s *JSONLSink) Close() error { return s.err }

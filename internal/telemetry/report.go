@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// ReportSchema identifies the run-report JSON layout. Bump it when a
+// field changes meaning; additive fields keep the version.
+const ReportSchema = "hvc-run-report/v1"
+
+// A Metric is one headline result of a run: a named scalar with a
+// unit. Metrics keep insertion order, so a report reads in the order
+// the experiment produced its numbers.
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit,omitempty"`
+}
+
+// A Report is the machine-readable record of one experiment
+// invocation: what ran (experiment, seed, config), what came out
+// (headline metrics), and the final counter snapshot. Every field
+// serializes deterministically, so reports diff cleanly between runs
+// and append mechanically to the bench trajectory.
+type Report struct {
+	Schema     string            `json:"schema"`
+	Experiment string            `json:"experiment"`
+	Seed       int64             `json:"seed"`
+	Config     map[string]string `json:"config,omitempty"`
+	Metrics    []Metric          `json:"metrics"`
+	Counters   []Record          `json:"counters,omitempty"`
+}
+
+// NewReport starts a report for the named experiment and seed.
+func NewReport(experiment string, seed int64) *Report {
+	return &Report{Schema: ReportSchema, Experiment: experiment, Seed: seed}
+}
+
+// SetConfig records one configuration key (trace name, policy, CCA,
+// duration) describing the run.
+func (r *Report) SetConfig(key, value string) {
+	if r.Config == nil {
+		r.Config = make(map[string]string)
+	}
+	r.Config[key] = value
+}
+
+// AddMetric appends one headline metric.
+func (r *Report) AddMetric(name string, value float64, unit string) {
+	r.Metrics = append(r.Metrics, Metric{Name: name, Value: value, Unit: unit})
+}
+
+// AttachCounters snapshots reg into the report, replacing any earlier
+// snapshot. A nil registry clears the section.
+func (r *Report) AttachCounters(reg *Registry) {
+	r.Counters = reg.Snapshot()
+}
+
+// WriteJSON serializes the report, indented, to w. json.Marshal sorts
+// the config map's keys, so output is deterministic.
+func (r *Report) WriteJSON(w io.Writer) error {
+	if r.Metrics == nil {
+		r.Metrics = []Metric{} // serialize as [], not null
+	}
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

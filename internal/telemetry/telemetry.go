@@ -1,0 +1,209 @@
+// Package telemetry is the cross-layer observability subsystem: a
+// deterministic, virtual-time-stamped event tracer with pluggable
+// exporters, a labeled counters/gauges registry, and a machine-
+// readable run report. Every layer of the stack — netem links,
+// channels, the transport, congestion control, steering policies, and
+// the applications — emits structured events through a *Tracer hook.
+//
+// The Tracer is nil-safe: every method on a nil *Tracer is a no-op,
+// so the data path carries exactly one nil check per event when
+// tracing is disabled and no instrumentation branches elsewhere.
+// Timestamps come from the simulation loop's virtual clock (bind it
+// with BindClock), which makes traces a pure function of the seed:
+// two runs with the same configuration and seed produce bit-identical
+// trace bytes, and enabling tracing never changes an experiment's
+// metrics (both properties are asserted by tests in internal/core).
+package telemetry
+
+import (
+	"strings"
+	"time"
+)
+
+// Layer names used in Event.Layer. One constant per instrumented
+// subsystem, so exporters can group and filter consistently.
+const (
+	LayerSim       = "sim"
+	LayerChannel   = "channel"
+	LayerTransport = "transport"
+	LayerCC        = "cc"
+	LayerSteering  = "steering"
+	LayerApp       = "app"
+)
+
+// Event names emitted by the instrumented layers. The set is open —
+// exporters must not assume it is exhaustive — but the stack sticks
+// to these so traces are greppable.
+const (
+	// channel/netem events.
+	EvEnqueue = "enqueue" // packet accepted into a link queue
+	EvDrop    = "drop"    // packet dropped (Detail: "queue" or "loss")
+	EvDeliver = "deliver" // packet arrived at the far side
+
+	// transport events.
+	EvSend       = "send"       // data segment transmitted
+	EvAck        = "ack"        // new data acknowledged
+	EvRetransmit = "retransmit" // segment declared lost and requeued
+	EvRTO        = "rto"        // retransmission timeout fired
+	EvRTT        = "rtt"        // RTT sample taken (Dur: the sample)
+
+	// cc events.
+	EvCwnd   = "cwnd"   // window update (Value: cwnd bytes, Detail: algorithm)
+	EvPacing = "pacing" // pacing-rate update (Value: bits/s, Detail: algorithm)
+
+	// steering events.
+	EvDecision = "decision" // per-packet steering choice (Detail: reason)
+
+	// app events.
+	EvFrameDecode  = "frame_decode"  // video frame decoded (Detail: hit/miss)
+	EvObjectDone   = "object_done"   // web object fully arrived
+	EvPageComplete = "page_complete" // web page onLoad fired
+)
+
+// An Event is one timestamped occurrence somewhere in the stack. The
+// field set is a fixed superset of what every layer needs; unused
+// fields stay zero and are omitted by exporters. Fixed fields (rather
+// than a map) keep emission allocation-free and serialization
+// deterministic.
+type Event struct {
+	// At is the virtual time of the event, stamped by the Tracer from
+	// the bound clock.
+	At time.Duration
+	// Layer and Name classify the event (see the constants above).
+	Layer string
+	Name  string
+	// Channel names the virtual channel involved, when any.
+	Channel string
+	// Flow and Seq identify the transport flow and segment, when any.
+	Flow uint32
+	Seq  uint64
+	// Msg identifies the application message, frame, or object.
+	Msg uint64
+	// Bytes is the payload or wire size the event concerns.
+	Bytes int
+	// Dur carries a duration measurement (an RTT sample, a latency).
+	Dur time.Duration
+	// Value carries a scalar measurement (a cwnd, a decode layer).
+	Value float64
+	// Detail is a short free-form qualifier: a drop reason, a steering
+	// reason, an algorithm name.
+	Detail string
+}
+
+// A Sink consumes the event stream. Sinks are driven strictly in
+// emission order from the single simulation goroutine; they need no
+// locking.
+type Sink interface {
+	// Event records one event.
+	Event(ev Event)
+	// BeginRun marks a run boundary: the virtual clock restarts at
+	// zero and subsequent events belong to the named run. Exporters
+	// use it to separate back-to-back experiments in one output.
+	BeginRun(label string)
+	// Close flushes and finalizes the sink's output.
+	Close() error
+}
+
+// A Tracer fans events out to its sinks and owns a counters registry.
+// The zero of *Tracer (nil) is the disabled tracer: every method is a
+// no-op, so call sites need no enabled-checks.
+type Tracer struct {
+	now   func() time.Duration
+	sinks []Sink
+	reg   *Registry
+}
+
+// New builds a Tracer over the given sinks. Bind a virtual clock with
+// BindClock before the first event; until then events are stamped 0.
+func New(sinks ...Sink) *Tracer {
+	return &Tracer{sinks: sinks, reg: NewRegistry()}
+}
+
+// Enabled reports whether the tracer records anything. It is the
+// guard for call sites whose event construction is itself expensive
+// (string joins, formatting); plain struct-literal emissions do not
+// need it.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// BindClock installs the virtual-time source, normally a sim.Loop's
+// Now method. Rebinding is allowed: experiment harnesses that execute
+// several runs bind each run's fresh loop in turn (and should call
+// BeginRun so exporters can tell the runs apart).
+func (t *Tracer) BindClock(now func() time.Duration) {
+	if t == nil {
+		return
+	}
+	t.now = now
+}
+
+// BeginRun forwards a run boundary to every sink.
+func (t *Tracer) BeginRun(label string) {
+	if t == nil {
+		return
+	}
+	for _, s := range t.sinks {
+		s.BeginRun(label)
+	}
+}
+
+// Registry returns the tracer's counters registry, or nil for the
+// disabled tracer (the Registry is itself nil-safe).
+func (t *Tracer) Registry() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// Emit stamps ev with the current virtual time and hands it to every
+// sink. On a nil Tracer it is a no-op.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	if t.now != nil {
+		ev.At = t.now()
+	}
+	for _, s := range t.sinks {
+		s.Event(ev)
+	}
+}
+
+// Count adds n to the named counter; labels are key,value pairs.
+func (t *Tracer) Count(name string, n float64, labels ...string) {
+	if t == nil {
+		return
+	}
+	t.reg.Add(name, n, labels...)
+}
+
+// SetGauge sets the named gauge; labels are key,value pairs.
+func (t *Tracer) SetGauge(name string, v float64, labels ...string) {
+	if t == nil {
+		return
+	}
+	t.reg.Set(name, v, labels...)
+}
+
+// Close closes every sink, returning the first error.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	var first error
+	for _, s := range t.sinks {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// JoinNames renders a channel-name list as one comma-separated
+// Detail/Channel value, the convention exporters and tests rely on.
+func JoinNames(names []string) string {
+	if len(names) == 1 {
+		return names[0]
+	}
+	return strings.Join(names, ",")
+}

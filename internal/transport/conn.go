@@ -2,12 +2,14 @@ package transport
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"hvc/internal/cc"
 	"hvc/internal/packet"
 	"hvc/internal/sim"
 	"hvc/internal/steering"
+	"hvc/internal/telemetry"
 )
 
 // Config parameterizes one connection.
@@ -157,7 +159,8 @@ type Conn struct {
 	onMessage   func(*Conn, Message)
 	onRTTSample func(now, rtt time.Duration, ch string)
 
-	stats Stats
+	tracer *telemetry.Tracer
+	stats  Stats
 }
 
 func newConn(e *Endpoint, flow packet.FlowID, cfg Config, client bool) *Conn {
@@ -174,6 +177,7 @@ func newConn(e *Endpoint, flow packet.FlowID, cfg Config, client bool) *Conn {
 		ackedIndex: make(map[string]int64),
 		rcvMsgs:    make(map[uint64]*rcvMsg),
 		nextMsgID:  1,
+		tracer:     e.tracer,
 	}
 	if cfg.Multipath {
 		c.initMultipath()
@@ -315,6 +319,32 @@ func (c *Conn) transmitCtrl(p *packet.Packet) {
 		return
 	}
 	c.ep.transmit(c, p)
+}
+
+// traceCC records the congestion controller's post-event state: a
+// cwnd trace event (and pacing, for paced algorithms) tagged with the
+// algorithm name, plus the cc_* gauges.
+// flowLabel renders a flow ID as a metric label value.
+func flowLabel(f packet.FlowID) string { return strconv.FormatUint(uint64(f), 10) }
+
+func (c *Conn) traceCC(alg cc.Algorithm) {
+	if c.tracer == nil {
+		return
+	}
+	flow := flowLabel(c.flow)
+	cwnd := float64(alg.CWND())
+	c.tracer.Emit(telemetry.Event{
+		Layer: telemetry.LayerCC, Name: telemetry.EvCwnd,
+		Flow: uint32(c.flow), Value: cwnd, Detail: alg.Name(),
+	})
+	c.tracer.SetGauge("cc_cwnd_bytes", cwnd, "flow", flow, "alg", alg.Name())
+	if rate := alg.PacingRate(); rate > 0 {
+		c.tracer.Emit(telemetry.Event{
+			Layer: telemetry.LayerCC, Name: telemetry.EvPacing,
+			Flow: uint32(c.flow), Value: rate, Detail: alg.Name(),
+		})
+		c.tracer.SetGauge("cc_pacing_bps", rate, "flow", flow, "alg", alg.Name())
+	}
 }
 
 // newPacket builds a packet stamped with the connection's identity.

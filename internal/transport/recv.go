@@ -7,6 +7,7 @@ import (
 	"hvc/internal/cc"
 	"hvc/internal/packet"
 	"hvc/internal/sim"
+	"hvc/internal/telemetry"
 )
 
 // ackAfterGap triggers per-channel loss detection once this many later
@@ -184,6 +185,17 @@ func (c *Conn) handleAck(_ *packet.Packet, pl *ackPayload) {
 	if c.onRTTSample != nil {
 		c.onRTTSample(now, rtt, chName)
 	}
+	if c.tracer.Enabled() {
+		c.tracer.Emit(telemetry.Event{
+			Layer: telemetry.LayerTransport, Name: telemetry.EvAck,
+			Flow: uint32(c.flow), Seq: newest.seq, Bytes: newlyBytes,
+		})
+		c.tracer.Emit(telemetry.Event{
+			Layer: telemetry.LayerTransport, Name: telemetry.EvRTT,
+			Channel: chName, Flow: uint32(c.flow), Seq: newest.seq, Dur: rtt,
+		})
+		c.tracer.Count("transport_acked_bytes_total", float64(newlyBytes), "flow", flowLabel(c.flow))
+	}
 
 	var rate float64
 	if dt := now - newest.deliveredTimeAtSent; dt > 0 {
@@ -198,6 +210,7 @@ func (c *Conn) handleAck(_ *packet.Packet, pl *ackPayload) {
 		Channel:      chName,
 		AppLimited:   newest.appLimited,
 	})
+	c.traceCC(c.cfg.CC)
 
 	c.detectLosses(now)
 

@@ -5,6 +5,7 @@ import (
 
 	"hvc/internal/cc"
 	"hvc/internal/packet"
+	"hvc/internal/telemetry"
 )
 
 // message is a queued application message on the send side.
@@ -208,6 +209,14 @@ func (c *Conn) sendChunk(ch *chunk) bool {
 
 	carried := c.ep.transmit(c, p)
 	c.stats.BytesSent += int64(ch.frag.length)
+	if c.tracer.Enabled() {
+		c.tracer.Emit(telemetry.Event{
+			Layer: telemetry.LayerTransport, Name: telemetry.EvSend,
+			Channel: telemetry.JoinNames(carried), Flow: uint32(c.flow),
+			Seq: p.Seq, Msg: p.MsgID, Bytes: ch.frag.length,
+		})
+		c.tracer.Count("transport_sent_bytes_total", float64(ch.frag.length), "flow", flowLabel(c.flow))
+	}
 
 	if c.cfg.Unreliable {
 		return true // fire and forget; entry drops are just loss
@@ -295,6 +304,11 @@ func (c *Conn) onRTO() {
 	if c.rtoBackoff > 6 {
 		c.rtoBackoff = 6
 	}
+	c.tracer.Emit(telemetry.Event{
+		Layer: telemetry.LayerTransport, Name: telemetry.EvRTO,
+		Flow: uint32(c.flow), Value: float64(c.rtoBackoff),
+	})
+	c.tracer.Count("transport_rtos_total", 1, "flow", flowLabel(c.flow))
 	// Declare everything outstanding lost and rebuild from the model.
 	var lostBytes int
 	for _, seq := range append([]uint64(nil), c.sentOrder...) {
@@ -309,6 +323,7 @@ func (c *Conn) onRTO() {
 		Bytes:   lostBytes,
 		Timeout: true,
 	})
+	c.traceCC(c.cfg.CC)
 	c.rtoTimer = c.loop.After(c.rto(), c.onRTO)
 	c.trySend()
 }
@@ -319,6 +334,14 @@ func (c *Conn) requeue(info *sentInfo) {
 	c.bytesInFlight -= info.size
 	c.stats.Retransmits++
 	c.sched.pushRetx(info.chunk)
+	if c.tracer.Enabled() {
+		c.tracer.Emit(telemetry.Event{
+			Layer: telemetry.LayerTransport, Name: telemetry.EvRetransmit,
+			Channel: telemetry.JoinNames(info.channels), Flow: uint32(c.flow),
+			Seq: info.seq, Msg: info.chunk.frag.msgID, Bytes: info.size,
+		})
+		c.tracer.Count("transport_retransmits_total", 1, "flow", flowLabel(c.flow))
+	}
 }
 
 // notifyLoss reports non-timeout loss to congestion control, at most
@@ -334,4 +357,5 @@ func (c *Conn) notifyLoss(now time.Duration, bytes int) {
 		Bytes:    bytes,
 		InFlight: c.bytesInFlight,
 	})
+	c.traceCC(c.cfg.CC)
 }

@@ -28,6 +28,8 @@ import (
 	"hvc/internal/channel"
 	"hvc/internal/packet"
 	"hvc/internal/sim"
+	"hvc/internal/steering"
+	"hvc/internal/telemetry"
 )
 
 // An Endpoint is one host's attachment to the channel group. It owns
@@ -40,6 +42,7 @@ type Endpoint struct {
 	conns    map[packet.FlowID]*Conn
 	nextFlow packet.FlowID
 	ids      packet.IDGen
+	tracer   *telemetry.Tracer
 
 	listenCfg func() Config
 	accept    func(*Conn)
@@ -66,6 +69,11 @@ func NewEndpoint(loop *sim.Loop, group *channel.Group, side channel.Side) *Endpo
 	}
 	return e
 }
+
+// SetTracer installs the telemetry hook for the endpoint and every
+// connection subsequently created on it; nil disables tracing. Call
+// it before dialing or accepting.
+func (e *Endpoint) SetTracer(t *telemetry.Tracer) { e.tracer = t }
 
 // Side reports which side of the channel group this endpoint is.
 func (e *Endpoint) Side() channel.Side { return e.side }
@@ -154,6 +162,22 @@ func (e *Endpoint) transmit(c *Conn, p *packet.Packet) []string {
 	chs := c.cfg.Steer.Pick(p)
 	if len(chs) == 0 {
 		panic(fmt.Sprintf("transport: policy %q picked no channel", c.cfg.Steer.Name()))
+	}
+	if e.tracer.Enabled() {
+		names := make([]string, len(chs))
+		for i, ch := range chs {
+			names[i] = ch.Name()
+		}
+		reason := steering.Reason(c.cfg.Steer)
+		e.tracer.Emit(telemetry.Event{
+			Layer: telemetry.LayerSteering, Name: telemetry.EvDecision,
+			Channel: telemetry.JoinNames(names), Flow: uint32(p.Flow),
+			Seq: p.Seq, Msg: p.MsgID, Bytes: p.Size, Detail: reason,
+		})
+		for _, name := range names {
+			e.tracer.Count("steering_decisions_total", 1,
+				"policy", c.cfg.Steer.Name(), "channel", name, "reason", reason)
+		}
 	}
 	var carried []string
 	for i, ch := range chs {
