@@ -10,10 +10,12 @@
 package hvc_test
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
 	"hvc/internal/core"
+	"hvc/internal/sweep"
 )
 
 const (
@@ -261,6 +263,40 @@ func BenchmarkAblationTSN(b *testing.B) {
 				r := core.RunTSN(benchSeed, 10*time.Second, mode.tsn)
 				b.ReportMetric(100*r.MissRate, "miss_pct")
 				b.ReportMetric(r.P99Latency, "p99_ms")
+			}
+		})
+	}
+}
+
+// BenchmarkSweep measures the sweep engine end-to-end on a video grid
+// (2 policies × 2 traces × 3 seeds = 12 jobs), cold vs. cached, at 1
+// and 4 workers. The cached variants bound the engine's fixed
+// overhead; on a multi-core machine the worker scaling shows up in the
+// cold numbers.
+func BenchmarkSweep(b *testing.B) {
+	spec, err := sweep.ParseSpec(
+		"exp=video policy=embb-only,dchannel trace=lowband-driving,mmwave-driving seeds=1..3 dur=5s")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("cold/workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sweep.Run(spec, sweep.Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("cached/workers=%d", workers), func(b *testing.B) {
+			dir := b.TempDir()
+			if _, err := sweep.Run(spec, sweep.Options{Workers: workers, CacheDir: dir}); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sweep.Run(spec, sweep.Options{Workers: workers, CacheDir: dir}); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

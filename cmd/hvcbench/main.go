@@ -16,6 +16,15 @@
 //	hvcbench -exp ablation-tsn  wireless TSN vs best-effort Wi-Fi (§2.2)
 //	hvcbench -exp all          everything above
 //
+// The experiment registry itself lives in internal/experiments; this
+// command adds flag parsing, report/trace sinks, and the multi-seed
+// loop. With -seeds N the seeds run in parallel across GOMAXPROCS
+// workers (each simulation is single-threaded and self-contained) and
+// their outputs print in seed order, so the bytes match a serial run;
+// -report/-trace/-events fall back to serial execution because their
+// sinks span runs. For grid sweeps with caching and per-cell
+// statistics, see cmd/hvcsweep.
+//
 // -report writes a machine-readable JSON run report (schema
 // hvc-run-report/v1: config, seed, headline metrics, counter
 // snapshot); -trace writes a Chrome trace-event file loadable in
@@ -29,31 +38,24 @@
 package main
 
 import (
+	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
-	"time"
 
-	"hvc/internal/core"
-	"hvc/internal/metrics"
+	"hvc/internal/experiments"
+	"hvc/internal/pool"
 	"hvc/internal/telemetry"
 )
-
-// expOrder lists every experiment in "all" execution order; it is also
-// the source of the -exp usage string, so the two cannot drift.
-var expOrder = []string{
-	"fig1a", "fig1b", "fig2", "table1",
-	"ablation-cc", "ablation-mptcp", "ablation-mlo", "ablation-cost",
-	"ablation-beta", "ablation-tail", "ablation-ians", "ablation-has", "ablation-tsn",
-}
 
 func main() {
 	var (
 		exp = flag.String("exp", "all",
-			"experiment to run ("+strings.Join(expOrder, ", ")+", all)")
+			"experiment to run ("+strings.Join(experiments.Order(), ", ")+", all)")
 		seed    = flag.Int64("seed", 1, "simulation seed")
-		seeds   = flag.Int("seeds", 1, "repeat headline experiments over this many consecutive seeds and report means")
+		seeds   = flag.Int("seeds", 1, "repeat headline experiments over this many consecutive seeds (in parallel unless -report/-trace/-events)")
 		quick   = flag.Bool("quick", false, "shorter runs and smaller corpora (for smoke testing)")
 		cdf     = flag.Bool("cdf", false, "dump full CDFs/time series instead of summaries")
 		report  = flag.String("report", "", "write a JSON run report (config, metrics, counters) to this file")
@@ -62,31 +64,15 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := scale{bulkDur: 60 * time.Second, videoDur: 60 * time.Second, pages: 30, loads: 5}
+	cfg := experiments.FullScale()
 	if *quick {
-		cfg = scale{bulkDur: 15 * time.Second, videoDur: 20 * time.Second, pages: 6, loads: 2}
-	}
-
-	runners := map[string]func(env) error{
-		"fig1a":          fig1a,
-		"fig1b":          fig1b,
-		"fig2":           fig2,
-		"table1":         table1,
-		"ablation-cc":    ablationCC,
-		"ablation-mptcp": ablationMultipath,
-		"ablation-mlo":   ablationMLO,
-		"ablation-cost":  ablationCost,
-		"ablation-beta":  ablationBeta,
-		"ablation-tail":  ablationTail,
-		"ablation-ians":  ablationIANS,
-		"ablation-has":   ablationHAS,
-		"ablation-tsn":   ablationTSN,
+		cfg = experiments.QuickScale()
 	}
 
 	var names []string
 	if *exp == "all" {
-		names = expOrder
-	} else if _, ok := runners[*exp]; ok {
+		names = experiments.Order()
+	} else if experiments.Valid(*exp) {
 		names = []string{*exp}
 	} else {
 		fmt.Fprintf(os.Stderr, "hvcbench: unknown experiment %q\n", *exp)
@@ -96,7 +82,7 @@ func main() {
 		*seeds = 1
 	}
 
-	e := env{sc: cfg, cdf: *cdf}
+	e := experiments.Env{Scale: cfg, CDF: *cdf, Out: os.Stdout}
 	var sinks []telemetry.Sink
 	var files []*os.File
 	openSink := func(path string, mk func(*os.File) telemetry.Sink) {
@@ -115,40 +101,70 @@ func main() {
 		openSink(*eventsF, func(f *os.File) telemetry.Sink { return telemetry.NewJSONL(f) })
 	}
 	if len(sinks) > 0 || *report != "" {
-		e.tracer = telemetry.New(sinks...)
+		e.Tracer = telemetry.New(sinks...)
 	}
 	if *report != "" {
-		e.report = telemetry.NewReport(strings.Join(names, ","), *seed)
-		e.report.SetConfig("seeds", fmt.Sprint(*seeds))
-		e.report.SetConfig("quick", fmt.Sprint(*quick))
-		e.report.SetConfig("bulk_dur", cfg.bulkDur.String())
-		e.report.SetConfig("video_dur", cfg.videoDur.String())
-		e.report.SetConfig("pages", fmt.Sprint(cfg.pages))
-		e.report.SetConfig("loads", fmt.Sprint(cfg.loads))
+		e.Report = telemetry.NewReport(strings.Join(names, ","), *seed)
+		e.Report.SetConfig("seeds", fmt.Sprint(*seeds))
+		e.Report.SetConfig("quick", fmt.Sprint(*quick))
+		e.Report.SetConfig("bulk_dur", cfg.BulkDur.String())
+		e.Report.SetConfig("video_dur", cfg.VideoDur.String())
+		e.Report.SetConfig("pages", fmt.Sprint(cfg.Pages))
+		e.Report.SetConfig("loads", fmt.Sprint(cfg.Loads))
 	}
 
+	// The tracer's sinks and the report span runs, so they pin
+	// execution to one goroutine; without them, seeds fan out across
+	// the worker pool and print in seed order — identical bytes,
+	// multi-core wall clock.
+	parallelSeeds := *seeds > 1 && e.Tracer == nil && e.Report == nil
+
 	for _, name := range names {
+		if parallelSeeds {
+			outs, err := pool.Map(*seeds, 0, func(i int) (*bytes.Buffer, error) {
+				env := e
+				env.Seed = *seed + int64(i)
+				env.Prefix = fmt.Sprintf("%s/seed%d/", name, env.Seed)
+				var buf bytes.Buffer
+				env.Out = &buf
+				return &buf, experiments.Run(name, env)
+			})
+			if err != nil {
+				var pe *pool.Error
+				if errors.As(err, &pe) {
+					fmt.Fprintf(os.Stderr, "hvcbench: %s: seed %d: %v\n", name, *seed+int64(pe.Index), pe.Err)
+				} else {
+					fmt.Fprintf(os.Stderr, "hvcbench: %s: %v\n", name, err)
+				}
+				os.Exit(1)
+			}
+			for i, buf := range outs {
+				fmt.Printf("--- seed %d ---\n", *seed+int64(i))
+				os.Stdout.Write(buf.Bytes())
+			}
+			continue
+		}
 		for s := 0; s < *seeds; s++ {
 			if *seeds > 1 {
 				fmt.Printf("--- seed %d ---\n", *seed+int64(s))
 			}
-			e.seed = *seed + int64(s)
-			e.prefix = name + "/"
+			e.Seed = *seed + int64(s)
+			e.Prefix = name + "/"
 			if *seeds > 1 {
-				e.prefix = fmt.Sprintf("%s/seed%d/", name, e.seed)
+				e.Prefix = fmt.Sprintf("%s/seed%d/", name, e.Seed)
 			}
-			if err := runners[name](e); err != nil {
+			if err := experiments.Run(name, e); err != nil {
 				fmt.Fprintf(os.Stderr, "hvcbench: %s: %v\n", name, err)
 				os.Exit(1)
 			}
 		}
 	}
 
-	if e.report != nil {
-		e.report.AttachCounters(e.tracer.Registry())
+	if e.Report != nil {
+		e.Report.AttachCounters(e.Tracer.Registry())
 		f, err := os.Create(*report)
 		if err == nil {
-			err = e.report.WriteJSON(f)
+			err = e.Report.WriteJSON(f)
 			if cerr := f.Close(); err == nil {
 				err = cerr
 			}
@@ -158,7 +174,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if err := e.tracer.Close(); err != nil {
+	if err := e.Tracer.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "hvcbench: trace: %v\n", err)
 		os.Exit(1)
 	}
@@ -168,252 +184,4 @@ func main() {
 			os.Exit(1)
 		}
 	}
-}
-
-type scale struct {
-	bulkDur  time.Duration
-	videoDur time.Duration
-	pages    int
-	loads    int
-}
-
-// env carries one runner invocation's knobs and observability hooks.
-type env struct {
-	seed   int64
-	sc     scale
-	cdf    bool
-	tracer *telemetry.Tracer // nil unless -trace/-events/-report given
-	report *telemetry.Report // nil unless -report given
-	prefix string            // metric-name prefix, "<exp>/" or "<exp>/seed<N>/"
-}
-
-// metric records one headline value into the run report, when one is
-// being assembled.
-func (e env) metric(name string, v float64, unit string) {
-	if e.report != nil {
-		e.report.AddMetric(e.prefix+name, v, unit)
-	}
-}
-
-func fig1a(e env) error {
-	fmt.Printf("== Figure 1a: CCA throughput with DChannel steering (eMBB 50ms/60Mbps + URLLC 5ms/2Mbps, %v) ==\n", e.sc.bulkDur)
-	fmt.Printf("%-8s %12s %12s %8s\n", "cca", "mbps", "retransmits", "rtos")
-	results, err := core.Fig1a(e.seed, e.sc.bulkDur, e.tracer)
-	if err != nil {
-		return err
-	}
-	for _, r := range results {
-		fmt.Printf("%-8s %12.2f %12d %8d\n", r.CC, r.Mbps, r.Retransmits, r.RTOs)
-		e.metric(r.CC+"/goodput", r.Mbps, "Mbps")
-		e.metric(r.CC+"/retransmits", float64(r.Retransmits), "")
-	}
-	fmt.Println()
-	return nil
-}
-
-func fig1b(e env) error {
-	fmt.Printf("== Figure 1b: BBR packet RTTs under DChannel steering (%v) ==\n", e.sc.bulkDur)
-	r, err := core.Fig1b(e.seed, e.sc.bulkDur, e.tracer)
-	if err != nil {
-		return err
-	}
-	if e.cdf {
-		fmt.Println("t_s\trtt_ms\tchannel")
-		for i, p := range r.RTT.Points() {
-			fmt.Printf("%.3f\t%.2f\t%s\n", p.At.Seconds(), p.Value, r.RTTChannels[i])
-		}
-	} else {
-		fmt.Printf("%8s %10s %10s %10s\n", "t", "min_ms", "mean_ms", "max_ms")
-		for _, b := range r.RTT.Buckets(2 * time.Second) {
-			fmt.Printf("%8v %10.1f %10.1f %10.1f\n", b.Start, b.Min, b.Mean, b.Max)
-		}
-	}
-	fmt.Printf("throughput: %.2f Mbps over %v\n\n", r.Mbps, e.sc.bulkDur)
-	e.metric("goodput", r.Mbps, "Mbps")
-	e.metric("rtt_samples", float64(r.RTT.N()), "")
-	return nil
-}
-
-func fig2(e env) error {
-	for _, tr := range []string{"lowband-driving", "mmwave-driving"} {
-		fmt.Printf("== Figure 2: real-time SVC video over %s + URLLC (%v) ==\n", tr, e.sc.videoDur)
-		results, err := core.Fig2(e.seed, e.sc.videoDur, tr, e.tracer)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%-20s %9s %9s %9s %9s %8s %7s\n",
-			"policy", "p50_ms", "p95_ms", "p99_ms", "max_ms", "ssim", "frozen")
-		for _, r := range results {
-			fmt.Printf("%-20s %9.0f %9.0f %9.0f %9.0f %8.3f %7d\n",
-				r.Policy,
-				r.Latency.Percentile(50), r.Latency.Percentile(95),
-				r.Latency.Percentile(99), r.Latency.Max(),
-				r.SSIM.Mean(), r.Frozen)
-			e.metric(tr+"/"+r.Policy+"/latency_p95", r.Latency.Percentile(95), "ms")
-			e.metric(tr+"/"+r.Policy+"/ssim_mean", r.SSIM.Mean(), "")
-			e.metric(tr+"/"+r.Policy+"/frozen", float64(r.Frozen), "frames")
-		}
-		if e.cdf {
-			for _, r := range results {
-				fmt.Printf("-- latency CDF (%s/%s) --\n%s", tr, r.Policy,
-					metrics.FormatCDF(r.Latency.CDF(50), "latency_ms"))
-				fmt.Printf("-- ssim CDF (%s/%s) --\n%s", tr, r.Policy,
-					metrics.FormatCDF(r.SSIM.CDF(20), "ssim"))
-			}
-		}
-		fmt.Println()
-	}
-	return nil
-}
-
-func table1(e env) error {
-	fmt.Printf("== Table 1: web PLT (ms) with background traffic (%d pages x %d loads) ==\n", e.sc.pages, e.sc.loads)
-	fmt.Printf("%-22s %14s %20s %24s\n", "trace", "embb-only", "dchannel", "dchannel+priority")
-	for _, tr := range []string{"lowband-stationary", "lowband-driving"} {
-		results, err := core.Table1(e.seed, tr, e.sc.pages, e.sc.loads, e.tracer)
-		if err != nil {
-			return err
-		}
-		base := results[0].PLT.Mean()
-		cells := make([]string, len(results))
-		for i, r := range results {
-			if i == 0 {
-				cells[i] = fmt.Sprintf("%.1f", r.PLT.Mean())
-			} else {
-				cells[i] = fmt.Sprintf("%.1f (%.1f%%)", r.PLT.Mean(), 100*(1-r.PLT.Mean()/base))
-			}
-			e.metric(tr+"/"+r.Policy+"/plt_mean", r.PLT.Mean(), "ms")
-		}
-		fmt.Printf("%-22s %14s %20s %24s\n", tr, cells[0], cells[1], cells[2])
-	}
-	fmt.Println()
-	return nil
-}
-
-func ablationCC(e env) error {
-	fmt.Printf("== Ablation (§3.2): HVC-aware congestion control (%v) ==\n", e.sc.bulkDur)
-	plain, aware, err := core.AblationHVCAwareCC(e.seed, e.sc.bulkDur, e.tracer)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%-8s %14s %14s %10s\n", "cca", "plain_mbps", "hvc_mbps", "speedup")
-	for i := range plain {
-		fmt.Printf("%-8s %14.2f %14.2f %9.1fx\n",
-			plain[i].CC, plain[i].Mbps, aware[i].Mbps, aware[i].Mbps/plain[i].Mbps)
-		e.metric(plain[i].CC+"/plain_goodput", plain[i].Mbps, "Mbps")
-		e.metric(plain[i].CC+"/hvc_goodput", aware[i].Mbps, "Mbps")
-	}
-	fmt.Println()
-	return nil
-}
-
-func ablationMLO(e env) error {
-	seed := e.seed
-	fmt.Println("== Ablation (§2.2/§3.1): Wi-Fi MLO redundancy, 1200B messages at 100/s ==")
-	fmt.Printf("%-12s %10s %10s %10s %12s\n", "mode", "delivery", "p50_ms", "p99_ms", "pkts_on_air")
-	for _, red := range []bool{false, true} {
-		r := core.RunMLO(seed, 2000, 1200, 10*time.Millisecond, red)
-		fmt.Printf("%-12s %9.2f%% %10.1f %10.1f %12d\n",
-			r.Mode, 100*r.DeliveryRate, r.Latency.Percentile(50), r.Latency.Percentile(99), r.PacketsOnAir)
-	}
-	fmt.Println()
-	return nil
-}
-
-func ablationCost(e env) error {
-	seed := e.seed
-	fmt.Println("== Ablation (§3.1): latency vs cost on a priced cISP-style path ==")
-	fmt.Printf("%-14s %10s %10s %12s %10s\n", "budget_B/s", "mean_ms", "p95_ms", "spent_bytes", "dollars")
-	for _, budget := range []float64{0, 5_000, 50_000, 500_000, 5_000_000} {
-		r := core.RunCost(seed, 500, 20*time.Millisecond, budget)
-		fmt.Printf("%-14.0f %10.1f %10.1f %12d %10.4f\n",
-			budget, r.Latency.Mean(), r.Latency.Percentile(95), r.SpentBytes, r.Dollars)
-	}
-	fmt.Println()
-	return nil
-}
-
-func ablationMultipath(e env) error {
-	seed, sc := e.seed, e.sc
-	fmt.Printf("== Ablation (§1/§3.1): MPTCP-style aggregation vs steering (%v) ==\n", sc.bulkDur)
-	fmt.Printf("%-12s %12s %12s %12s %14s\n", "bulk mode", "bulk_mbps", "probe_p50", "probe_p95", "urllc_maxq_B")
-	for _, mode := range []string{"multipath", "dchannel", "priority"} {
-		r := core.RunMultipath(seed, sc.bulkDur, mode)
-		fmt.Printf("%-12s %12.2f %10.1fms %10.1fms %14d\n",
-			r.Mode, r.BulkMbps, r.Probe.Percentile(50), r.Probe.Percentile(95), r.URLLCMaxQueue)
-	}
-	fmt.Println()
-	return nil
-}
-
-func ablationBeta(e env) error {
-	seed := e.seed
-	fmt.Println("== Ablation (design choice): DChannel reward/cost β on SVC video (lowband-driving, 30s) ==")
-	fmt.Printf("%-8s %12s %10s %14s\n", "beta", "p95_ms", "ssim", "urllc_share")
-	for _, p := range core.RunBetaSweep(seed, 30*time.Second, []float64{0.25, 0.5, 1, 2, 4, 8}) {
-		fmt.Printf("%-8.2f %12.0f %10.3f %13.1f%%\n", p.Beta, p.P95Latency, p.SSIM, 100*p.URLLCShare)
-	}
-	fmt.Println()
-	return nil
-}
-
-func ablationTail(e env) error {
-	seed := e.seed
-	fmt.Println("== Ablation (§3.2): end-of-message tail acceleration, 60kB messages at 20/s ==")
-	fmt.Printf("%-12s %10s %10s %10s\n", "mode", "mean_ms", "p95_ms", "max_ms")
-	for _, boost := range []bool{false, true} {
-		r := core.RunTailBoost(seed, 500, 60_000, 50*time.Millisecond, boost)
-		fmt.Printf("%-12s %10.1f %10.1f %10.1f\n",
-			r.Mode, r.Latency.Mean(), r.Latency.Percentile(95), r.Latency.Max())
-	}
-	fmt.Println()
-	return nil
-}
-
-func ablationIANS(e env) error {
-	seed, sc := e.seed, e.sc
-	fmt.Printf("== Ablation (§1 baseline): object-granularity (IANS) vs packet steering, web PLT (%d pages x %d loads) ==\n", sc.pages, sc.loads)
-	fmt.Printf("%-14s %12s %12s\n", "policy", "mean_plt_ms", "p95_plt_ms")
-	for _, policy := range []string{core.PolicyEMBBOnly, core.PolicyObjectMap, core.PolicyDChannel} {
-		r, err := core.RunWeb(core.WebConfig{
-			Seed: seed, Trace: "lowband-stationary", Policy: policy,
-			Pages: sc.pages, Loads: sc.loads, Tracer: e.tracer,
-		})
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%-14s %12.1f %12.1f\n", policy, r.PLT.Mean(), r.PLT.Percentile(95))
-	}
-	fmt.Println()
-	return nil
-}
-
-func ablationHAS(e env) error {
-	seed := e.seed
-	fmt.Println("== Ablation (§1 IANS-for-HAS): adaptive streaming over mmwave-driving + URLLC, 60s media ==")
-	fmt.Printf("%-12s %10s %12s %10s %10s %10s\n", "policy", "startup", "rebuffer", "events", "mean_mbps", "switches")
-	rs, err := core.ABRComparison(seed, 60*time.Second, "mmwave-driving")
-	if err != nil {
-		return err
-	}
-	for _, r := range rs {
-		fmt.Printf("%-12s %10v %12v %10d %10.2f %10d\n",
-			r.Policy, r.StartupDelay.Round(time.Millisecond),
-			r.RebufferTime.Round(time.Millisecond), r.RebufferEvents,
-			r.MeanBitrate/1e6, r.Switches)
-	}
-	fmt.Println()
-	return nil
-}
-
-func ablationTSN(e env) error {
-	seed := e.seed
-	fmt.Println("== Ablation (§2.2): wireless TSN vs contended best-effort Wi-Fi, 60ms control loops ==")
-	fmt.Printf("%-14s %12s %12s %12s\n", "mode", "miss_rate", "p99_ms", "completed")
-	for _, useTSN := range []bool{false, true} {
-		r := core.RunTSN(seed, 10*time.Second, useTSN)
-		fmt.Printf("%-14s %11.1f%% %12.1f %12d\n", r.Mode, 100*r.MissRate, r.P99Latency, r.Completed)
-	}
-	fmt.Println()
-	return nil
 }

@@ -1,0 +1,168 @@
+// Command hvcsweep runs experiment grids through the parallel sweep
+// engine (internal/sweep): it expands a grid spec into independent
+// (cell, seed) simulation jobs, fans them across a worker pool, and
+// prints per-cell statistics (mean, std, median, 95% CI) aggregated in
+// grid order — the output is byte-identical for any -workers value.
+//
+// The grid spec is a space-separated key=value list; list values are
+// comma-separated and seeds take either a count or a range:
+//
+//	hvcsweep -spec "exp=bulk cc=cubic,bbr,vegas,vivace policy=dchannel,embb-only seeds=1..5 dur=15s"
+//	hvcsweep -spec "exp=video policy=embb-only,dchannel,priority trace=lowband-driving seeds=10"
+//	hvcsweep -spec "exp=web pages=6 loads=2 trace=lowband-driving,mmwave-driving seeds=1..3"
+//	hvcsweep -spec "exp=abr trace=mmwave-driving seeds=1..5 dur=60s"
+//
+// The default grid is the paper's Figure 1a (four CCAs under DChannel
+// steering vs eMBB-only) over five seeds.
+//
+// Results are cached on disk under -cache (default .hvcsweep), keyed
+// by a content hash of the canonicalized cell config — experiment,
+// CCA tuning constants, policy parameters, trace, seed, duration —
+// plus the module build version. A repeated sweep is all cache hits;
+// widening a grid re-runs only the new cells. Delete the cache
+// directory to force recomputation; changing any simulator constant
+// already invalidates affected entries via the config fingerprint.
+//
+// Stdout carries only the deterministic result table (or CSV with
+// -format csv); progress and timing go to stderr. -json/-csv
+// additionally write the hvc-sweep-report/v1 bundle and the tidy CSV
+// matrix to files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"hvc/internal/sweep"
+	"hvc/internal/telemetry"
+)
+
+const defaultSpec = "exp=bulk cc=cubic,bbr,vegas,vivace policy=dchannel,embb-only seeds=1..5 dur=15s"
+
+func main() {
+	var (
+		specF   = flag.String("spec", defaultSpec, "grid spec (space-separated key=value; see package doc)")
+		workers = flag.Int("workers", 0, "worker goroutines; 0 means GOMAXPROCS")
+		cache   = flag.String("cache", ".hvcsweep", "result cache directory")
+		noCache = flag.Bool("no-cache", false, "disable the result cache entirely")
+		quick   = flag.Bool("quick", false, "shrink durations/corpus for smoke testing (5s runs, 2 pages x 1 load)")
+		format  = flag.String("format", "table", "stdout format: table or csv")
+		csvF    = flag.String("csv", "", "also write the tidy CSV matrix to this file")
+		jsonF   = flag.String("json", "", "also write the hvc-sweep-report/v1 JSON bundle to this file")
+		verbose = flag.Bool("v", false, "report per-job progress on stderr")
+	)
+	flag.Parse()
+
+	spec, err := sweep.ParseSpec(*specF)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hvcsweep: %v\n", err)
+		os.Exit(2)
+	}
+	if *quick {
+		if spec.Exp == sweep.ExpWeb {
+			spec.Pages, spec.Loads = 2, 1
+		} else if spec.Dur > 5*time.Second {
+			spec.Dur = 5 * time.Second
+		}
+	}
+
+	opt := sweep.Options{Workers: *workers, CacheDir: *cache, Registry: telemetry.NewRegistry()}
+	if *noCache {
+		opt.CacheDir = ""
+	}
+	if *verbose {
+		opt.Progress = func(done, total, cached int) {
+			fmt.Fprintf(os.Stderr, "hvcsweep: %d/%d jobs (%d cached)\n", done, total, cached)
+		}
+	}
+
+	start := time.Now()
+	m, err := sweep.Run(spec, opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hvcsweep: %v\n", err)
+		os.Exit(1)
+	}
+
+	switch *format {
+	case "table":
+		if err := printTable(m); err != nil {
+			fmt.Fprintf(os.Stderr, "hvcsweep: %v\n", err)
+			os.Exit(1)
+		}
+	case "csv":
+		if err := m.WriteCSV(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "hvcsweep: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "hvcsweep: unknown -format %q (want table or csv)\n", *format)
+		os.Exit(2)
+	}
+
+	writeFile := func(path string, write func(*os.File) error) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err == nil {
+			err = write(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hvcsweep: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	writeFile(*csvF, func(f *os.File) error { return m.WriteCSV(f) })
+	writeFile(*jsonF, func(f *os.File) error { return m.WriteJSON(f) })
+
+	executed, cached := counterTotals(opt.Registry)
+	fmt.Fprintf(os.Stderr, "hvcsweep: %d jobs (%d executed, %d cached) across %d cells in %v\n",
+		m.Jobs, executed, cached, len(m.Cells), time.Since(start).Round(time.Millisecond))
+}
+
+// counterTotals pulls the executed/cached split back out of the
+// engine's progress counters.
+func counterTotals(reg *telemetry.Registry) (executed, cached int) {
+	for _, r := range reg.Snapshot() {
+		if r.Name != "sweep/jobs" {
+			continue
+		}
+		switch r.Labels["result"] {
+		case "executed":
+			executed = int(r.Value)
+		case "cached":
+			cached = int(r.Value)
+		}
+	}
+	return executed, cached
+}
+
+// printTable renders the matrix as an aligned, deterministic table:
+// one block per grid cell, one row per metric.
+func printTable(m *sweep.Matrix) error {
+	fmt.Printf("spec: %s\n", m.Spec)
+	tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	for _, c := range m.Cells {
+		fmt.Fprintf(tw, "\n%s\n", cellTitle(c))
+		fmt.Fprintf(tw, "  metric\tmean\t±ci95\tmedian\tstd\t[min, max]\tn\n")
+		for _, met := range c.Metrics {
+			fmt.Fprintf(tw, "  %s\t%.4g\t%.4g\t%.4g\t%.4g\t[%.4g, %.4g]\t%d\n",
+				met.Name, met.Mean, met.CI95, met.Median, met.Std, met.Min, met.Max, met.N)
+		}
+	}
+	return tw.Flush()
+}
+
+func cellTitle(c sweep.Cell) string {
+	s := "exp=" + c.Exp
+	if c.CC != "" {
+		s += " cc=" + c.CC
+	}
+	return s + " policy=" + c.Policy + " trace=" + c.Trace + " seeds=" + c.Seeds
+}

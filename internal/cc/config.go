@@ -1,0 +1,61 @@
+package cc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Configured is implemented by algorithms that can render their tuning
+// as a canonical string. The sweep engine folds these strings into its
+// result-cache keys, so cached cells invalidate when an algorithm's
+// parameters change: the strings below are built from the actual
+// tuning constants, and the "/vN" tag must be bumped whenever behavior
+// changes in a way the constants don't capture.
+type Configured interface {
+	// Config returns a canonical one-line description of the
+	// algorithm's tuning, stable across process runs.
+	Config() string
+}
+
+// Config implements Configured.
+func (c *Cubic) Config() string {
+	return fmt.Sprintf("cubic/v1 c=%g beta=%g iw=%d", cubicC, cubicBeta, 10*MSS)
+}
+
+// Config implements Configured.
+func (r *Reno) Config() string {
+	return fmt.Sprintf("reno/v1 beta=0.5 iw=%d", 10*MSS)
+}
+
+// Config implements Configured.
+func (b *BBR) Config() string {
+	cycle := make([]string, len(bbrPacingCycle))
+	for i, g := range bbrPacingCycle {
+		cycle[i] = fmt.Sprintf("%g", g)
+	}
+	return fmt.Sprintf("bbr/v1 highgain=%g bwrounds=%d rtwindow=%s probertt=%s growth=%g fullbwrounds=%d cycle=%s iw=%d",
+		bbrHighGain, bbrBWWindowRounds, bbrRTWindow, bbrProbeRTTTime,
+		bbrStartupGrowth, bbrFullBWRoundsMax, strings.Join(cycle, ","), 10*MSS)
+}
+
+// Config implements Configured.
+func (v *Vegas) Config() string {
+	return fmt.Sprintf("vegas/v1 alpha=%d beta=%d iw=%d", vegasAlpha, vegasBeta, 10*MSS)
+}
+
+// Config implements Configured.
+func (v *Vivace) Config() string {
+	return fmt.Sprintf("vivace/v1 minrate=%g maxrate=%g eps=%g step=%g..%g rttcoeff=%d losscoeff=%g iw=%d",
+		vivaceMinRate, vivaceMaxRate, vivaceEps, vivaceStepBase, vivaceStepMax,
+		vivaceRTTCoeff, vivaceLossCoeff, 10*MSS)
+}
+
+// Config implements Configured. The wrapper's fingerprint includes the
+// wrapped algorithm's, so a tuning change anywhere in the stack shows.
+func (h *HVCAware) Config() string {
+	inner := h.inner.Name()
+	if c, ok := h.inner.(Configured); ok {
+		inner = c.Config()
+	}
+	return fmt.Sprintf("hvcaware/v1 bulk=%s inner=(%s)", h.bulk, inner)
+}

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -14,6 +15,7 @@ import (
 
 	"hvc/internal/cc"
 	"hvc/internal/channel"
+	"hvc/internal/pool"
 	"hvc/internal/sim"
 	"hvc/internal/steering"
 	"hvc/internal/trace"
@@ -58,6 +60,19 @@ func NewCC(name string) (cc.Algorithm, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown congestion control %q", name)
 	}
+}
+
+// ValidCC reports whether name is an algorithm NewCC accepts,
+// including "hvc-"-wrapped variants.
+func ValidCC(name string) bool {
+	if inner, ok := cutPrefix(name, "hvc-"); ok {
+		return ValidCC(inner)
+	}
+	switch name {
+	case "cubic", "reno", "bbr", "vegas", "vivace":
+		return true
+	}
+	return false
 }
 
 func cutPrefix(s, prefix string) (string, bool) {
@@ -156,29 +171,48 @@ func SortedCounts(m map[string]int) string {
 	return s
 }
 
-// Summary aggregates one scalar metric across repeated runs.
+// Summary aggregates one scalar metric across repeated runs. The JSON
+// field names are part of the hvc-sweep-report/v1 schema.
 type Summary struct {
-	N    int
-	Mean float64
-	Std  float64
-	Min  float64
-	Max  float64
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	// Median is the midpoint of the observed values (mean of the two
+	// middle values for even N).
+	Median float64 `json:"median"`
+	// CI95 is the half-width of the 95% confidence interval of the
+	// mean under a Student t distribution: Mean ± CI95 brackets the
+	// true mean at 95% confidence, assuming roughly normal run-to-run
+	// variation. Zero when N < 2.
+	CI95 float64 `json:"ci95"`
 }
 
-// Repeat runs fn once per consecutive seed starting at firstSeed and
-// aggregates the scalar it returns — the multi-seed statistics a
-// defensible experiment report needs. fn's error aborts the sweep.
-func Repeat(firstSeed int64, n int, fn func(seed int64) (float64, error)) (Summary, error) {
-	if n < 1 {
-		return Summary{}, fmt.Errorf("core: Repeat needs n >= 1")
+// tTable95 holds two-sided 95% Student t critical values for 1..30
+// degrees of freedom; larger samples use the normal 1.96.
+var tTable95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+func tCritical95(df int) float64 {
+	if df < 1 {
+		return 0
 	}
-	vals := make([]float64, 0, n)
-	for i := 0; i < n; i++ {
-		v, err := fn(firstSeed + int64(i))
-		if err != nil {
-			return Summary{}, err
-		}
-		vals = append(vals, v)
+	if df <= len(tTable95) {
+		return tTable95[df-1]
+	}
+	return 1.960
+}
+
+// Summarize aggregates vals into a Summary. It does not mutate vals.
+// An empty slice yields the zero Summary.
+func Summarize(vals []float64) Summary {
+	n := len(vals)
+	if n == 0 {
+		return Summary{}
 	}
 	s := Summary{N: n, Min: vals[0], Max: vals[0]}
 	var sum float64
@@ -199,6 +233,39 @@ func Repeat(firstSeed int64, n int, fn func(seed int64) (float64, error)) (Summa
 	}
 	if n > 1 {
 		s.Std = math.Sqrt(ss / float64(n-1))
+		s.CI95 = tCritical95(n-1) * s.Std / math.Sqrt(float64(n))
 	}
-	return s, nil
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	if n%2 == 1 {
+		s.Median = sorted[n/2]
+	} else {
+		s.Median = (sorted[n/2-1] + sorted[n/2]) / 2
+	}
+	return s
+}
+
+// Repeat runs fn once per consecutive seed starting at firstSeed and
+// aggregates the scalar it returns — the multi-seed statistics a
+// defensible experiment report needs. Runs execute in parallel across
+// GOMAXPROCS goroutines (each simulation loop is single-threaded and
+// self-contained), so fn must be safe for concurrent calls; the
+// aggregation is over values in seed order and therefore identical to
+// a serial run. fn's error aborts the sweep, and the returned error
+// names the lowest failing seed.
+func Repeat(firstSeed int64, n int, fn func(seed int64) (float64, error)) (Summary, error) {
+	if n < 1 {
+		return Summary{}, fmt.Errorf("core: Repeat needs n >= 1")
+	}
+	vals, err := pool.Map(n, 0, func(i int) (float64, error) {
+		return fn(firstSeed + int64(i))
+	})
+	if err != nil {
+		var pe *pool.Error
+		if errors.As(err, &pe) {
+			return Summary{}, fmt.Errorf("core: repeat seed %d: %w", firstSeed+int64(pe.Index), pe.Err)
+		}
+		return Summary{}, err
+	}
+	return Summarize(vals), nil
 }

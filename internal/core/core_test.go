@@ -1,7 +1,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"math"
+	"strings"
 	"testing"
 	"time"
 
@@ -480,6 +483,147 @@ func TestRepeatPropagatesError(t *testing.T) {
 	}
 	if _, err := Repeat(1, 0, func(int64) (float64, error) { return 0, nil }); err == nil {
 		t.Fatal("n=0 should error")
+	}
+}
+
+func TestConfigFingerprints(t *testing.T) {
+	seen := map[string]string{}
+	for _, name := range CCNames() {
+		for _, full := range []string{name, "hvc-" + name} {
+			fp, err := CCFingerprint(full)
+			if err != nil {
+				t.Fatalf("CCFingerprint(%q): %v", full, err)
+			}
+			if fp == "" {
+				t.Fatalf("CCFingerprint(%q) empty", full)
+			}
+			if prev, dup := seen[fp]; dup {
+				t.Fatalf("fingerprint collision: %q and %q both yield %q", prev, full, fp)
+			}
+			seen[fp] = full
+			again, _ := CCFingerprint(full)
+			if again != fp {
+				t.Fatalf("CCFingerprint(%q) unstable: %q then %q", full, fp, again)
+			}
+		}
+	}
+	// The wrapper's fingerprint must expose the inner tuning, so an
+	// inner constant change invalidates hvc- cells too.
+	inner, _ := CCFingerprint("bbr")
+	wrapped, _ := CCFingerprint("hvc-bbr")
+	if !strings.Contains(wrapped, inner) {
+		t.Fatalf("hvc-bbr fingerprint %q does not embed bbr's %q", wrapped, inner)
+	}
+	if _, err := CCFingerprint("nope"); err == nil {
+		t.Fatal("unknown CC accepted")
+	}
+
+	pseen := map[string]string{}
+	for _, p := range []string{PolicyEMBBOnly, PolicyDChannel, PolicyPriority, PolicyDChannelPriority, PolicyObjectMap} {
+		fp, err := PolicyFingerprint(p)
+		if err != nil {
+			t.Fatalf("PolicyFingerprint(%q): %v", p, err)
+		}
+		if fp == "" {
+			t.Fatalf("PolicyFingerprint(%q) empty", p)
+		}
+		if prev, dup := pseen[fp]; dup {
+			t.Fatalf("fingerprint collision: %q and %q both yield %q", prev, p, fp)
+		}
+		pseen[fp] = p
+	}
+	if _, err := PolicyFingerprint("nope"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	approx := func(got, want float64) bool { return math.Abs(got-want) < 1e-9 }
+	cases := []struct {
+		name string
+		vals []float64
+		want Summary
+	}{
+		{"empty", nil, Summary{}},
+		{"n=1", []float64{42}, Summary{N: 1, Mean: 42, Min: 42, Max: 42, Median: 42}},
+		{"odd-n", []float64{3, 1, 2}, Summary{N: 3, Mean: 2, Std: 1, Min: 1, Max: 3, Median: 2,
+			CI95: 4.303 * 1 / math.Sqrt(3)}},
+		{"even-n", []float64{4, 1, 3, 2}, Summary{N: 4, Mean: 2.5, Min: 1, Max: 4, Median: 2.5,
+			Std: math.Sqrt(5.0 / 3.0), CI95: 3.182 * math.Sqrt(5.0/3.0) / 2}},
+		{"constant", []float64{7, 7, 7, 7, 7}, Summary{N: 5, Mean: 7, Min: 7, Max: 7, Median: 7}},
+		{"skewed-median", []float64{1, 1, 1, 1, 100}, Summary{N: 5, Mean: 20.8, Min: 1, Max: 100,
+			Median: 1, Std: math.Sqrt(4.0*(19.8*19.8)/4.0 + 79.2*79.2/4.0),
+			CI95: 2.776 * math.Sqrt(4.0*(19.8*19.8)/4.0+79.2*79.2/4.0) / math.Sqrt(5)}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			got := Summarize(c.vals)
+			if got.N != c.want.N || !approx(got.Mean, c.want.Mean) ||
+				!approx(got.Std, c.want.Std) || !approx(got.Min, c.want.Min) ||
+				!approx(got.Max, c.want.Max) || !approx(got.Median, c.want.Median) ||
+				!approx(got.CI95, c.want.CI95) {
+				t.Fatalf("Summarize(%v) = %+v, want %+v", c.vals, got, c.want)
+			}
+		})
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	vals := []float64{3, 1, 2}
+	Summarize(vals)
+	if vals[0] != 3 || vals[1] != 1 || vals[2] != 2 {
+		t.Fatalf("input reordered: %v", vals)
+	}
+}
+
+func TestSummarizeLargeNUsesNormalCritical(t *testing.T) {
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = float64(i % 2) // alternating 0/1: mean .5, std ≈ .5025
+	}
+	s := Summarize(vals)
+	want := 1.960 * s.Std / 10
+	if math.Abs(s.CI95-want) > 1e-9 {
+		t.Fatalf("CI95 = %v, want %v (normal critical value for df=99)", s.CI95, want)
+	}
+}
+
+func TestRepeatErrorNamesFailingSeed(t *testing.T) {
+	sentinel := fmt.Errorf("trace corrupt")
+	_, err := Repeat(40, 6, func(seed int64) (float64, error) {
+		if seed >= 43 {
+			return 0, sentinel
+		}
+		return float64(seed), nil
+	})
+	if err == nil {
+		t.Fatal("error not propagated")
+	}
+	if !strings.Contains(err.Error(), "seed 43") {
+		t.Fatalf("error %q does not name the lowest failing seed 43", err)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error %q lost the underlying cause", err)
+	}
+}
+
+func TestRepeatMatchesSerialAggregation(t *testing.T) {
+	// The parallel Repeat must produce exactly the statistics of a
+	// serial left-to-right pass over the same seeds.
+	fn := func(seed int64) (float64, error) { return float64(seed*seed) * 0.125, nil }
+	var vals []float64
+	for s := int64(5); s < 5+16; s++ {
+		v, _ := fn(s)
+		vals = append(vals, v)
+	}
+	want := Summarize(vals)
+	got, err := Repeat(5, 16, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("Repeat = %+v, serial = %+v", got, want)
 	}
 }
 

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"fmt"
+
+	"hvc/internal/cc"
+	"hvc/internal/channel"
+	"hvc/internal/steering"
+)
+
+// CCFingerprint returns the canonical tuning description of the
+// algorithm NewCC builds for name. The sweep engine folds it into
+// result-cache keys, so cached cells invalidate when the algorithm's
+// parameters change.
+func CCFingerprint(name string) (string, error) {
+	alg, err := NewCC(name)
+	if err != nil {
+		return "", err
+	}
+	if c, ok := alg.(cc.Configured); ok {
+		return c.Config(), nil
+	}
+	return alg.Name(), nil
+}
+
+// PolicyFingerprint returns the canonical configuration of the
+// steering policy NewPolicy builds for name, without needing a channel
+// group. The cases mirror NewPolicy's construction exactly; keep the
+// two in sync.
+func PolicyFingerprint(name string) (string, error) {
+	switch name {
+	case PolicyEMBBOnly:
+		return "single/v1 ch=" + channel.NameEMBB, nil
+	case PolicyDChannel:
+		return steering.DChannelConfig{}.Canonical(), nil
+	case PolicyPriority:
+		return steering.PriorityConfig{AdmitPrio: 0}.Canonical(), nil
+	case PolicyDChannelPriority:
+		return steering.PriorityConfig{AdmitPrio: -1, Heuristic: true}.Canonical(), nil
+	case PolicyObjectMap:
+		return steering.ObjectMapConfig{}.Canonical(), nil
+	default:
+		return "", fmt.Errorf("core: unknown steering policy %q", name)
+	}
+}

@@ -1,0 +1,322 @@
+// Package experiments is the registry of the paper's named
+// experiments — every table, figure, and ablation cmd/hvcbench can
+// run. Each runner renders its human-readable table to Env.Out and
+// records headline metrics into Env.Report, so the same registry
+// serves the CLI, the parallel seed sweep, and the cross-package
+// determinism suite: a runner's byte output is a pure function of
+// (name, seed, scale).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"hvc/internal/core"
+	"hvc/internal/metrics"
+	"hvc/internal/telemetry"
+)
+
+// Order lists every experiment in "all" execution order; it is also
+// the source of cmd/hvcbench's -exp usage string, so the two cannot
+// drift.
+func Order() []string {
+	return []string{
+		"fig1a", "fig1b", "fig2", "table1",
+		"ablation-cc", "ablation-mptcp", "ablation-mlo", "ablation-cost",
+		"ablation-beta", "ablation-tail", "ablation-ians", "ablation-has", "ablation-tsn",
+	}
+}
+
+// Valid reports whether name is a registered experiment.
+func Valid(name string) bool {
+	_, ok := runners[name]
+	return ok
+}
+
+// Scale sizes the experiments that have adjustable corpora or
+// durations.
+type Scale struct {
+	BulkDur  time.Duration
+	VideoDur time.Duration
+	Pages    int
+	Loads    int
+}
+
+// FullScale reproduces the paper's evaluation scale.
+func FullScale() Scale {
+	return Scale{BulkDur: 60 * time.Second, VideoDur: 60 * time.Second, Pages: 30, Loads: 5}
+}
+
+// QuickScale shortens runs and shrinks corpora for smoke testing
+// (hvcbench -quick).
+func QuickScale() Scale {
+	return Scale{BulkDur: 15 * time.Second, VideoDur: 20 * time.Second, Pages: 6, Loads: 2}
+}
+
+// Env carries one runner invocation's knobs and observability hooks.
+type Env struct {
+	Seed  int64
+	Scale Scale
+	// CDF dumps full CDFs/time series instead of summaries.
+	CDF bool
+	// Tracer receives cross-layer telemetry; nil disables tracing.
+	Tracer *telemetry.Tracer
+	// Report, when non-nil, accumulates headline metrics.
+	Report *telemetry.Report
+	// Prefix is the metric-name prefix, "<exp>/" or "<exp>/seed<N>/".
+	Prefix string
+	// Out receives the human-readable tables; nil means io.Discard.
+	Out io.Writer
+}
+
+// metric records one headline value into the run report, when one is
+// being assembled.
+func (e Env) metric(name string, v float64, unit string) {
+	if e.Report != nil {
+		e.Report.AddMetric(e.Prefix+name, v, unit)
+	}
+}
+
+var runners = map[string]func(Env) error{
+	"fig1a":          fig1a,
+	"fig1b":          fig1b,
+	"fig2":           fig2,
+	"table1":         table1,
+	"ablation-cc":    ablationCC,
+	"ablation-mptcp": ablationMultipath,
+	"ablation-mlo":   ablationMLO,
+	"ablation-cost":  ablationCost,
+	"ablation-beta":  ablationBeta,
+	"ablation-tail":  ablationTail,
+	"ablation-ians":  ablationIANS,
+	"ablation-has":   ablationHAS,
+	"ablation-tsn":   ablationTSN,
+}
+
+// Run executes one named experiment under e.
+func Run(name string, e Env) error {
+	fn, ok := runners[name]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q", name)
+	}
+	if e.Out == nil {
+		e.Out = io.Discard
+	}
+	return fn(e)
+}
+
+func fig1a(e Env) error {
+	fmt.Fprintf(e.Out, "== Figure 1a: CCA throughput with DChannel steering (eMBB 50ms/60Mbps + URLLC 5ms/2Mbps, %v) ==\n", e.Scale.BulkDur)
+	fmt.Fprintf(e.Out, "%-8s %12s %12s %8s\n", "cca", "mbps", "retransmits", "rtos")
+	results, err := core.Fig1a(e.Seed, e.Scale.BulkDur, e.Tracer)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Fprintf(e.Out, "%-8s %12.2f %12d %8d\n", r.CC, r.Mbps, r.Retransmits, r.RTOs)
+		e.metric(r.CC+"/goodput", r.Mbps, "Mbps")
+		e.metric(r.CC+"/retransmits", float64(r.Retransmits), "")
+	}
+	fmt.Fprintln(e.Out)
+	return nil
+}
+
+func fig1b(e Env) error {
+	fmt.Fprintf(e.Out, "== Figure 1b: BBR packet RTTs under DChannel steering (%v) ==\n", e.Scale.BulkDur)
+	r, err := core.Fig1b(e.Seed, e.Scale.BulkDur, e.Tracer)
+	if err != nil {
+		return err
+	}
+	if e.CDF {
+		fmt.Fprintln(e.Out, "t_s\trtt_ms\tchannel")
+		for i, p := range r.RTT.Points() {
+			fmt.Fprintf(e.Out, "%.3f\t%.2f\t%s\n", p.At.Seconds(), p.Value, r.RTTChannels[i])
+		}
+	} else {
+		fmt.Fprintf(e.Out, "%8s %10s %10s %10s\n", "t", "min_ms", "mean_ms", "max_ms")
+		for _, b := range r.RTT.Buckets(2 * time.Second) {
+			fmt.Fprintf(e.Out, "%8v %10.1f %10.1f %10.1f\n", b.Start, b.Min, b.Mean, b.Max)
+		}
+	}
+	fmt.Fprintf(e.Out, "throughput: %.2f Mbps over %v\n\n", r.Mbps, e.Scale.BulkDur)
+	e.metric("goodput", r.Mbps, "Mbps")
+	e.metric("rtt_samples", float64(r.RTT.N()), "")
+	return nil
+}
+
+func fig2(e Env) error {
+	for _, tr := range []string{"lowband-driving", "mmwave-driving"} {
+		fmt.Fprintf(e.Out, "== Figure 2: real-time SVC video over %s + URLLC (%v) ==\n", tr, e.Scale.VideoDur)
+		results, err := core.Fig2(e.Seed, e.Scale.VideoDur, tr, e.Tracer)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(e.Out, "%-20s %9s %9s %9s %9s %8s %7s\n",
+			"policy", "p50_ms", "p95_ms", "p99_ms", "max_ms", "ssim", "frozen")
+		for _, r := range results {
+			fmt.Fprintf(e.Out, "%-20s %9.0f %9.0f %9.0f %9.0f %8.3f %7d\n",
+				r.Policy,
+				r.Latency.Percentile(50), r.Latency.Percentile(95),
+				r.Latency.Percentile(99), r.Latency.Max(),
+				r.SSIM.Mean(), r.Frozen)
+			e.metric(tr+"/"+r.Policy+"/latency_p95", r.Latency.Percentile(95), "ms")
+			e.metric(tr+"/"+r.Policy+"/ssim_mean", r.SSIM.Mean(), "")
+			e.metric(tr+"/"+r.Policy+"/frozen", float64(r.Frozen), "frames")
+		}
+		if e.CDF {
+			for _, r := range results {
+				fmt.Fprintf(e.Out, "-- latency CDF (%s/%s) --\n%s", tr, r.Policy,
+					metrics.FormatCDF(r.Latency.CDF(50), "latency_ms"))
+				fmt.Fprintf(e.Out, "-- ssim CDF (%s/%s) --\n%s", tr, r.Policy,
+					metrics.FormatCDF(r.SSIM.CDF(20), "ssim"))
+			}
+		}
+		fmt.Fprintln(e.Out)
+	}
+	return nil
+}
+
+func table1(e Env) error {
+	fmt.Fprintf(e.Out, "== Table 1: web PLT (ms) with background traffic (%d pages x %d loads) ==\n", e.Scale.Pages, e.Scale.Loads)
+	fmt.Fprintf(e.Out, "%-22s %14s %20s %24s\n", "trace", "embb-only", "dchannel", "dchannel+priority")
+	for _, tr := range []string{"lowband-stationary", "lowband-driving"} {
+		results, err := core.Table1(e.Seed, tr, e.Scale.Pages, e.Scale.Loads, e.Tracer)
+		if err != nil {
+			return err
+		}
+		base := results[0].PLT.Mean()
+		cells := make([]string, len(results))
+		for i, r := range results {
+			if i == 0 {
+				cells[i] = fmt.Sprintf("%.1f", r.PLT.Mean())
+			} else {
+				cells[i] = fmt.Sprintf("%.1f (%.1f%%)", r.PLT.Mean(), 100*(1-r.PLT.Mean()/base))
+			}
+			e.metric(tr+"/"+r.Policy+"/plt_mean", r.PLT.Mean(), "ms")
+		}
+		fmt.Fprintf(e.Out, "%-22s %14s %20s %24s\n", tr, cells[0], cells[1], cells[2])
+	}
+	fmt.Fprintln(e.Out)
+	return nil
+}
+
+func ablationCC(e Env) error {
+	fmt.Fprintf(e.Out, "== Ablation (§3.2): HVC-aware congestion control (%v) ==\n", e.Scale.BulkDur)
+	plain, aware, err := core.AblationHVCAwareCC(e.Seed, e.Scale.BulkDur, e.Tracer)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(e.Out, "%-8s %14s %14s %10s\n", "cca", "plain_mbps", "hvc_mbps", "speedup")
+	for i := range plain {
+		fmt.Fprintf(e.Out, "%-8s %14.2f %14.2f %9.1fx\n",
+			plain[i].CC, plain[i].Mbps, aware[i].Mbps, aware[i].Mbps/plain[i].Mbps)
+		e.metric(plain[i].CC+"/plain_goodput", plain[i].Mbps, "Mbps")
+		e.metric(plain[i].CC+"/hvc_goodput", aware[i].Mbps, "Mbps")
+	}
+	fmt.Fprintln(e.Out)
+	return nil
+}
+
+func ablationMLO(e Env) error {
+	fmt.Fprintln(e.Out, "== Ablation (§2.2/§3.1): Wi-Fi MLO redundancy, 1200B messages at 100/s ==")
+	fmt.Fprintf(e.Out, "%-12s %10s %10s %10s %12s\n", "mode", "delivery", "p50_ms", "p99_ms", "pkts_on_air")
+	for _, red := range []bool{false, true} {
+		r := core.RunMLO(e.Seed, 2000, 1200, 10*time.Millisecond, red)
+		fmt.Fprintf(e.Out, "%-12s %9.2f%% %10.1f %10.1f %12d\n",
+			r.Mode, 100*r.DeliveryRate, r.Latency.Percentile(50), r.Latency.Percentile(99), r.PacketsOnAir)
+	}
+	fmt.Fprintln(e.Out)
+	return nil
+}
+
+func ablationCost(e Env) error {
+	fmt.Fprintln(e.Out, "== Ablation (§3.1): latency vs cost on a priced cISP-style path ==")
+	fmt.Fprintf(e.Out, "%-14s %10s %10s %12s %10s\n", "budget_B/s", "mean_ms", "p95_ms", "spent_bytes", "dollars")
+	for _, budget := range []float64{0, 5_000, 50_000, 500_000, 5_000_000} {
+		r := core.RunCost(e.Seed, 500, 20*time.Millisecond, budget)
+		fmt.Fprintf(e.Out, "%-14.0f %10.1f %10.1f %12d %10.4f\n",
+			budget, r.Latency.Mean(), r.Latency.Percentile(95), r.SpentBytes, r.Dollars)
+	}
+	fmt.Fprintln(e.Out)
+	return nil
+}
+
+func ablationMultipath(e Env) error {
+	fmt.Fprintf(e.Out, "== Ablation (§1/§3.1): MPTCP-style aggregation vs steering (%v) ==\n", e.Scale.BulkDur)
+	fmt.Fprintf(e.Out, "%-12s %12s %12s %12s %14s\n", "bulk mode", "bulk_mbps", "probe_p50", "probe_p95", "urllc_maxq_B")
+	for _, mode := range []string{"multipath", "dchannel", "priority"} {
+		r := core.RunMultipath(e.Seed, e.Scale.BulkDur, mode)
+		fmt.Fprintf(e.Out, "%-12s %12.2f %10.1fms %10.1fms %14d\n",
+			r.Mode, r.BulkMbps, r.Probe.Percentile(50), r.Probe.Percentile(95), r.URLLCMaxQueue)
+	}
+	fmt.Fprintln(e.Out)
+	return nil
+}
+
+func ablationBeta(e Env) error {
+	fmt.Fprintln(e.Out, "== Ablation (design choice): DChannel reward/cost β on SVC video (lowband-driving, 30s) ==")
+	fmt.Fprintf(e.Out, "%-8s %12s %10s %14s\n", "beta", "p95_ms", "ssim", "urllc_share")
+	for _, p := range core.RunBetaSweep(e.Seed, 30*time.Second, []float64{0.25, 0.5, 1, 2, 4, 8}) {
+		fmt.Fprintf(e.Out, "%-8.2f %12.0f %10.3f %13.1f%%\n", p.Beta, p.P95Latency, p.SSIM, 100*p.URLLCShare)
+	}
+	fmt.Fprintln(e.Out)
+	return nil
+}
+
+func ablationTail(e Env) error {
+	fmt.Fprintln(e.Out, "== Ablation (§3.2): end-of-message tail acceleration, 60kB messages at 20/s ==")
+	fmt.Fprintf(e.Out, "%-12s %10s %10s %10s\n", "mode", "mean_ms", "p95_ms", "max_ms")
+	for _, boost := range []bool{false, true} {
+		r := core.RunTailBoost(e.Seed, 500, 60_000, 50*time.Millisecond, boost)
+		fmt.Fprintf(e.Out, "%-12s %10.1f %10.1f %10.1f\n",
+			r.Mode, r.Latency.Mean(), r.Latency.Percentile(95), r.Latency.Max())
+	}
+	fmt.Fprintln(e.Out)
+	return nil
+}
+
+func ablationIANS(e Env) error {
+	fmt.Fprintf(e.Out, "== Ablation (§1 baseline): object-granularity (IANS) vs packet steering, web PLT (%d pages x %d loads) ==\n", e.Scale.Pages, e.Scale.Loads)
+	fmt.Fprintf(e.Out, "%-14s %12s %12s\n", "policy", "mean_plt_ms", "p95_plt_ms")
+	for _, policy := range []string{core.PolicyEMBBOnly, core.PolicyObjectMap, core.PolicyDChannel} {
+		r, err := core.RunWeb(core.WebConfig{
+			Seed: e.Seed, Trace: "lowband-stationary", Policy: policy,
+			Pages: e.Scale.Pages, Loads: e.Scale.Loads, Tracer: e.Tracer,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(e.Out, "%-14s %12.1f %12.1f\n", policy, r.PLT.Mean(), r.PLT.Percentile(95))
+	}
+	fmt.Fprintln(e.Out)
+	return nil
+}
+
+func ablationHAS(e Env) error {
+	fmt.Fprintln(e.Out, "== Ablation (§1 IANS-for-HAS): adaptive streaming over mmwave-driving + URLLC, 60s media ==")
+	fmt.Fprintf(e.Out, "%-12s %10s %12s %10s %10s %10s\n", "policy", "startup", "rebuffer", "events", "mean_mbps", "switches")
+	rs, err := core.ABRComparison(e.Seed, 60*time.Second, "mmwave-driving")
+	if err != nil {
+		return err
+	}
+	for _, r := range rs {
+		fmt.Fprintf(e.Out, "%-12s %10v %12v %10d %10.2f %10d\n",
+			r.Policy, r.StartupDelay.Round(time.Millisecond),
+			r.RebufferTime.Round(time.Millisecond), r.RebufferEvents,
+			r.MeanBitrate/1e6, r.Switches)
+	}
+	fmt.Fprintln(e.Out)
+	return nil
+}
+
+func ablationTSN(e Env) error {
+	fmt.Fprintln(e.Out, "== Ablation (§2.2): wireless TSN vs contended best-effort Wi-Fi, 60ms control loops ==")
+	fmt.Fprintf(e.Out, "%-14s %12s %12s %12s\n", "mode", "miss_rate", "p99_ms", "completed")
+	for _, useTSN := range []bool{false, true} {
+		r := core.RunTSN(e.Seed, 10*time.Second, useTSN)
+		fmt.Fprintf(e.Out, "%-14s %11.1f%% %12.1f %12d\n", r.Mode, 100*r.MissRate, r.P99Latency, r.Completed)
+	}
+	fmt.Fprintln(e.Out)
+	return nil
+}

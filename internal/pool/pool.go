@@ -1,0 +1,89 @@
+// Package pool provides the ordered parallel-map primitive behind the
+// sweep engine and core.Repeat: run n independent jobs across a fixed
+// number of goroutines and return their results in job order, so the
+// output (and any aggregation over it) is bit-identical for any worker
+// count. The simulation loops the jobs run are single-threaded and
+// self-contained, which is what makes this fan-out safe.
+package pool
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// An Error reports the failing job with the lowest index. Map's error
+// selection is deterministic: whatever order jobs finish in, the
+// returned index is the smallest one whose job failed, and every job
+// with a smaller index ran to completion successfully.
+type Error struct {
+	Index int
+	Err   error
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("job %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the job's own error to errors.Is/As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Map runs fn(0..n-1) on min(workers, n) goroutines and returns the
+// results indexed by job, independent of completion order. workers <= 0
+// means GOMAXPROCS. fn must be safe for concurrent calls; each call
+// receives a distinct index.
+//
+// On failure Map stops claiming new jobs past the failing index,
+// finishes the jobs below it, and returns a *Error for the lowest
+// failing index — the same error a serial left-to-right run would have
+// hit first.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	var (
+		mu     sync.Mutex
+		next   int
+		errIdx = -1
+		jobErr error
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if next >= n || (errIdx >= 0 && next > errIdx) {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+
+				v, err := fn(i)
+
+				mu.Lock()
+				if err != nil {
+					if errIdx < 0 || i < errIdx {
+						errIdx, jobErr = i, err
+					}
+				} else {
+					out[i] = v
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if errIdx >= 0 {
+		return nil, &Error{Index: errIdx, Err: jobErr}
+	}
+	return out, nil
+}

@@ -1,0 +1,83 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// The disk cache stores one JSON file per completed job under
+// <dir>/v1/<sha256-of-key>.json. The file embeds the full canonical
+// key, so a hit is verified against the key text, not just the hash.
+//
+// Cache-invalidation rule: a job's key folds in (1) the cell config —
+// experiment, cc, policy, trace, seed, durations; (2) the canonical
+// tuning fingerprints of the congestion control and steering policy
+// (cc.Configured / steering Canonical methods — bump their "/vN" tags
+// for behavior changes their fields don't capture); (3) the cellSchema
+// tag; and (4) the build's module version/VCS revision when stamped.
+// Simulator changes outside those fingerprints are NOT detected in
+// unstamped dev builds: delete the cache directory (or pass
+// -no-cache) after such changes. The directory is always safe to
+// delete; every cell can be recomputed.
+
+// cacheEntry is the on-disk layout of one cached job result.
+type cacheEntry struct {
+	Key     string        `json:"key"`
+	Metrics []MetricValue `json:"metrics"`
+}
+
+// cacheLoad returns the cached metrics for a job, or ok=false on any
+// miss — absent file, unreadable JSON, or key mismatch. A corrupt
+// entry is treated as a miss, never an error: the job just re-runs.
+func cacheLoad(dir string, j job) ([]MetricValue, bool) {
+	if dir == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(cachePath(dir, j))
+	if err != nil {
+		return nil, false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(data, &e); err != nil || e.Key != j.key() || e.Metrics == nil {
+		return nil, false
+	}
+	return e.Metrics, true
+}
+
+// cacheStore writes a job's metrics, creating the directory as needed.
+// The write goes through a unique temp file and a rename, so readers
+// never see a partial entry even with concurrent sweeps.
+func cacheStore(dir string, j job, metrics []MetricValue) error {
+	if dir == "" {
+		return nil
+	}
+	path := cachePath(dir, j)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("sweep: cache: %w", err)
+	}
+	data, err := json.MarshalIndent(cacheEntry{Key: j.key(), Metrics: metrics}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("sweep: cache: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("sweep: cache: %w", err)
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: cache write: %v, %v", werr, cerr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: cache: %w", err)
+	}
+	return nil
+}
+
+func cachePath(dir string, j job) string {
+	return filepath.Join(dir, "v1", j.hash()+".json")
+}

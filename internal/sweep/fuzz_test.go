@@ -1,0 +1,41 @@
+package sweep
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzSweepSpecParse exercises the grid-spec parser with arbitrary
+// input: it must never panic, and any spec it accepts must round-trip
+// — the canonical String reparses to the same spec and is a fixed
+// point.
+func FuzzSweepSpecParse(f *testing.F) {
+	f.Add("exp=bulk cc=cubic,bbr,vegas,vivace policy=dchannel,embb-only seeds=1..5 dur=15s")
+	f.Add("exp=video policy=priority trace=mmwave-driving seeds=3 dur=20s")
+	f.Add("exp=web pages=6 loads=2 trace=lowband-stationary,lowband-driving")
+	f.Add("exp=abr trace=lowband-walking seeds=-4..-1")
+	f.Add("exp=bulk")
+	f.Add("exp=bulk seeds=1..9223372036854775807")
+	f.Add("exp=web dur=5s")
+	f.Add("cc=cubic")
+	f.Add("exp=bulk cc=cubic cc=bbr")
+	f.Add("  exp=bulk\t dur=1h  ")
+	f.Add("exp=bulk dur=1ns seeds=0")
+	f.Fuzz(func(t *testing.T, in string) {
+		spec, err := ParseSpec(in)
+		if err != nil {
+			return // rejected: fine, as long as no panic
+		}
+		canonical := spec.String()
+		back, err := ParseSpec(canonical)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %q -> %q: %v", in, canonical, err)
+		}
+		if !reflect.DeepEqual(back, spec) {
+			t.Fatalf("round-trip changed the spec:\n in: %+v\nout: %+v", spec, back)
+		}
+		if again := back.String(); again != canonical {
+			t.Fatalf("canonical form not a fixed point: %q -> %q", canonical, again)
+		}
+	})
+}

@@ -1,0 +1,154 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime/debug"
+	"strings"
+	"time"
+
+	"hvc/internal/core"
+	"hvc/internal/trace"
+)
+
+// cellSchema versions the job key layout and the metric set each
+// experiment reports. Bump it when either changes: every cached cell
+// invalidates at once.
+const cellSchema = "hvc-sweep-cell/v1"
+
+// A job is one independent simulation: a cell at one seed.
+type job struct {
+	spec Spec
+	cell cellKey
+	seed int64
+}
+
+// A MetricValue is one scalar a job produced. Jobs of the same
+// experiment kind report the same metrics in the same order.
+type MetricValue struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// key renders the job's canonical identity: everything that determines
+// its result. The config fingerprints fold in the tuning constants of
+// the congestion control and steering policy under test, so cached
+// results invalidate when those change (see cache.go for the rule).
+func (j job) key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", cellSchema)
+	fmt.Fprintf(&b, "exp=%s", j.spec.Exp)
+	if j.cell.CC != "" {
+		fmt.Fprintf(&b, " cc=%s", j.cell.CC)
+	}
+	fmt.Fprintf(&b, " policy=%s trace=%s seed=%d", j.cell.Policy, j.cell.Trace, j.seed)
+	if j.spec.Exp == ExpWeb {
+		fmt.Fprintf(&b, " pages=%d loads=%d", j.spec.Pages, j.spec.Loads)
+	} else {
+		fmt.Fprintf(&b, " dur=%s", j.spec.Dur)
+	}
+	b.WriteString("\n")
+	if j.cell.CC != "" {
+		fp, _ := core.CCFingerprint(j.cell.CC)
+		fmt.Fprintf(&b, "cc-config=%s\n", fp)
+	}
+	fp, _ := core.PolicyFingerprint(j.cell.Policy)
+	fmt.Fprintf(&b, "policy-config=%s\n", fp)
+	fmt.Fprintf(&b, "code=%s\n", codeVersion())
+	return b.String()
+}
+
+// hash is the job's cache address: SHA-256 of its canonical key.
+func (j job) hash() string {
+	sum := sha256.Sum256([]byte(j.key()))
+	return hex.EncodeToString(sum[:])
+}
+
+// codeVersion identifies the simulator build in cache keys. Module
+// version and VCS revision are stamped into release builds; a dev
+// build without them relies on the fingerprints and schema tags above,
+// plus the documented rule that .hvcsweep/ is cheap to delete.
+func codeVersion() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	version, revision := info.Main.Version, ""
+	for _, s := range info.Settings {
+		if s.Key == "vcs.revision" {
+			revision = s.Value
+		}
+	}
+	return version + "+" + revision
+}
+
+// run executes the job's simulation and returns its metrics, in the
+// experiment kind's fixed order.
+func (j job) run() ([]MetricValue, error) {
+	switch j.spec.Exp {
+	case ExpBulk:
+		var embb *trace.Trace
+		if j.cell.Trace != "fixed" {
+			tr, err := core.NewTrace(j.cell.Trace, j.seed, j.spec.Dur+time.Second)
+			if err != nil {
+				return nil, err
+			}
+			embb = tr
+		}
+		r, err := core.RunBulk(core.BulkConfig{
+			Seed: j.seed, Duration: j.spec.Dur, CC: j.cell.CC,
+			Policy: j.cell.Policy, EMBB: embb,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return []MetricValue{
+			{"goodput_mbps", r.Mbps},
+			{"retransmits", float64(r.Retransmits)},
+			{"rtos", float64(r.RTOs)},
+		}, nil
+	case ExpVideo:
+		r, err := core.RunVideo(core.VideoConfig{
+			Seed: j.seed, Duration: j.spec.Dur, Trace: j.cell.Trace, Policy: j.cell.Policy,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return []MetricValue{
+			{"latency_p50_ms", r.Latency.Percentile(50)},
+			{"latency_p95_ms", r.Latency.Percentile(95)},
+			{"latency_p99_ms", r.Latency.Percentile(99)},
+			{"ssim_mean", r.SSIM.Mean()},
+			{"frozen_frames", float64(r.Frozen)},
+		}, nil
+	case ExpWeb:
+		r, err := core.RunWeb(core.WebConfig{
+			Seed: j.seed, Trace: j.cell.Trace, Policy: j.cell.Policy,
+			Pages: j.spec.Pages, Loads: j.spec.Loads,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return []MetricValue{
+			{"plt_mean_ms", r.PLT.Mean()},
+			{"plt_p95_ms", r.PLT.Percentile(95)},
+		}, nil
+	case ExpABR:
+		r, err := core.RunABR(core.ABRConfig{
+			Seed: j.seed, Media: j.spec.Dur, Trace: j.cell.Trace, Policy: j.cell.Policy,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return []MetricValue{
+			{"startup_ms", float64(r.StartupDelay.Milliseconds())},
+			{"rebuffer_ms", float64(r.RebufferTime.Milliseconds())},
+			{"rebuffer_events", float64(r.RebufferEvents)},
+			{"mean_bitrate_mbps", r.MeanBitrate / 1e6},
+			{"switches", float64(r.Switches)},
+		}, nil
+	default:
+		return nil, fmt.Errorf("sweep: unknown experiment %q", j.spec.Exp)
+	}
+}

@@ -1,0 +1,318 @@
+// Package sweep is the parallel experiment-grid engine: it expands a
+// grid spec (experiment × congestion control × steering policy ×
+// trace × seed range) into independent simulation jobs, fans them
+// across a worker pool, and aggregates per-cell statistics in a
+// deterministic order — the output is bit-identical for any worker
+// count. A content-addressed disk cache (see cache.go) makes repeated
+// sweeps incremental: iterating on one policy re-runs only its column.
+//
+// This is the machinery evaluation toolkits in the space (ZEUS,
+// CoCo-Beholder) build around a testbed; here the "testbed" is the
+// repo's deterministic simulator, which is what makes byte-identical
+// parallel aggregation possible at all.
+package sweep
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"hvc/internal/core"
+)
+
+// Experiment kinds a Spec can sweep. Each maps to one internal/core
+// runner and a fixed, ordered set of per-job metrics (see job.go).
+const (
+	ExpBulk  = "bulk"  // core.RunBulk: Fig. 1 bulk flow
+	ExpVideo = "video" // core.RunVideo: Fig. 2 real-time SVC video
+	ExpWeb   = "web"   // core.RunWeb: Table 1 page loads
+	ExpABR   = "abr"   // core.RunABR: adaptive streaming ablation
+)
+
+// maxSeeds bounds a spec's seed range so a typo cannot expand into an
+// unbounded job list.
+const maxSeeds = 1_000_000
+
+// A Spec describes one experiment grid. The zero value is invalid;
+// build specs with ParseSpec or populate every applicable field and
+// call Validate.
+type Spec struct {
+	// Exp is the experiment kind: bulk, video, web, or abr.
+	Exp string
+	// CCs lists congestion-control algorithms (bulk only; the other
+	// workloads fix CUBIC, as the paper does).
+	CCs []string
+	// Policies lists steering policies (see core.NewPolicy).
+	Policies []string
+	// Traces lists eMBB traces (see core.TraceNames).
+	Traces []string
+	// SeedFirst..SeedFirst+SeedCount-1 are the seeds each cell runs.
+	SeedFirst int64
+	SeedCount int
+	// Dur is the run duration (bulk, video) or media length (abr);
+	// unused for web.
+	Dur time.Duration
+	// Pages and Loads size the web corpus; unused otherwise.
+	Pages, Loads int
+}
+
+// specKeys is the canonical key order String emits and the complete
+// set ParseSpec accepts.
+var specKeys = []string{"exp", "cc", "policy", "trace", "seeds", "dur", "pages", "loads"}
+
+// ParseSpec parses the grid-spec syntax: space-separated key=value
+// fields, list values comma-separated, for example
+//
+//	exp=bulk cc=cubic,bbr policy=dchannel,embb-only seeds=1..5 dur=15s
+//
+// Keys: exp (bulk|video|web|abr), cc, policy, trace, seeds (N or
+// A..B inclusive), dur (Go duration), pages, loads. Unknown keys,
+// duplicate keys, duplicate list values, and names the core package
+// does not accept are errors. Omitted axes default per experiment
+// (see Default). The result is validated and canonical: parsing the
+// String of a parsed spec yields the same spec.
+func ParseSpec(s string) (Spec, error) {
+	spec := Spec{SeedFirst: 1, SeedCount: 1}
+	seen := map[string]bool{}
+	for _, field := range strings.Fields(s) {
+		key, val, ok := strings.Cut(field, "=")
+		if !ok || val == "" {
+			return Spec{}, fmt.Errorf("sweep: field %q is not key=value", field)
+		}
+		if seen[key] {
+			return Spec{}, fmt.Errorf("sweep: duplicate key %q", key)
+		}
+		seen[key] = true
+		switch key {
+		case "exp":
+			spec.Exp = val
+		case "cc":
+			list, err := parseList(key, val)
+			if err != nil {
+				return Spec{}, err
+			}
+			spec.CCs = list
+		case "policy":
+			list, err := parseList(key, val)
+			if err != nil {
+				return Spec{}, err
+			}
+			spec.Policies = list
+		case "trace":
+			list, err := parseList(key, val)
+			if err != nil {
+				return Spec{}, err
+			}
+			spec.Traces = list
+		case "seeds":
+			first, count, err := parseSeeds(val)
+			if err != nil {
+				return Spec{}, err
+			}
+			spec.SeedFirst, spec.SeedCount = first, count
+		case "dur":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return Spec{}, fmt.Errorf("sweep: dur %q: %v", val, err)
+			}
+			spec.Dur = d
+		case "pages", "loads":
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return Spec{}, fmt.Errorf("sweep: %s %q is not a positive integer", key, val)
+			}
+			if key == "pages" {
+				spec.Pages = n
+			} else {
+				spec.Loads = n
+			}
+		default:
+			return Spec{}, fmt.Errorf("sweep: unknown key %q (valid: %s)", key, strings.Join(specKeys, ", "))
+		}
+	}
+	if err := spec.defaultAndValidate(); err != nil {
+		return Spec{}, err
+	}
+	return spec, nil
+}
+
+func parseList(key, val string) ([]string, error) {
+	parts := strings.Split(val, ",")
+	seen := map[string]bool{}
+	for _, p := range parts {
+		if p == "" {
+			return nil, fmt.Errorf("sweep: %s has an empty list element", key)
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("sweep: %s lists %q twice", key, p)
+		}
+		seen[p] = true
+	}
+	return parts, nil
+}
+
+func parseSeeds(val string) (first int64, count int, err error) {
+	lo, hi, ranged := strings.Cut(val, "..")
+	a, err := strconv.ParseInt(lo, 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("sweep: seeds %q: bad start", val)
+	}
+	if !ranged {
+		return a, 1, nil
+	}
+	b, err := strconv.ParseInt(hi, 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("sweep: seeds %q: bad end", val)
+	}
+	if b < a {
+		return 0, 0, fmt.Errorf("sweep: seeds %q: end below start", val)
+	}
+	// b-a can wrap for extreme ranges (a very negative, b very
+	// positive); a negative difference is exactly that overflow.
+	if d := b - a; d < 0 || d > maxSeeds-1 {
+		return 0, 0, fmt.Errorf("sweep: seeds %q spans more than %d seeds", val, maxSeeds)
+	}
+	return a, int(b - a + 1), nil
+}
+
+// defaultAndValidate fills per-experiment defaults, then checks every
+// axis value against the core package's accepted names.
+func (s *Spec) defaultAndValidate() error {
+	switch s.Exp {
+	case ExpBulk:
+		if s.CCs == nil {
+			s.CCs = []string{"cubic"}
+		}
+		if s.Policies == nil {
+			s.Policies = []string{core.PolicyDChannel}
+		}
+		if s.Traces == nil {
+			s.Traces = []string{"fixed"}
+		}
+		if s.Dur == 0 {
+			s.Dur = 15 * time.Second
+		}
+	case ExpVideo:
+		if s.Policies == nil {
+			s.Policies = []string{core.PolicyDChannel}
+		}
+		if s.Traces == nil {
+			s.Traces = []string{"lowband-driving"}
+		}
+		if s.Dur == 0 {
+			s.Dur = 20 * time.Second
+		}
+	case ExpWeb:
+		if s.Policies == nil {
+			s.Policies = []string{core.PolicyDChannel}
+		}
+		if s.Traces == nil {
+			s.Traces = []string{"lowband-stationary"}
+		}
+		if s.Pages == 0 {
+			s.Pages = 6
+		}
+		if s.Loads == 0 {
+			s.Loads = 2
+		}
+	case ExpABR:
+		if s.Policies == nil {
+			s.Policies = []string{core.PolicyDChannel}
+		}
+		if s.Traces == nil {
+			s.Traces = []string{"mmwave-driving"}
+		}
+		if s.Dur == 0 {
+			s.Dur = 60 * time.Second
+		}
+	case "":
+		return fmt.Errorf("sweep: spec needs exp=bulk|video|web|abr")
+	default:
+		return fmt.Errorf("sweep: unknown experiment %q (bulk, video, web, abr)", s.Exp)
+	}
+
+	if s.Exp != ExpBulk && s.CCs != nil {
+		return fmt.Errorf("sweep: cc axis only applies to exp=bulk")
+	}
+	if s.Exp == ExpWeb {
+		if s.Dur != 0 {
+			return fmt.Errorf("sweep: dur does not apply to exp=web (use pages/loads)")
+		}
+	} else if s.Pages != 0 || s.Loads != 0 {
+		return fmt.Errorf("sweep: pages/loads only apply to exp=web")
+	}
+	if s.Dur < 0 {
+		return fmt.Errorf("sweep: negative dur")
+	}
+	if s.SeedCount < 1 || s.SeedCount > maxSeeds {
+		return fmt.Errorf("sweep: seed count %d out of range", s.SeedCount)
+	}
+
+	for _, cc := range s.CCs {
+		if !core.ValidCC(cc) {
+			return fmt.Errorf("sweep: unknown congestion control %q", cc)
+		}
+	}
+	for _, p := range s.Policies {
+		if !core.ValidPolicy(p) {
+			return fmt.Errorf("sweep: unknown steering policy %q", p)
+		}
+		if s.Exp == ExpWeb && p == core.PolicyPriority {
+			return fmt.Errorf("sweep: exp=web does not support policy %q", p)
+		}
+	}
+	valid := map[string]bool{}
+	for _, tr := range core.TraceNames() {
+		valid[tr] = true
+	}
+	for _, tr := range s.Traces {
+		if !valid[tr] {
+			return fmt.Errorf("sweep: unknown trace %q", tr)
+		}
+	}
+	return nil
+}
+
+// String renders the spec canonically: every applicable key, fixed
+// order, seeds always as A..B. ParseSpec(s.String()) reproduces s.
+func (s Spec) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "exp=%s", s.Exp)
+	if s.Exp == ExpBulk {
+		fmt.Fprintf(&b, " cc=%s", strings.Join(s.CCs, ","))
+	}
+	fmt.Fprintf(&b, " policy=%s", strings.Join(s.Policies, ","))
+	fmt.Fprintf(&b, " trace=%s", strings.Join(s.Traces, ","))
+	fmt.Fprintf(&b, " seeds=%d..%d", s.SeedFirst, s.SeedFirst+int64(s.SeedCount)-1)
+	if s.Exp == ExpWeb {
+		fmt.Fprintf(&b, " pages=%d loads=%d", s.Pages, s.Loads)
+	} else {
+		fmt.Fprintf(&b, " dur=%s", s.Dur)
+	}
+	return b.String()
+}
+
+// cells enumerates the grid's cells in deterministic order: cc
+// outermost, then policy, then trace, each in spec order. Non-bulk
+// experiments have a single empty cc value.
+func (s Spec) cells() []cellKey {
+	ccs := s.CCs
+	if len(ccs) == 0 {
+		ccs = []string{""}
+	}
+	var out []cellKey
+	for _, cc := range ccs {
+		for _, p := range s.Policies {
+			for _, tr := range s.Traces {
+				out = append(out, cellKey{CC: cc, Policy: p, Trace: tr})
+			}
+		}
+	}
+	return out
+}
+
+// A cellKey identifies one cell of the grid (every axis except seed).
+type cellKey struct {
+	CC, Policy, Trace string
+}

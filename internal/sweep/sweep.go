@@ -1,0 +1,132 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"hvc/internal/core"
+	"hvc/internal/pool"
+	"hvc/internal/telemetry"
+)
+
+// Options configure one sweep run. The zero value runs on GOMAXPROCS
+// workers with no cache, no counters, and no progress reporting.
+type Options struct {
+	// Workers caps the worker goroutines; <= 0 means GOMAXPROCS. The
+	// worker count never affects the result: the matrix is aggregated
+	// in grid order, not completion order.
+	Workers int
+	// CacheDir roots the result cache (conventionally ".hvcsweep");
+	// empty disables caching. See cache.go for the invalidation rule.
+	CacheDir string
+	// Registry, when non-nil, receives progress counters:
+	// sweep/jobs{result=executed|cached} and the sweep/jobs_total
+	// gauge.
+	Registry *telemetry.Registry
+	// Progress, when non-nil, is called after every finished job with
+	// the done count so far, the total, and how many of the done jobs
+	// were cache hits. Calls are serialized but their interleaving
+	// across cells follows completion order, so Progress must not be
+	// used to build deterministic output.
+	Progress func(done, total, cached int)
+}
+
+// testRunJob, when non-nil, replaces job.run — it lets tests inject
+// job-level failures that no validated spec can produce.
+var testRunJob func(job) ([]MetricValue, error)
+
+// Run expands the spec's grid into one job per (cell, seed), executes
+// the jobs across a worker pool — each simulation loop is
+// single-threaded and self-contained — and aggregates per-cell
+// statistics over seeds. The returned Matrix is deterministic:
+// bit-identical for any worker count and any cache state, because
+// cells aggregate in grid order over per-seed values in seed order.
+func Run(spec Spec, opt Options) (*Matrix, error) {
+	if err := spec.defaultAndValidate(); err != nil {
+		return nil, err
+	}
+	cells := spec.cells()
+	jobs := make([]job, 0, len(cells)*spec.SeedCount)
+	for _, c := range cells {
+		for i := 0; i < spec.SeedCount; i++ {
+			jobs = append(jobs, job{spec: spec, cell: c, seed: spec.SeedFirst + int64(i)})
+		}
+	}
+
+	run := job.run
+	if testRunJob != nil {
+		run = testRunJob
+	}
+	var (
+		mu     sync.Mutex
+		done   int
+		cached int
+	)
+	opt.Registry.Set("sweep/jobs_total", float64(len(jobs)))
+	results, err := pool.Map(len(jobs), opt.Workers, func(i int) ([]MetricValue, error) {
+		j := jobs[i]
+		metrics, hit := cacheLoad(opt.CacheDir, j)
+		if !hit {
+			var err error
+			metrics, err = run(j)
+			if err != nil {
+				return nil, err
+			}
+			if err := cacheStore(opt.CacheDir, j, metrics); err != nil {
+				return nil, err
+			}
+		}
+		mu.Lock()
+		done++
+		if hit {
+			cached++
+			opt.Registry.Add("sweep/jobs", 1, "result", "cached")
+		} else {
+			opt.Registry.Add("sweep/jobs", 1, "result", "executed")
+		}
+		d, c := done, cached
+		mu.Unlock()
+		if opt.Progress != nil {
+			opt.Progress(d, len(jobs), c)
+		}
+		return metrics, nil
+	})
+	if err != nil {
+		var pe *pool.Error
+		if errors.As(err, &pe) {
+			j := jobs[pe.Index]
+			return nil, fmt.Errorf("sweep: %s: seed %d: %w", j.cell.describe(spec.Exp), j.seed, pe.Err)
+		}
+		return nil, err
+	}
+
+	m := &Matrix{Schema: MatrixSchema, Spec: spec.String(), Jobs: len(jobs)}
+	for ci, c := range cells {
+		cell := Cell{
+			Exp: spec.Exp, CC: c.CC, Policy: c.Policy, Trace: c.Trace,
+			Seeds: fmt.Sprintf("%d..%d", spec.SeedFirst, spec.SeedFirst+int64(spec.SeedCount)-1),
+		}
+		// Every seed of a cell reports the same metrics in the same
+		// order; aggregate each metric over the seeds in seed order.
+		first := results[ci*spec.SeedCount]
+		for mi, mv := range first {
+			vals := make([]float64, spec.SeedCount)
+			for si := 0; si < spec.SeedCount; si++ {
+				vals[si] = results[ci*spec.SeedCount+si][mi].Value
+			}
+			cell.Metrics = append(cell.Metrics, CellMetric{Name: mv.Name, Summary: core.Summarize(vals)})
+		}
+		m.Cells = append(m.Cells, cell)
+	}
+	return m, nil
+}
+
+// describe renders a cell for error messages and progress output.
+func (c cellKey) describe(exp string) string {
+	s := "exp=" + exp
+	if c.CC != "" {
+		s += " cc=" + c.CC
+	}
+	return s + " policy=" + c.Policy + " trace=" + c.Trace
+}

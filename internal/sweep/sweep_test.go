@@ -1,0 +1,306 @@
+package sweep
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"hvc/internal/core"
+	"hvc/internal/telemetry"
+)
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+// videoGrid is the workhorse test spec: video jobs cost milliseconds,
+// so a 2×2×3-job grid keeps the suite fast while still exercising
+// multi-axis expansion.
+const videoGrid = "exp=video policy=embb-only,dchannel trace=lowband-driving,mmwave-driving seeds=1..3 dur=5s"
+
+func mustParse(t *testing.T, s string) Spec {
+	t.Helper()
+	spec, err := ParseSpec(s)
+	if err != nil {
+		t.Fatalf("ParseSpec(%q): %v", s, err)
+	}
+	return spec
+}
+
+func TestParseSpecCanonicalRoundTrip(t *testing.T) {
+	cases := []struct {
+		in        string
+		canonical string
+	}{
+		{"exp=bulk", "exp=bulk cc=cubic policy=dchannel trace=fixed seeds=1..1 dur=15s"},
+		{"exp=bulk cc=bbr,cubic seeds=7", "exp=bulk cc=bbr,cubic policy=dchannel trace=fixed seeds=7..7 dur=15s"},
+		{"exp=video dur=90s seeds=2..4", "exp=video policy=dchannel trace=lowband-driving seeds=2..4 dur=1m30s"},
+		{"exp=web pages=3 loads=1", "exp=web policy=dchannel trace=lowband-stationary seeds=1..1 pages=3 loads=1"},
+		{"exp=abr trace=lowband-walking", "exp=abr policy=dchannel trace=lowband-walking seeds=1..1 dur=1m0s"},
+		{"seeds=-2..1 exp=video", "exp=video policy=dchannel trace=lowband-driving seeds=-2..1 dur=20s"},
+	}
+	for _, c := range cases {
+		spec := mustParse(t, c.in)
+		if got := spec.String(); got != c.canonical {
+			t.Errorf("ParseSpec(%q).String() = %q, want %q", c.in, got, c.canonical)
+			continue
+		}
+		back := mustParse(t, spec.String())
+		if back.String() != spec.String() {
+			t.Errorf("canonical form not a fixed point: %q -> %q", spec.String(), back.String())
+		}
+	}
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	bad := []string{
+		"",                               // no exp
+		"exp=quantum",                    // unknown experiment
+		"exp=bulk exp=bulk",              // duplicate key
+		"exp=bulk cc=cubic,cubic",        // duplicate value
+		"exp=bulk cc=",                   // empty value
+		"exp=bulk frob=1",                // unknown key
+		"exp=bulk cc",                    // not key=value
+		"exp=bulk seeds=5..1",            // inverted range
+		"exp=bulk seeds=a..b",            // junk seeds
+		"exp=bulk dur=fast",              // junk duration
+		"exp=bulk dur=-5s",               // negative duration
+		"exp=bulk pages=4",               // pages outside web
+		"exp=web dur=5s",                 // dur on web
+		"exp=video cc=cubic",             // cc outside bulk
+		"exp=web policy=priority",        // policy web rejects
+		"exp=bulk cc=tcp-tahoe",          // unknown cc
+		"exp=bulk policy=random",         // unknown policy
+		"exp=bulk trace=starlink",        // unknown trace
+		"exp=bulk pages=0",               // non-positive int
+		"exp=bulk seeds=1..900000000000", // range cap
+	}
+	for _, s := range bad {
+		if _, err := ParseSpec(s); err == nil {
+			t.Errorf("ParseSpec(%q) accepted, want error", s)
+		}
+	}
+}
+
+func TestRunMatrixBytesInvariantUnderWorkerCount(t *testing.T) {
+	spec := mustParse(t, videoGrid)
+	render := func(workers int) (jsonB, csvB []byte) {
+		t.Helper()
+		m, err := Run(spec, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var j, c bytes.Buffer
+		if err := m.WriteJSON(&j); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.WriteCSV(&c); err != nil {
+			t.Fatal(err)
+		}
+		return j.Bytes(), c.Bytes()
+	}
+	j1, c1 := render(1)
+	for _, workers := range []int{2, 8} {
+		jn, cn := render(workers)
+		if !bytes.Equal(j1, jn) {
+			t.Fatalf("JSON matrix differs between workers=1 and workers=%d", workers)
+		}
+		if !bytes.Equal(c1, cn) {
+			t.Fatalf("CSV matrix differs between workers=1 and workers=%d", workers)
+		}
+	}
+}
+
+func TestRunCellOrderAndAggregation(t *testing.T) {
+	spec := mustParse(t, videoGrid)
+	m, err := Run(spec, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Jobs != 2*2*3 {
+		t.Fatalf("jobs = %d, want 12", m.Jobs)
+	}
+	wantCells := []struct{ policy, trace string }{
+		{"embb-only", "lowband-driving"},
+		{"embb-only", "mmwave-driving"},
+		{"dchannel", "lowband-driving"},
+		{"dchannel", "mmwave-driving"},
+	}
+	if len(m.Cells) != len(wantCells) {
+		t.Fatalf("%d cells, want %d", len(m.Cells), len(wantCells))
+	}
+	for i, w := range wantCells {
+		c := m.Cells[i]
+		if c.Policy != w.policy || c.Trace != w.trace || c.Seeds != "1..3" || c.Exp != "video" {
+			t.Fatalf("cell %d = %+v, want policy=%s trace=%s", i, c, w.policy, w.trace)
+		}
+		if len(c.Metrics) == 0 || c.Metrics[0].Name != "latency_p50_ms" {
+			t.Fatalf("cell %d metrics %+v", i, c.Metrics)
+		}
+		for _, mt := range c.Metrics {
+			if mt.N != 3 {
+				t.Fatalf("cell %d metric %s aggregated %d seeds, want 3", i, mt.Name, mt.N)
+			}
+		}
+	}
+
+	// Spot-check one cell against direct serial runs through core: the
+	// engine must aggregate exactly the per-seed values.
+	var vals []float64
+	for seed := int64(1); seed <= 3; seed++ {
+		r, err := core.RunVideo(core.VideoConfig{
+			Seed: seed, Duration: 5 * time.Second,
+			Trace: "lowband-driving", Policy: core.PolicyEMBBOnly,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals = append(vals, r.Latency.Percentile(50))
+	}
+	want := core.Summarize(vals)
+	if got := m.Cells[0].Metrics[0].Summary; got != want {
+		t.Fatalf("cell aggregate %+v, want serial %+v", got, want)
+	}
+}
+
+func TestRunServesSecondSweepFromCache(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), ".hvcsweep")
+	spec := mustParse(t, "exp=video policy=dchannel trace=lowband-driving seeds=1..2 dur=5s")
+
+	reg1 := telemetry.NewRegistry()
+	m1, err := Run(spec, Options{Workers: 4, CacheDir: dir, Registry: reg1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg1.Value("sweep/jobs", "result", "executed"); got != 2 {
+		t.Fatalf("first sweep executed %v jobs, want 2", got)
+	}
+	if got := reg1.Value("sweep/jobs", "result", "cached"); got != 0 {
+		t.Fatalf("first sweep had %v cache hits, want 0", got)
+	}
+
+	reg2 := telemetry.NewRegistry()
+	var lastDone, lastCached int
+	m2, err := Run(spec, Options{Workers: 4, CacheDir: dir, Registry: reg2,
+		Progress: func(done, total, cached int) { lastDone, lastCached = done, cached }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg2.Value("sweep/jobs", "result", "cached"); got != 2 {
+		t.Fatalf("second sweep had %v cache hits, want 2 (all)", got)
+	}
+	if got := reg2.Value("sweep/jobs", "result", "executed"); got != 0 {
+		t.Fatalf("second sweep executed %v jobs, want 0", got)
+	}
+	if lastDone != 2 || lastCached != 2 {
+		t.Fatalf("progress reported done=%d cached=%d, want 2, 2", lastDone, lastCached)
+	}
+
+	var b1, b2 bytes.Buffer
+	if err := m1.WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("cached sweep produced different matrix bytes")
+	}
+}
+
+func TestRunWidensCacheOnlyPerCell(t *testing.T) {
+	// Iterating on one axis value must reuse every cell already
+	// computed: adding a policy re-runs only the new column.
+	dir := filepath.Join(t.TempDir(), ".hvcsweep")
+	base := mustParse(t, "exp=video policy=dchannel trace=lowband-driving seeds=1..2 dur=5s")
+	if _, err := Run(base, Options{CacheDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	wider := mustParse(t, "exp=video policy=dchannel,embb-only trace=lowband-driving seeds=1..2 dur=5s")
+	reg := telemetry.NewRegistry()
+	if _, err := Run(wider, Options{CacheDir: dir, Registry: reg}); err != nil {
+		t.Fatal(err)
+	}
+	if hits := reg.Value("sweep/jobs", "result", "cached"); hits != 2 {
+		t.Fatalf("widened sweep reused %v jobs, want 2", hits)
+	}
+	if ran := reg.Value("sweep/jobs", "result", "executed"); ran != 2 {
+		t.Fatalf("widened sweep executed %v jobs, want 2 (the new column)", ran)
+	}
+}
+
+func TestRunCorruptCacheEntryReRuns(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), ".hvcsweep")
+	spec := mustParse(t, "exp=video policy=dchannel trace=lowband-driving seeds=1..1 dur=5s")
+	if _, err := Run(spec, Options{CacheDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "v1", "*.json"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("cache files %v, %v", files, err)
+	}
+	if err := writeFile(files[0], "{not json"); err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	if _, err := Run(spec, Options{CacheDir: dir, Registry: reg}); err != nil {
+		t.Fatal(err)
+	}
+	if ran := reg.Value("sweep/jobs", "result", "executed"); ran != 1 {
+		t.Fatalf("corrupt entry was not re-run (executed=%v)", ran)
+	}
+}
+
+func TestRunRejectsInvalidSpec(t *testing.T) {
+	if _, err := Run(Spec{Exp: ExpVideo, Dur: -time.Second, SeedCount: 1}, Options{}); err == nil {
+		t.Fatal("invalid hand-built spec accepted")
+	}
+	if _, err := Run(Spec{}, Options{}); err == nil {
+		t.Fatal("zero spec accepted")
+	}
+}
+
+func TestRunErrorNamesCellAndSeed(t *testing.T) {
+	// Inject a failure at one seed: the engine must report the first
+	// failing job in grid order, naming its cell and seed, regardless
+	// of worker count.
+	defer func() { testRunJob = nil }()
+	testRunJob = func(j job) ([]MetricValue, error) {
+		if j.seed >= 2 && j.cell.Policy == "dchannel" {
+			return nil, fmt.Errorf("simulated trace corruption")
+		}
+		return []MetricValue{{"x", float64(j.seed)}}, nil
+	}
+	spec := mustParse(t, "exp=video policy=embb-only,dchannel trace=lowband-driving seeds=1..3 dur=5s")
+	for _, workers := range []int{1, 4} {
+		_, err := Run(spec, Options{Workers: workers})
+		if err == nil {
+			t.Fatalf("workers=%d: job failure not propagated", workers)
+		}
+		for _, want := range []string{"policy=dchannel", "trace=lowband-driving", "seed 2", "simulated trace corruption"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Fatalf("workers=%d: error %q missing %q", workers, err, want)
+			}
+		}
+	}
+}
+
+func TestJobKeyIncludesFingerprintsAndSeed(t *testing.T) {
+	spec := mustParse(t, "exp=bulk cc=bbr seeds=3 dur=2s")
+	j := job{spec: spec, cell: cellKey{CC: "bbr", Policy: "dchannel", Trace: "fixed"}, seed: 3}
+	key := j.key()
+	for _, want := range []string{"hvc-sweep-cell/v1", "cc=bbr", "seed=3", "cc-config=bbr/v1", "policy-config=dchannel/v1", "code="} {
+		if !strings.Contains(key, want) {
+			t.Errorf("job key missing %q:\n%s", want, key)
+		}
+	}
+	j2 := j
+	j2.seed = 4
+	if j.hash() == j2.hash() {
+		t.Fatal("different seeds share a cache hash")
+	}
+}

@@ -1,0 +1,64 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+)
+
+// realReportBytes builds a representative hvc-run-report/v1 bundle the
+// way cmd/hvcbench does, as fuzz seed material.
+func realReportBytes() []byte {
+	r := NewReport("fig1a,table1", 42)
+	r.SetConfig("seeds", "5")
+	r.SetConfig("quick", "true")
+	r.SetConfig("bulk_dur", "15s")
+	r.AddMetric("fig1a/cubic/goodput", 59.81, "Mbps")
+	r.AddMetric("fig1a/cubic/retransmits", 12, "")
+	r.AddMetric("table1/lowband-driving/dchannel/plt_mean", 618.7, "ms")
+	reg := NewRegistry()
+	reg.Add("transport/packets", 1234, "channel", "embb")
+	reg.Add("transport/packets", 56, "channel", "urllc")
+	reg.Set("steering/last_beta", 1)
+	r.AttachCounters(reg)
+	var b bytes.Buffer
+	if err := r.WriteJSON(&b); err != nil {
+		panic(err)
+	}
+	return b.Bytes()
+}
+
+// FuzzReportRoundTrip drives ParseReport with arbitrary bytes: it must
+// never panic, and any report it accepts must re-encode stably —
+// encode, decode, encode again is byte-identical, the property the
+// cross-package determinism suite relies on when diffing reports.
+func FuzzReportRoundTrip(f *testing.F) {
+	f.Add(realReportBytes())
+	f.Add([]byte(`{"schema":"hvc-run-report/v1","experiment":"x","seed":0,"metrics":[]}`))
+	f.Add([]byte(`{"schema":"hvc-run-report/v1","experiment":"","seed":-9,"metrics":null,"config":{}}`))
+	f.Add([]byte(`{"schema":"hvc-run-report/v1","seed":1,"metrics":[{"name":"m","value":-0.0}]}`))
+	f.Add([]byte(`{"schema":"hvc-run-report/v1","counters":[{"name":"c","kind":"counter","value":1e300,"labels":{}}]}`))
+	f.Add([]byte(`{"schema":"wrong/v9"}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := ParseReport(bytes.NewReader(data))
+		if err != nil {
+			return // rejected: fine, as long as no panic
+		}
+		var b1 bytes.Buffer
+		if err := r.WriteJSON(&b1); err != nil {
+			t.Fatalf("re-encode of accepted report: %v", err)
+		}
+		r2, err := ParseReport(bytes.NewReader(b1.Bytes()))
+		if err != nil {
+			t.Fatalf("own output rejected: %v\n%s", err, b1.Bytes())
+		}
+		var b2 bytes.Buffer
+		if err := r2.WriteJSON(&b2); err != nil {
+			t.Fatalf("second encode: %v", err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Fatalf("encode/decode/encode not stable:\n%s\n----\n%s", b1.Bytes(), b2.Bytes())
+		}
+	})
+}

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 )
 
@@ -55,6 +56,32 @@ func (r *Report) AddMetric(name string, value float64, unit string) {
 // snapshot. A nil registry clears the section.
 func (r *Report) AttachCounters(reg *Registry) {
 	r.Counters = reg.Snapshot()
+}
+
+// ParseReport reads a report WriteJSON produced, rejecting other
+// schemas. The result is normalized so that re-encoding it with
+// WriteJSON is byte-stable: empty sections collapse to their canonical
+// empty form.
+func ParseReport(rd io.Reader) (*Report, error) {
+	var r Report
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("telemetry: report: %w", err)
+	}
+	if r.Schema != ReportSchema {
+		return nil, fmt.Errorf("telemetry: report schema %q, want %q", r.Schema, ReportSchema)
+	}
+	if len(r.Config) == 0 {
+		r.Config = nil
+	}
+	if len(r.Counters) == 0 {
+		r.Counters = nil
+	}
+	for i := range r.Counters {
+		if len(r.Counters[i].Labels) == 0 {
+			r.Counters[i].Labels = nil
+		}
+	}
+	return &r, nil
 }
 
 // WriteJSON serializes the report, indented, to w. json.Marshal sorts
