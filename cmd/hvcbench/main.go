@@ -47,10 +47,12 @@ import (
 
 	"hvc/internal/experiments"
 	"hvc/internal/pool"
+	"hvc/internal/prof"
 	"hvc/internal/telemetry"
 )
 
 func main() {
+	profile := prof.Register()
 	var (
 		exp = flag.String("exp", "all",
 			"experiment to run ("+strings.Join(experiments.Order(), ", ")+", all)")
@@ -63,6 +65,10 @@ func main() {
 		eventsF = flag.String("events", "", "write the raw telemetry event stream as JSONL to this file")
 	)
 	flag.Parse()
+	if err := profile.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "hvcbench: %v\n", err)
+		os.Exit(1)
+	}
 
 	cfg := experiments.FullScale()
 	if *quick {
@@ -183,5 +189,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "hvcbench: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if err := profile.Stop(); err != nil {
+		fmt.Fprintf(os.Stderr, "hvcbench: profile: %v\n", err)
+		os.Exit(1)
 	}
 }

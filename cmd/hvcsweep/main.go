@@ -36,6 +36,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"hvc/internal/prof"
 	"hvc/internal/sweep"
 	"hvc/internal/telemetry"
 )
@@ -43,6 +44,7 @@ import (
 const defaultSpec = "exp=bulk cc=cubic,bbr,vegas,vivace policy=dchannel,embb-only seeds=1..5 dur=15s"
 
 func main() {
+	profile := prof.Register()
 	var (
 		specF   = flag.String("spec", defaultSpec, "grid spec (space-separated key=value; see package doc)")
 		workers = flag.Int("workers", 0, "worker goroutines; 0 means GOMAXPROCS")
@@ -55,6 +57,10 @@ func main() {
 		verbose = flag.Bool("v", false, "report per-job progress on stderr")
 	)
 	flag.Parse()
+	if err := profile.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "hvcsweep: %v\n", err)
+		os.Exit(1)
+	}
 
 	spec, err := sweep.ParseSpec(*specF)
 	if err != nil {
@@ -124,6 +130,10 @@ func main() {
 	executed, cached := counterTotals(opt.Registry)
 	fmt.Fprintf(os.Stderr, "hvcsweep: %d jobs (%d executed, %d cached) across %d cells in %v\n",
 		m.Jobs, executed, cached, len(m.Cells), time.Since(start).Round(time.Millisecond))
+	if err := profile.Stop(); err != nil {
+		fmt.Fprintf(os.Stderr, "hvcsweep: profile: %v\n", err)
+		os.Exit(1)
+	}
 }
 
 // counterTotals pulls the executed/cached split back out of the

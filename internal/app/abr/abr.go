@@ -135,7 +135,7 @@ type Client struct {
 	playedAt   time.Duration // virtual time of last buffer drain update
 	stalledAt  time.Duration // when the current stall began (-1 none)
 	fetching   bool
-	waitTimer  *sim.Timer
+	waitTimer  sim.Timer
 	res        Result
 	bitrateSum float64
 	requestBts int

@@ -139,7 +139,7 @@ type frameState struct {
 	got      [Layers]bool
 	sentAt   time.Duration
 	l0At     time.Duration
-	timer    *sim.Timer
+	timer    sim.Timer
 	decodedL int // -1 until decoded
 }
 
@@ -263,7 +263,7 @@ func (r *Receiver) decode(f int) {
 	}
 	// Drop per-layer state we no longer need (keep decodedL for the
 	// dependency checks of the next frames).
-	fs.timer = nil
+	fs.timer = sim.Timer{}
 }
 
 // prevSupports reports whether frame f may decode layer l given frame

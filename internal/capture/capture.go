@@ -25,8 +25,9 @@ type Sampler struct {
 	group *channel.Group
 	every time.Duration
 
-	timer   *sim.Timer
-	stopped bool
+	timer    sim.Timer
+	sampleFn func() // one closure, re-armed every interval
+	stopped  bool
 
 	queues map[key]*metrics.TimeSeries
 	thru   map[key]*metrics.TimeSeries
@@ -62,12 +63,13 @@ func NewSampler(loop *sim.Loop, g *channel.Group, every time.Duration) *Sampler 
 			s.drops[k] = &metrics.TimeSeries{}
 		}
 	}
+	s.sampleFn = s.sample
 	s.arm()
 	return s
 }
 
 func (s *Sampler) arm() {
-	s.timer = s.loop.After(s.every, s.sample)
+	s.timer = s.loop.After(s.every, s.sampleFn)
 }
 
 func (s *Sampler) sample() {

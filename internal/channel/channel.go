@@ -171,9 +171,13 @@ func (c *Channel) link(from Side) *netem.Link {
 }
 
 // A Group is the set of channels available between one pair of hosts.
+// It also owns the simulation's packet free list: the group is the one
+// object both endpoints share, so packets recycled by the receiving
+// side are reused by the sending side (see packet.Pool).
 type Group struct {
 	channels []*Channel
 	byName   map[string]*Channel
+	pool     packet.Pool
 }
 
 // NewGroup collects channels into a group, preserving order. Duplicate
@@ -193,6 +197,9 @@ func NewGroup(chs ...*Channel) *Group {
 // All returns the group's channels in construction order. The slice is
 // shared; callers must not modify it.
 func (g *Group) All() []*Channel { return g.channels }
+
+// Pool returns the group's shared packet free list.
+func (g *Group) Pool() *packet.Pool { return &g.pool }
 
 // Get returns the named channel, or nil when absent.
 func (g *Group) Get(name string) *Channel { return g.byName[name] }

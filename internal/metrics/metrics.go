@@ -19,13 +19,41 @@ type Distribution struct {
 	values []float64
 	sorted bool
 	sum    float64
+	min    float64
+	max    float64
 }
 
-// Add records one observation.
+// Add records one observation. Min and Max are maintained as running
+// extrema, and a run of nondecreasing observations keeps the values
+// sorted, so monotone series answer order statistics without ever
+// paying for a sort.
 func (d *Distribution) Add(v float64) {
+	if len(d.values) == 0 {
+		d.min, d.max = v, v
+		d.sorted = true
+	} else {
+		if v < d.min {
+			d.min = v
+		}
+		if v >= d.max {
+			d.max = v // appending at or above the maximum preserves order
+		} else {
+			d.sorted = false
+		}
+	}
 	d.values = append(d.values, v)
 	d.sum += v
-	d.sorted = false
+}
+
+// Grow ensures capacity for at least n more observations without
+// reallocating, for callers that know their sample count up front.
+func (d *Distribution) Grow(n int) {
+	if n <= 0 || cap(d.values)-len(d.values) >= n {
+		return
+	}
+	grown := make([]float64, len(d.values), len(d.values)+n)
+	copy(grown, d.values)
+	d.values = grown
 }
 
 // AddDuration records a duration observation in milliseconds, the unit
@@ -46,21 +74,21 @@ func (d *Distribution) Mean() float64 {
 }
 
 // Min reports the smallest observation, or 0 for an empty distribution.
+// It is O(1): the extremum is maintained on Add.
 func (d *Distribution) Min() float64 {
 	if len(d.values) == 0 {
 		return 0
 	}
-	d.sort()
-	return d.values[0]
+	return d.min
 }
 
 // Max reports the largest observation, or 0 for an empty distribution.
+// It is O(1): the extremum is maintained on Add.
 func (d *Distribution) Max() float64 {
 	if len(d.values) == 0 {
 		return 0
 	}
-	d.sort()
-	return d.values[len(d.values)-1]
+	return d.max
 }
 
 // StdDev reports the population standard deviation, or 0 when fewer
@@ -168,6 +196,17 @@ type TimeSeries struct {
 // Add records an observation at virtual time at.
 func (ts *TimeSeries) Add(at time.Duration, v float64) {
 	ts.points = append(ts.points, TimePoint{At: at, Value: v})
+}
+
+// Grow ensures capacity for at least n more points without
+// reallocating, for callers that know their sample count up front.
+func (ts *TimeSeries) Grow(n int) {
+	if n <= 0 || cap(ts.points)-len(ts.points) >= n {
+		return
+	}
+	grown := make([]TimePoint, len(ts.points), len(ts.points)+n)
+	copy(grown, ts.points)
+	ts.points = grown
 }
 
 // N reports the number of points.

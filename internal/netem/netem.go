@@ -52,17 +52,35 @@ type Stats struct {
 
 // A Link is one unidirectional emulated link. Create links with New;
 // the zero value is not usable.
+//
+// The per-packet state machine is allocation-free in steady state: the
+// send queue and the in-flight delivery queue are head-indexed rings
+// that reuse their backing arrays, and the three callbacks the link
+// schedules (transmission done, outage over, packet arrival) are built
+// once at construction rather than closed over each packet. Arrivals
+// are FIFO — the lastArrival clamp makes arrival times nondecreasing
+// and the loop breaks timestamp ties in schedule order — so onArrive
+// always delivers the head of the in-flight queue.
 type Link struct {
 	loop *sim.Loop
 	cfg  Config
 	sink Sink
 
-	queue       []*packet.Packet
+	queue       []*packet.Packet // queue[head:] awaits transmission
+	head        int
 	queuedBytes int
 	busy        bool
 	lastArrival time.Duration // FIFO clamp for delay decreases
-	stats       Stats
-	tracer      *telemetry.Tracer
+
+	inflight []*packet.Packet // inflight[inHead:] awaits arrival
+	inHead   int
+
+	onTxDone    func()
+	onOutageEnd func()
+	onArrive    func()
+
+	stats  Stats
+	tracer *telemetry.Tracer
 }
 
 // New returns a Link delivering packets to sink. It panics if cfg.Trace
@@ -83,7 +101,14 @@ func New(loop *sim.Loop, cfg Config, sink Sink) *Link {
 			panic(fmt.Sprintf("netem: link %q loss probability %v out of [0,1)", cfg.Name, cfg.LossProb))
 		}
 	}
-	return &Link{loop: loop, cfg: cfg, sink: sink}
+	l := &Link{loop: loop, cfg: cfg, sink: sink}
+	l.onTxDone = l.finishTx
+	l.onOutageEnd = func() {
+		l.busy = false
+		l.kick()
+	}
+	l.onArrive = l.deliver
+	return l
 }
 
 // Name reports the link's configured name.
@@ -101,6 +126,9 @@ func (l *Link) Stats() Stats { return l.stats }
 // queue, including the packet being serialized. Steering policies use
 // this as their channel-occupancy signal.
 func (l *Link) QueuedBytes() int { return l.queuedBytes }
+
+// queued reports the number of packets awaiting transmission.
+func (l *Link) queued() int { return len(l.queue) - l.head }
 
 // QueueDelay estimates how long a newly arriving byte would wait before
 // starting transmission, given current conditions. During an outage it
@@ -130,23 +158,27 @@ func (l *Link) Send(p *packet.Packet) bool {
 	l.stats.Sent++
 	if l.queuedBytes+p.Size > l.cfg.QueueBytes {
 		l.stats.DroppedQueue++
-		l.tracer.Emit(telemetry.Event{
-			Layer: telemetry.LayerChannel, Name: telemetry.EvDrop,
-			Channel: l.cfg.Name, Flow: uint32(p.Flow), Seq: p.Seq,
-			Bytes: p.Size, Detail: "queue",
-		})
-		l.tracer.Count("netem_dropped_total", 1, "channel", l.cfg.Name, "reason", "queue")
+		if l.tracer.Enabled() {
+			l.tracer.Emit(telemetry.Event{
+				Layer: telemetry.LayerChannel, Name: telemetry.EvDrop,
+				Channel: l.cfg.Name, Flow: uint32(p.Flow), Seq: p.Seq,
+				Bytes: p.Size, Detail: "queue",
+			})
+			l.tracer.Count("netem_dropped_total", 1, "channel", l.cfg.Name, "reason", "queue")
+		}
 		return false
 	}
 	p.Channel = l.cfg.Name
 	l.queue = append(l.queue, p)
 	l.queuedBytes += p.Size
-	l.tracer.Emit(telemetry.Event{
-		Layer: telemetry.LayerChannel, Name: telemetry.EvEnqueue,
-		Channel: l.cfg.Name, Flow: uint32(p.Flow), Seq: p.Seq,
-		Bytes: p.Size, Value: float64(l.queuedBytes),
-	})
-	l.tracer.Count("netem_sent_total", 1, "channel", l.cfg.Name)
+	if l.tracer.Enabled() {
+		l.tracer.Emit(telemetry.Event{
+			Layer: telemetry.LayerChannel, Name: telemetry.EvEnqueue,
+			Channel: l.cfg.Name, Flow: uint32(p.Flow), Seq: p.Seq,
+			Bytes: p.Size, Value: float64(l.queuedBytes),
+		})
+		l.tracer.Count("netem_sent_total", 1, "channel", l.cfg.Name)
+	}
 	l.kick()
 	return true
 }
@@ -154,29 +186,35 @@ func (l *Link) Send(p *packet.Packet) bool {
 // kick starts serializing the head-of-line packet if the transmitter is
 // idle. During an outage it re-arms itself at the next trace boundary.
 func (l *Link) kick() {
-	if l.busy || len(l.queue) == 0 {
+	if l.busy {
+		return
+	}
+	if l.head == len(l.queue) {
+		// Drained: rewind the ring so the backing array is reused.
+		l.queue = l.queue[:0]
+		l.head = 0
 		return
 	}
 	now := l.loop.Now()
 	cond := l.cfg.Trace.At(now)
 	if cond.Rate <= 0 {
 		l.busy = true
-		l.loop.At(l.cfg.Trace.NextChange(now), func() {
-			l.busy = false
-			l.kick()
-		})
+		l.loop.At(l.cfg.Trace.NextChange(now), l.onOutageEnd)
 		return
 	}
-	p := l.queue[0]
+	p := l.queue[l.head]
 	txTime := time.Duration(float64(p.Size) * 8 / cond.Rate * float64(time.Second))
 	l.busy = true
-	l.loop.After(txTime, func() { l.finishTx(p) })
+	l.loop.After(txTime, l.onTxDone)
 }
 
-// finishTx completes serialization of p, schedules its arrival after
-// the propagation delay, and starts the next packet.
-func (l *Link) finishTx(p *packet.Packet) {
-	l.queue = l.queue[1:]
+// finishTx completes serialization of the head-of-line packet,
+// schedules its arrival after the propagation delay, and starts the
+// next packet.
+func (l *Link) finishTx() {
+	p := l.queue[l.head]
+	l.queue[l.head] = nil
+	l.head++
 	l.queuedBytes -= p.Size
 	l.busy = false
 
@@ -184,12 +222,14 @@ func (l *Link) finishTx(p *packet.Packet) {
 	// spent the air time but the packet never arrives.
 	if l.cfg.LossProb > 0 && l.loop.Rand().Float64() < l.cfg.LossProb {
 		l.stats.DroppedRandom++
-		l.tracer.Emit(telemetry.Event{
-			Layer: telemetry.LayerChannel, Name: telemetry.EvDrop,
-			Channel: l.cfg.Name, Flow: uint32(p.Flow), Seq: p.Seq,
-			Bytes: p.Size, Detail: "loss",
-		})
-		l.tracer.Count("netem_dropped_total", 1, "channel", l.cfg.Name, "reason", "loss")
+		if l.tracer.Enabled() {
+			l.tracer.Emit(telemetry.Event{
+				Layer: telemetry.LayerChannel, Name: telemetry.EvDrop,
+				Channel: l.cfg.Name, Flow: uint32(p.Flow), Seq: p.Seq,
+				Bytes: p.Size, Detail: "loss",
+			})
+			l.tracer.Count("netem_dropped_total", 1, "channel", l.cfg.Name, "reason", "loss")
+		}
 		l.kick()
 		return
 	}
@@ -204,15 +244,28 @@ func (l *Link) finishTx(p *packet.Packet) {
 	l.lastArrival = arrival
 	l.stats.Delivered++
 	l.stats.BytesDelivered += int64(p.Size)
-	l.loop.At(arrival, func() {
+	l.inflight = append(l.inflight, p)
+	l.loop.At(arrival, l.onArrive)
+
+	l.kick()
+}
+
+// deliver hands the oldest in-flight packet to the sink.
+func (l *Link) deliver() {
+	p := l.inflight[l.inHead]
+	l.inflight[l.inHead] = nil
+	l.inHead++
+	if l.inHead == len(l.inflight) {
+		l.inflight = l.inflight[:0]
+		l.inHead = 0
+	}
+	if l.tracer.Enabled() {
 		l.tracer.Emit(telemetry.Event{
 			Layer: telemetry.LayerChannel, Name: telemetry.EvDeliver,
 			Channel: l.cfg.Name, Flow: uint32(p.Flow), Seq: p.Seq,
 			Bytes: p.Size, Dur: l.loop.Now() - p.SentAt,
 		})
 		l.tracer.Count("netem_delivered_bytes_total", float64(p.Size), "channel", l.cfg.Name)
-		l.sink(p)
-	})
-
-	l.kick()
+	}
+	l.sink(p)
 }

@@ -309,6 +309,7 @@ func BenchmarkLinkSaturated(b *testing.B) {
 		Trace:      trace.Constant("c", 10*time.Millisecond, 1e9),
 		QueueBytes: 64 << 20,
 	}, func(*packet.Packet) { n++ })
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		l.Send(mkpkt(uint64(i), 1500))

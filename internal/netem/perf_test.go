@@ -1,0 +1,79 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"hvc/internal/packet"
+	"hvc/internal/sim"
+	"hvc/internal/trace"
+)
+
+// Allocation budget: a full enqueue → serialize → propagate → deliver
+// round trip allocates nothing in steady state. The send and in-flight
+// rings reuse their backing arrays, the three link callbacks are built
+// once at construction, and the loop recycles its event slots.
+func TestRoundTripAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	loop := sim.NewLoop(1)
+	delivered := 0
+	l := New(loop, Config{Name: "l", Trace: trace.Constant("c", 10*time.Millisecond, 8e6)},
+		func(*packet.Packet) { delivered++ })
+	p := &packet.Packet{ID: 1, Size: 1000}
+	for i := 0; i < 64; i++ { // warm up rings and loop arrays
+		l.Send(p)
+		loop.Run()
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		if !l.Send(p) {
+			t.Fatal("Send rejected")
+		}
+		loop.Run()
+	}); avg != 0 {
+		t.Errorf("round trip allocates %v/op in steady state, want 0", avg)
+	}
+	if delivered < 264 {
+		t.Fatalf("delivered %d packets, want >= 264", delivered)
+	}
+}
+
+// The same budget with a backlogged queue: head-of-line churn on the
+// rings (append at the tail, advance the head) must not reallocate.
+func TestSaturatedQueueAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	loop := sim.NewLoop(1)
+	l := New(loop, Config{
+		Name:       "l",
+		Trace:      trace.Constant("c", 10*time.Millisecond, 1e9),
+		QueueBytes: 64 << 20,
+	}, func(*packet.Packet) {})
+	p := &packet.Packet{ID: 1, Size: 1500}
+	for i := 0; i < 256; i++ { // warm up with a standing backlog
+		l.Send(p)
+		loop.Step()
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		l.Send(p)
+		loop.Step()
+	}); avg != 0 {
+		t.Errorf("saturated send+step allocates %v/op in steady state, want 0", avg)
+	}
+	loop.Run()
+}
+
+func BenchmarkRoundTrip(b *testing.B) {
+	loop := sim.NewLoop(1)
+	l := New(loop, Config{Name: "l", Trace: trace.Constant("c", 10*time.Millisecond, 8e6)},
+		func(*packet.Packet) {})
+	p := &packet.Packet{ID: 1, Size: 1000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Send(p)
+		loop.Run()
+	}
+}

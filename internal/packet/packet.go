@@ -118,3 +118,37 @@ func (g *IDGen) Next() uint64 {
 	g.next++
 	return g.next
 }
+
+// A Pool is a LIFO free list of Packets, scoped to one simulation (it
+// is not safe for concurrent use, matching the single-threaded core).
+// Sharing one pool between both endpoints of a channel group closes
+// the allocation cycle: packets freed where they arrive are reused
+// where the next transmission originates, so a steady-state flow
+// allocates no packets at all. The zero value is an empty pool ready
+// for use.
+//
+// Get does not clear the returned packet — in particular Payload may
+// still hold the previous use's payload box, which the transport
+// deliberately reuses. Callers must overwrite every field they rely
+// on, and must not Put a packet that any other component still
+// references.
+type Pool struct{ free []*Packet }
+
+// Get returns a recycled packet, or a fresh one when the pool is empty.
+func (pl *Pool) Get() *Packet {
+	if n := len(pl.free); n > 0 {
+		p := pl.free[n-1]
+		pl.free[n-1] = nil
+		pl.free = pl.free[:n-1]
+		return p
+	}
+	return &Packet{}
+}
+
+// Put returns a dead packet to the pool. Putting nil is a no-op.
+func (pl *Pool) Put(p *Packet) {
+	if p == nil {
+		return
+	}
+	pl.free = append(pl.free, p)
+}

@@ -1,0 +1,76 @@
+// Package prof wires the standard runtime/pprof entry points into the
+// repository's commands, so a slow or allocation-heavy run can be
+// captured with the stock toolchain:
+//
+//	hvcbench -exp fig1a -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
+//	go tool pprof -top cpu.pb.gz
+//
+// Profiling changes no simulation behaviour: runs remain byte-identical
+// with and without it.
+package prof
+
+import (
+	"flag"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds one command's -cpuprofile/-memprofile flag values.
+type Flags struct {
+	cpu string
+	mem string
+	f   *os.File
+}
+
+// Register installs -cpuprofile and -memprofile on the default flag
+// set. Call before flag.Parse.
+func Register() *Flags {
+	p := &Flags{}
+	flag.StringVar(&p.cpu, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&p.mem, "memprofile", "", "write an allocation profile to this file on exit")
+	return p
+}
+
+// Start begins CPU profiling when -cpuprofile was given. Call after
+// flag.Parse.
+func (p *Flags) Start() error {
+	if p.cpu == "" {
+		return nil
+	}
+	f, err := os.Create(p.cpu)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	p.f = f
+	return nil
+}
+
+// Stop ends CPU profiling and writes the allocation profile. Call once
+// on the success path; a run that dies early leaves no profiles.
+func (p *Flags) Stop() error {
+	if p.f != nil {
+		pprof.StopCPUProfile()
+		if err := p.f.Close(); err != nil {
+			return err
+		}
+		p.f = nil
+	}
+	if p.mem == "" {
+		return nil
+	}
+	f, err := os.Create(p.mem)
+	if err != nil {
+		return err
+	}
+	runtime.GC() // settle the live set so the profile reflects steady state
+	err = pprof.Lookup("allocs").WriteTo(f, 0)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

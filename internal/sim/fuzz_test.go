@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// refEvent is one scheduled occurrence in the reference scheduler: a
+// flat slice scanned for the (at, seq) minimum on every step. It is
+// obviously correct and hopelessly slow — exactly what an oracle for
+// the inline heap should be.
+type refEvent struct {
+	at        time.Duration
+	seq       uint64
+	id        int
+	cancelled bool
+	fired     bool
+}
+
+type refSched struct {
+	events []refEvent
+	now    time.Duration
+	seq    uint64
+	fired  []int
+}
+
+func (r *refSched) schedule(d time.Duration, id int) int {
+	if d < 0 {
+		d = 0
+	}
+	r.events = append(r.events, refEvent{at: r.now + d, seq: r.seq, id: id})
+	r.seq++
+	return len(r.events) - 1
+}
+
+// cancel mirrors Timer.Stop: it reports whether the event was still
+// pending.
+func (r *refSched) cancel(idx int) bool {
+	e := &r.events[idx]
+	if e.fired || e.cancelled {
+		return false
+	}
+	e.cancelled = true
+	return true
+}
+
+// step runs the earliest pending event, mirroring Loop.Step.
+func (r *refSched) step() bool {
+	best := -1
+	for i := range r.events {
+		e := &r.events[i]
+		if e.fired || e.cancelled {
+			continue
+		}
+		if best == -1 || e.at < r.events[best].at ||
+			(e.at == r.events[best].at && e.seq < r.events[best].seq) {
+			best = i
+		}
+	}
+	if best == -1 {
+		return false
+	}
+	r.events[best].fired = true
+	r.now = r.events[best].at
+	r.fired = append(r.fired, r.events[best].id)
+	return true
+}
+
+// FuzzLoopSchedule drives the event loop and the reference scheduler
+// with the same byte-derived program of schedule / cancel / step
+// operations and demands identical observable behaviour: firing order,
+// clock, pending count, and Stop results. It exercises the inline
+// heap's sift paths, the generation-counted timer handles, and lazy
+// compaction (cancel-heavy inputs push past the threshold).
+func FuzzLoopSchedule(f *testing.F) {
+	f.Add([]byte{0, 10, 0, 5, 2, 0, 1, 0, 0, 0})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 2, 0, 2, 0})
+	// Cancel-heavy: many schedules, then interleaved cancels.
+	seed := make([]byte, 0, 400)
+	for i := 0; i < 100; i++ {
+		seed = append(seed, 0, byte(i*7))
+	}
+	for i := 0; i < 100; i++ {
+		seed = append(seed, 1, byte(i))
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		l := NewLoop(1)
+		ref := &refSched{}
+		var got []int
+		var timers []Timer
+		var refIdx []int
+		nextID := 0
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i]%4, data[i+1]
+			switch op {
+			case 0, 3: // schedule (twice as likely as the others)
+				id := nextID
+				nextID++
+				d := time.Duration(arg) * time.Millisecond
+				timers = append(timers, l.After(d, func() { got = append(got, id) }))
+				refIdx = append(refIdx, ref.schedule(d, id))
+			case 1: // cancel an arbitrary earlier timer
+				if len(timers) == 0 {
+					continue
+				}
+				j := int(arg) % len(timers)
+				stopped := timers[j].Stop()
+				if want := ref.cancel(refIdx[j]); stopped != want {
+					t.Fatalf("op %d: Stop(timer %d) = %v, reference says %v", i/2, j, stopped, want)
+				}
+			case 2: // run one event
+				stepped := l.Step()
+				if want := ref.step(); stepped != want {
+					t.Fatalf("op %d: Step() = %v, reference says %v", i/2, stepped, want)
+				}
+			}
+			if l.Now() != ref.now {
+				t.Fatalf("op %d: Now() = %v, reference clock %v", i/2, l.Now(), ref.now)
+			}
+		}
+		// Drain both schedulers and compare the complete firing order.
+		l.Run()
+		for ref.step() {
+		}
+		if len(got) != len(ref.fired) {
+			t.Fatalf("loop fired %d events, reference fired %d", len(got), len(ref.fired))
+		}
+		for i := range got {
+			if got[i] != ref.fired[i] {
+				t.Fatalf("firing order diverges at %d: loop ran event %d, reference %d\nloop: %v\nref:  %v",
+					i, got[i], ref.fired[i], got, ref.fired)
+			}
+		}
+		if l.Now() != ref.now {
+			t.Fatalf("final clock %v, reference %v", l.Now(), ref.now)
+		}
+		if l.Pending() != 0 {
+			t.Fatalf("Pending = %d after drain, want 0", l.Pending())
+		}
+	})
+}

@@ -7,26 +7,70 @@
 // scheduled, so a simulation is a pure function of its inputs and seed.
 // The loop is single-goroutine by design: determinism is what makes the
 // experiment harness reproducible and the test suite meaningful.
+//
+// The scheduler is built for a steady state of zero heap allocations:
+// the event queue is an inline 4-ary min-heap of value-type records
+// (no per-event box, no interface conversion), callbacks live in a
+// slot table recycled through a free list, and Timer handles carry a
+// generation counter instead of a pointer, so scheduling, firing, and
+// cancelling events never allocates once the loop's arrays have grown
+// to the simulation's working set. See DESIGN.md "Performance".
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
 )
 
+// A heapEntry is one scheduled occurrence in the event heap. Entries
+// are ordered by (at, seq): seq is the global schedule order, which
+// breaks timestamp ties deterministically.
+type heapEntry struct {
+	at   time.Duration
+	seq  uint64
+	slot int32
+}
+
+// Slot lifecycle states. A slot is live while its callback is
+// scheduled, cancelled between Timer.Stop and heap removal, and free
+// while on the free list awaiting reuse.
+const (
+	slotFree uint8 = iota
+	slotLive
+	slotCancelled
+)
+
+// An eventSlot holds the callback and liveness of one scheduled event.
+// Slots are addressed by index from heap entries and Timer handles; the
+// generation counter invalidates stale handles after reuse.
+type eventSlot struct {
+	fn    func()
+	gen   uint32
+	state uint8
+}
+
+// compactMin is the minimum number of cancelled heap entries before
+// lazy compaction is considered. Below it, the dead entries are cheaper
+// to discard at pop time than to filter out.
+const compactMin = 64
+
 // A Loop is a virtual-time event scheduler. The zero value is not ready
 // for use; create one with NewLoop.
 type Loop struct {
 	now     time.Duration
-	queue   eventQueue
+	heap    []heapEntry
+	slots   []eventSlot
+	free    []int32
 	seq     uint64
 	rng     *rand.Rand
 	stopped bool
 	// pending counts scheduled, non-cancelled events. It lets Run
 	// terminate without draining cancelled timers one by one.
 	pending int
+	// cancelled counts dead entries still occupying heap space; when
+	// they outnumber the live ones the heap is compacted in one pass.
+	cancelled int
 }
 
 // NewLoop returns a Loop whose clock reads zero and whose random source
@@ -49,49 +93,81 @@ func (l *Loop) Rand() *rand.Rand { return l.rng }
 // nor been cancelled.
 func (l *Loop) Pending() int { return l.pending }
 
-// A Timer is a handle to a scheduled callback. Its zero value is an
-// already-expired timer.
+// queueSize reports the heap's physical occupancy, including cancelled
+// entries not yet removed. Tests use it to pin the compaction bound.
+func (l *Loop) queueSize() int { return len(l.heap) }
+
+// A Timer is a handle to a scheduled callback: a slot index plus the
+// generation the slot had when the event was scheduled, so a handle
+// goes stale the moment its event fires or its slot is recycled. Timers
+// are small values; copying one copies the handle, not the event. The
+// zero value is an already-expired timer.
 type Timer struct {
-	ev *event
+	loop *Loop
+	slot int32 // slot index + 1; 0 marks the inert zero Timer
+	gen  uint32
 }
 
 // Stop cancels the timer's callback if it has not yet run and reports
 // whether it did so. Stopping an expired, cancelled, or zero Timer is a
 // no-op that returns false.
 func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.done {
+	if t == nil || t.slot == 0 {
 		return false
 	}
-	t.ev.cancelled = true
-	t.ev.loop.pending--
+	l := t.loop
+	sl := &l.slots[t.slot-1]
+	if sl.gen != t.gen || sl.state != slotLive {
+		return false
+	}
+	sl.state = slotCancelled
+	sl.fn = nil
+	l.pending--
+	l.cancelled++
+	l.maybeCompact()
 	return true
 }
 
 // Active reports whether the timer's callback is still scheduled.
 func (t *Timer) Active() bool {
-	return t != nil && t.ev != nil && !t.ev.cancelled && !t.ev.done
+	if t == nil || t.slot == 0 {
+		return false
+	}
+	sl := &t.loop.slots[t.slot-1]
+	return sl.gen == t.gen && sl.state == slotLive
 }
 
 // At schedules fn to run when the virtual clock reads at. Scheduling in
 // the past (before Now) panics: it would silently reorder causality,
 // which is always a bug in the caller.
-func (l *Loop) At(at time.Duration, fn func()) *Timer {
+func (l *Loop) At(at time.Duration, fn func()) Timer {
 	if fn == nil {
 		panic("sim: At called with nil callback")
 	}
 	if at < l.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, l.now))
 	}
-	ev := &event{at: at, seq: l.seq, fn: fn, loop: l}
+	var slot int32
+	if n := len(l.free); n > 0 {
+		slot = l.free[n-1]
+		l.free = l.free[:n-1]
+	} else {
+		l.slots = append(l.slots, eventSlot{})
+		slot = int32(len(l.slots) - 1)
+	}
+	sl := &l.slots[slot]
+	sl.fn = fn
+	sl.state = slotLive
+	seq := l.seq
 	l.seq++
 	l.pending++
-	heap.Push(&l.queue, ev)
-	return &Timer{ev: ev}
+	l.push(heapEntry{at: at, seq: seq, slot: slot})
+	return Timer{loop: l, slot: slot + 1, gen: sl.gen}
 }
 
 // After schedules fn to run d from now. A nonpositive d runs fn at the
 // current instant, after any callbacks already scheduled for it.
-func (l *Loop) After(d time.Duration, fn func()) *Timer {
+func (l *Loop) After(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
@@ -101,15 +177,20 @@ func (l *Loop) After(d time.Duration, fn func()) *Timer {
 // Step runs the single earliest pending event and reports whether one
 // existed. Cancelled events are discarded without running.
 func (l *Loop) Step() bool {
-	for len(l.queue) > 0 {
-		ev := heap.Pop(&l.queue).(*event)
-		if ev.cancelled {
+	for len(l.heap) > 0 {
+		e := l.heap[0]
+		l.popRoot()
+		sl := &l.slots[e.slot]
+		if sl.state == slotCancelled {
+			l.cancelled--
+			l.freeSlot(e.slot)
 			continue
 		}
-		ev.done = true
+		fn := sl.fn
+		l.freeSlot(e.slot)
 		l.pending--
-		l.now = ev.at
-		ev.fn()
+		l.now = e.at
+		fn()
 		return true
 	}
 	return false
@@ -128,8 +209,8 @@ func (l *Loop) Run() {
 func (l *Loop) RunUntil(deadline time.Duration) {
 	l.stopped = false
 	for !l.stopped {
-		ev := l.peek()
-		if ev == nil || ev.at > deadline {
+		at, ok := l.peek()
+		if !ok || at > deadline {
 			break
 		}
 		l.Step()
@@ -143,56 +224,122 @@ func (l *Loop) RunUntil(deadline time.Duration) {
 // callback completes. The queue is preserved, so the loop can resume.
 func (l *Loop) Stop() { l.stopped = true }
 
-func (l *Loop) peek() *event {
-	for len(l.queue) > 0 {
-		if ev := l.queue[0]; !ev.cancelled {
-			return ev
+// peek reports the timestamp of the earliest live event, discarding
+// any cancelled entries it finds at the root on the way.
+func (l *Loop) peek() (time.Duration, bool) {
+	for len(l.heap) > 0 {
+		e := l.heap[0]
+		if l.slots[e.slot].state == slotLive {
+			return e.at, true
 		}
-		heap.Pop(&l.queue)
+		l.popRoot()
+		l.cancelled--
+		l.freeSlot(e.slot)
 	}
-	return nil
+	return 0, false
 }
 
-type event struct {
-	at        time.Duration
-	seq       uint64 // schedule order; breaks timestamp ties deterministically
-	fn        func()
-	cancelled bool
-	done      bool
-	index     int
-	loop      *Loop
+// freeSlot recycles a slot onto the free list, bumping its generation
+// so outstanding Timer handles go stale.
+func (l *Loop) freeSlot(slot int32) {
+	sl := &l.slots[slot]
+	sl.fn = nil
+	sl.state = slotFree
+	sl.gen++
+	l.free = append(l.free, slot)
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// maybeCompact removes cancelled entries in one pass once they occupy
+// more than half of the heap, so a schedule-heavy workload that cancels
+// most of its timers (pacing, retransmission, delayed acks) keeps the
+// queue proportional to the live event count.
+func (l *Loop) maybeCompact() {
+	if l.cancelled < compactMin || l.cancelled <= len(l.heap)/2 {
+		return
 	}
-	return q[i].seq < q[j].seq
+	keep := l.heap[:0]
+	for _, e := range l.heap {
+		if l.slots[e.slot].state == slotLive {
+			keep = append(keep, e)
+		} else {
+			l.freeSlot(e.slot)
+		}
+	}
+	l.heap = keep
+	l.cancelled = 0
+	// Re-establish the heap property bottom-up. Pop order is unaffected:
+	// (at, seq) is a total order, so any valid heap yields the same
+	// deterministic sequence.
+	for i := (len(keep) - 2) >> 2; i >= 0; i-- {
+		l.siftDown(i)
+	}
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+// entryLess orders heap entries by (at, seq).
+func entryLess(a, b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
 }
 
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
+// The event queue is a 4-ary min-heap laid out inline in a slice:
+// children of node i sit at 4i+1..4i+4. Compared to the binary heap in
+// container/heap this halves the tree depth (fewer cache lines touched
+// per operation) and avoids the interface boxing of heap.Push/Pop.
+
+func (l *Loop) push(e heapEntry) {
+	l.heap = append(l.heap, e)
+	// Sift up.
+	h := l.heap
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !entryLess(e, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = e
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
+// popRoot removes the minimum entry (the root) from the heap.
+func (l *Loop) popRoot() {
+	n := len(l.heap) - 1
+	l.heap[0] = l.heap[n]
+	l.heap = l.heap[:n]
+	if n > 1 {
+		l.siftDown(0)
+	}
+}
+
+func (l *Loop) siftDown(i int) {
+	h := l.heap
+	n := len(h)
+	e := h[i]
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for j := first + 1; j < last; j++ {
+			if entryLess(h[j], h[min]) {
+				min = j
+			}
+		}
+		if !entryLess(h[min], e) {
+			break
+		}
+		h[i] = h[min]
+		i = min
+	}
+	h[i] = e
 }
 
 // A Periodic repeatedly runs a callback at a fixed interval until
@@ -201,14 +348,17 @@ type Periodic struct {
 	loop     *Loop
 	interval time.Duration
 	fn       func()
-	timer    *Timer
+	tick     func() // the one re-armed closure; built once in Every
+	timer    Timer
 	stopped  bool
 }
 
 // Every schedules fn to run every interval, first at now+interval.
 // The callback may call Stop on the returned Periodic to end the
 // series; otherwise it continues until the simulation stops scheduling
-// it (Stop) or the loop is abandoned.
+// it (Stop) or the loop is abandoned. Re-arming reuses the same
+// callback closure and recycles the expired event's slot, so a running
+// Periodic does not allocate.
 func Every(l *Loop, interval time.Duration, fn func()) *Periodic {
 	if interval <= 0 {
 		panic("sim: Every with nonpositive interval")
@@ -217,12 +367,7 @@ func Every(l *Loop, interval time.Duration, fn func()) *Periodic {
 		panic("sim: Every with nil callback")
 	}
 	p := &Periodic{loop: l, interval: interval, fn: fn}
-	p.arm()
-	return p
-}
-
-func (p *Periodic) arm() {
-	p.timer = p.loop.After(p.interval, func() {
+	p.tick = func() {
 		if p.stopped {
 			return
 		}
@@ -230,7 +375,13 @@ func (p *Periodic) arm() {
 		if !p.stopped {
 			p.arm()
 		}
-	})
+	}
+	p.arm()
+	return p
+}
+
+func (p *Periodic) arm() {
+	p.timer = p.loop.After(p.interval, p.tick)
 }
 
 // Stop ends the series; the pending occurrence is cancelled. Stop is

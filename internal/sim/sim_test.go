@@ -260,6 +260,7 @@ func TestClockMonotoneProperty(t *testing.T) {
 }
 
 func BenchmarkScheduleAndRun(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		l := NewLoop(1)
 		for j := 0; j < 1000; j++ {

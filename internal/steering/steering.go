@@ -35,7 +35,9 @@ type Policy interface {
 	// Name identifies the policy in experiment output.
 	Name() string
 	// Pick chooses the channel(s) for p. Implementations must not
-	// retain p.
+	// retain p. The returned slice is valid only until the next Pick
+	// on the same policy: implementations reuse one scratch slice per
+	// policy so that steady-state steering does not allocate.
 	Pick(p *packet.Packet) []*channel.Channel
 }
 
@@ -94,7 +96,8 @@ func (c *Counter) LastReason() string {
 
 // Single sends everything on one channel.
 type Single struct {
-	ch *channel.Channel
+	ch   *channel.Channel
+	pick []*channel.Channel
 }
 
 // NewSingle returns the single-channel policy (the eMBB-only
@@ -111,7 +114,8 @@ func (s *Single) Name() string { return s.ch.Name() + "-only" }
 
 // Pick implements Policy.
 func (s *Single) Pick(*packet.Packet) []*channel.Channel {
-	return []*channel.Channel{s.ch}
+	s.pick = append(s.pick[:0], s.ch)
+	return s.pick
 }
 
 // LastReason implements Reasoner.
@@ -136,6 +140,7 @@ type DChannel struct {
 	wide       *channel.Channel
 	narrow     *channel.Channel
 	beta       float64
+	pick       []*channel.Channel
 	lastReason string
 }
 
@@ -167,9 +172,11 @@ func (d *DChannel) LastReason() string { return d.lastReason }
 // Pick implements Policy.
 func (d *DChannel) Pick(p *packet.Packet) []*channel.Channel {
 	if d.pickNarrow(p) {
-		return []*channel.Channel{d.narrow}
+		d.pick = append(d.pick[:0], d.narrow)
+	} else {
+		d.pick = append(d.pick[:0], d.wide)
 	}
-	return []*channel.Channel{d.wide}
+	return d.pick
 }
 
 // pickNarrow evaluates the reward/cost rule for p.
@@ -238,6 +245,7 @@ type Priority struct {
 	fallback   *DChannel
 	narrow     *channel.Channel
 	wide       *channel.Channel
+	pick       []*channel.Channel
 	lastReason string
 }
 
@@ -270,11 +278,13 @@ func (pr *Priority) Pick(p *packet.Packet) []*channel.Channel {
 	// the flow-priority input that removes Table 1's queue build-up.
 	if p.FlowPriority == packet.PriorityBulk {
 		pr.lastReason = "bulk-flow"
-		return []*channel.Channel{pr.wide}
+		pr.pick = append(pr.pick[:0], pr.wide)
+		return pr.pick
 	}
 	if pr.cfg.AdmitPrio >= 0 && p.Kind == packet.Data && int(p.Priority) <= pr.cfg.AdmitPrio {
 		pr.lastReason = "prio-admit"
-		return []*channel.Channel{pr.narrow}
+		pr.pick = append(pr.pick[:0], pr.narrow)
+		return pr.pick
 	}
 	if pr.cfg.Heuristic || p.Kind != packet.Data {
 		chs := pr.fallback.Pick(p)
@@ -282,14 +292,16 @@ func (pr *Priority) Pick(p *packet.Packet) []*channel.Channel {
 		return chs
 	}
 	pr.lastReason = "default-wide"
-	return []*channel.Channel{pr.wide}
+	pr.pick = append(pr.pick[:0], pr.wide)
+	return pr.pick
 }
 
 // Redundant replicates every packet across all channels of the group,
 // trading aggregate bandwidth for delivery probability (Wi-Fi MLO's
 // reliability mode). Receivers deduplicate on packet ID.
 type Redundant struct {
-	g *channel.Group
+	g    *channel.Group
+	pick []*channel.Channel
 }
 
 // NewRedundant builds the replication policy over g, which must hold
@@ -309,13 +321,11 @@ func (r *Redundant) LastReason() string { return "replicate" }
 
 // Pick implements Policy.
 func (r *Redundant) Pick(p *packet.Packet) []*channel.Channel {
-	chs := r.g.All()
-	out := make([]*channel.Channel, len(chs))
-	copy(out, chs)
-	if len(out) > 1 {
+	r.pick = append(r.pick[:0], r.g.All()...)
+	if len(r.pick) > 1 {
 		p.Copy = true // mark so receivers know duplicates may exist
 	}
-	return out
+	return r.pick
 }
 
 // CostAwareConfig parameterizes budgeted use of a priced channel.
@@ -345,6 +355,7 @@ type CostAware struct {
 	tokens     float64
 	lastRefill time.Duration
 	spentBytes int64
+	pick       []*channel.Channel
 	lastReason string
 }
 
@@ -391,14 +402,16 @@ func (c *CostAware) Pick(p *packet.Packet) []*channel.Channel {
 		c.tokens -= float64(p.Size)
 		c.spentBytes += int64(p.Size)
 		c.lastReason = "benefit-in-budget"
-		return []*channel.Channel{c.priced}
+		c.pick = append(c.pick[:0], c.priced)
+		return c.pick
 	}
 	if benefit > c.cfg.MinBenefit {
 		c.lastReason = "budget-exhausted"
 	} else {
 		c.lastReason = "no-benefit"
 	}
-	return []*channel.Channel{c.cheap}
+	c.pick = append(c.pick[:0], c.cheap)
+	return c.pick
 }
 
 func (c *CostAware) refill() {
@@ -435,6 +448,7 @@ type TailBoost struct {
 	side       channel.Side
 	narrow     *channel.Channel
 	tail       int
+	pick       []*channel.Channel
 	lastReason string
 }
 
@@ -473,7 +487,8 @@ func (t *TailBoost) Pick(p *packet.Packet) []*channel.Channel {
 	narrowDelay := t.narrow.Props().BaseRTT/2 + t.narrow.QueueDelay(t.side) + txTime(p.Size, t.narrow)
 	if narrowDelay < baseDelay {
 		t.lastReason = "tail-boost"
-		return []*channel.Channel{t.narrow}
+		t.pick = append(t.pick[:0], t.narrow)
+		return t.pick
 	}
 	return chosen
 }
@@ -504,6 +519,7 @@ type ObjectMap struct {
 	small  int
 	// assignment is sticky per message, the defining IANS property.
 	assignment map[uint64]*channel.Channel
+	pick       []*channel.Channel
 	lastReason string
 }
 
@@ -540,7 +556,8 @@ func (o *ObjectMap) Pick(p *packet.Packet) []*channel.Channel {
 		// IANS operates above the transport; its control traffic just
 		// follows the default (wide) network.
 		o.lastReason = "control-default"
-		return []*channel.Channel{o.wide}
+		o.pick = append(o.pick[:0], o.wide)
+		return o.pick
 	}
 	ch, ok := o.assignment[p.MsgID]
 	if !ok {
@@ -558,5 +575,6 @@ func (o *ObjectMap) Pick(p *packet.Packet) []*channel.Channel {
 	} else {
 		o.lastReason = "object-sticky"
 	}
-	return []*channel.Channel{ch}
+	o.pick = append(o.pick[:0], ch)
+	return o.pick
 }

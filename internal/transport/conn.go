@@ -123,7 +123,7 @@ type Conn struct {
 	established bool
 	closed      bool
 	synTries    int
-	synTimer    *sim.Timer
+	synTimer    sim.Timer
 
 	// Send state.
 	sched         *scheduler
@@ -136,9 +136,9 @@ type Conn struct {
 	sentIndex     map[string]int64 // per-channel send counter
 	ackedIndex    map[string]int64 // per-channel highest acked counter
 	pacingNext    time.Duration
-	pacingTimer   *sim.Timer
-	retryTimer    *sim.Timer
-	rtoTimer      *sim.Timer
+	pacingTimer   sim.Timer
+	retryTimer    sim.Timer
+	rtoTimer      sim.Timer
 	srtt, rttvar  time.Duration
 	rtoBackoff    int
 	delivered     int64
@@ -149,12 +149,25 @@ type Conn struct {
 	// Receive state.
 	rcvRanges  rangeSet
 	ackPending int
-	ackTimer   *sim.Timer
+	ackTimer   sim.Timer
 	rcvMsgs    map[uint64]*rcvMsg
 
 	// Multipath state (nil unless Config.Multipath).
 	subflows     map[string]*subflow
 	subflowOrder []string
+
+	// Pre-bound timer callbacks: evaluating a method value allocates a
+	// closure, so each recurring callback is materialized exactly once.
+	trySendFn func()
+	sendAckFn func()
+	onRTOFn   func()
+	sendSYNFn func()
+
+	// Free lists and scratch buffers for the per-packet hot path.
+	freeInfos   []*sentInfo
+	freeRcvMsgs []*rcvMsg
+	ackedInfos  []*sentInfo // acked-this-event scratch, freed in bulk
+	seqScratch  []uint64
 
 	onMessage   func(*Conn, Message)
 	onRTTSample func(now, rtt time.Duration, ch string)
@@ -179,10 +192,36 @@ func newConn(e *Endpoint, flow packet.FlowID, cfg Config, client bool) *Conn {
 		nextMsgID:  1,
 		tracer:     e.tracer,
 	}
+	c.trySendFn = c.trySend
+	c.sendAckFn = c.sendAck
+	c.onRTOFn = c.onRTO
+	c.sendSYNFn = c.sendSYN
 	if cfg.Multipath {
 		c.initMultipath()
 	}
 	return c
+}
+
+// newSentInfo returns a recycled (or fresh) in-flight tracking record.
+// Its channels slice is empty and its chIdx map is empty but non-nil.
+func (c *Conn) newSentInfo() *sentInfo {
+	if n := len(c.freeInfos); n > 0 {
+		info := c.freeInfos[n-1]
+		c.freeInfos[n-1] = nil
+		c.freeInfos = c.freeInfos[:n-1]
+		return info
+	}
+	return &sentInfo{chIdx: make(map[string]int64, 2)}
+}
+
+// freeSentInfo recycles a tracking record no longer reachable from
+// inflight, sentOrder, or multipath share state.
+func (c *Conn) freeSentInfo(info *sentInfo) {
+	info.sub = nil
+	info.chunk = nil
+	info.channels = info.channels[:0]
+	clear(info.chIdx)
+	c.freeInfos = append(c.freeInfos, info)
 }
 
 // Flow returns the connection's flow ID.
@@ -228,7 +267,8 @@ func (c *Conn) SendMessage(stream uint32, prio packet.Priority, size int, data a
 	}
 	id := c.nextMsgID
 	c.nextMsgID++
-	m := &message{
+	m := c.sched.newMsg()
+	*m = message{
 		id:     id,
 		stream: stream,
 		prio:   prio,
@@ -249,9 +289,11 @@ func (c *Conn) Close() {
 		return
 	}
 	c.closed = true
-	for _, t := range []*sim.Timer{c.synTimer, c.pacingTimer, c.retryTimer, c.rtoTimer, c.ackTimer} {
-		t.Stop()
-	}
+	c.synTimer.Stop()
+	c.pacingTimer.Stop()
+	c.retryTimer.Stop()
+	c.rtoTimer.Stop()
+	c.ackTimer.Stop()
 	c.ep.forget(c.flow)
 }
 
@@ -273,9 +315,20 @@ func (c *Conn) sendSYN() {
 		return
 	}
 	p := c.newPacket(packet.Control, packet.HeaderBytes)
-	p.Payload = &ctrlPayload{syn: true}
+	p.Payload = ctrlBox(p, ctrlPayload{syn: true})
 	c.transmitCtrl(p)
-	c.synTimer = c.loop.After(time.Duration(c.synTries)*time.Second, c.sendSYN)
+	c.synTimer = c.loop.After(time.Duration(c.synTries)*time.Second, c.sendSYNFn)
+}
+
+// ctrlBox reuses the pooled packet's payload box for a control payload
+// when the type matches, else allocates one.
+func ctrlBox(p *packet.Packet, v ctrlPayload) *ctrlPayload {
+	pl, ok := p.Payload.(*ctrlPayload)
+	if !ok {
+		pl = new(ctrlPayload)
+	}
+	*pl = v
+	return pl
 }
 
 func (c *Conn) handleCtrl(pl *ctrlPayload) {
@@ -283,7 +336,7 @@ func (c *Conn) handleCtrl(pl *ctrlPayload) {
 	case pl.syn:
 		// Duplicate SYN for an existing conn: re-answer.
 		p := c.newPacket(packet.Control, packet.HeaderBytes)
-		p.Payload = &ctrlPayload{synack: true}
+		p.Payload = ctrlBox(p, ctrlPayload{synack: true})
 		c.transmitCtrl(p)
 	case pl.synack:
 		if !c.established {
@@ -318,7 +371,7 @@ func (c *Conn) transmitCtrl(p *packet.Packet) {
 		c.multiTransmitCtrl(p)
 		return
 	}
-	c.ep.transmit(c, p)
+	c.ep.ctrlNames = c.ep.transmit(c, p, c.ep.ctrlNames[:0])
 }
 
 // traceCC records the congestion controller's post-event state: a
@@ -348,8 +401,12 @@ func (c *Conn) traceCC(alg cc.Algorithm) {
 }
 
 // newPacket builds a packet stamped with the connection's identity.
+// Packets come from the group's pool; the previous use's payload box is
+// left attached so the caller can recycle it when the type matches.
 func (c *Conn) newPacket(kind packet.Kind, size int) *packet.Packet {
-	return &packet.Packet{
+	p := c.ep.pool.Get()
+	box := p.Payload
+	*p = packet.Packet{
 		ID:           c.ep.ids.Next(),
 		Flow:         c.flow,
 		Kind:         kind,
@@ -357,4 +414,6 @@ func (c *Conn) newPacket(kind packet.Kind, size int) *packet.Packet {
 		FlowPriority: c.cfg.FlowPriority,
 		SentAt:       c.loop.Now(),
 	}
+	p.Payload = box
+	return p
 }

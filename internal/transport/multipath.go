@@ -84,7 +84,7 @@ func (c *Conn) tryMultiSend() {
 		}
 		if !c.sendChunkOn(sf, ch) {
 			if !c.retryTimer.Active() {
-				c.retryTimer = c.loop.After(entryDropBackoff, c.trySend)
+				c.retryTimer = c.loop.After(entryDropBackoff, c.trySendFn)
 			}
 			return
 		}
@@ -100,39 +100,39 @@ func (c *Conn) sendChunkOn(sf *subflow, ch *chunk) bool {
 	p.Priority = ch.frag.prio
 	p.MsgID = ch.frag.msgID
 	p.MsgRemaining = ch.frag.total - ch.frag.offset - ch.frag.length
-	frag := ch.frag
-	p.Payload = &frag
+	frag := c.ep.fragBox(p)
+	*frag = ch.frag
+	p.Payload = frag
 
 	accepted := sf.ch.Send(c.ep.side, p)
-	c.stats.BytesSent += int64(ch.frag.length)
+	size := ch.frag.length
+	c.stats.BytesSent += int64(size)
 
-	info := &sentInfo{
-		seq:                 p.Seq,
-		size:                ch.frag.length,
-		chunk:               ch,
-		sentAt:              now,
-		sub:                 sf,
-		deliveredAtSent:     c.delivered,
-		deliveredTimeAtSent: c.deliveredTime,
-	}
+	info := c.newSentInfo()
+	info.seq = p.Seq
+	info.size = size
+	info.chunk = ch
+	info.sentAt = now
+	info.sub = sf
+	info.deliveredAtSent = c.delivered
+	info.deliveredTimeAtSent = c.deliveredTime
 	if accepted {
 		name := sf.ch.Name()
-		info.channels = []string{name}
-		info.chIdx = map[string]int64{name: 0}
+		info.channels = append(info.channels, name)
 		c.sentIndex[name]++
 		info.chIdx[name] = c.sentIndex[name]
 	}
 	c.inflight[p.Seq] = info
 	c.sentOrder = append(c.sentOrder, p.Seq)
-	c.bytesInFlight += info.size
-	sf.inflight += info.size
-	sf.alg.OnSent(now, info.size)
+	c.bytesInFlight += size
+	sf.inflight += size
+	sf.alg.OnSent(now, size)
 	info.appLimited = c.sched.empty()
 
 	if !accepted {
-		sf.inflight -= info.size
+		sf.inflight -= size
 		c.requeue(info)
-		c.notifySubflowLoss(sf, now, info.size, false)
+		c.notifySubflowLoss(sf, now, size, false)
 		return false
 	}
 	c.armRTO()
@@ -144,25 +144,25 @@ func (c *Conn) sendChunkOn(sf *subflow, ch *chunk) bool {
 // own share with its own RTT sample.
 func (c *Conn) multiAck(pl *ackPayload) {
 	now := c.loop.Now()
-	contains := ackContains(pl)
-
 	type share struct {
 		bytes  int
 		newest *sentInfo
 	}
 	shares := make(map[*subflow]*share)
 	var newestAll *sentInfo
+	c.ackedInfos = c.ackedInfos[:0]
 	remaining := c.sentOrder[:0]
 	for _, seq := range c.sentOrder {
 		info, ok := c.inflight[seq]
 		if !ok {
 			continue
 		}
-		if !contains(seq) {
+		if !pl.contains(seq) {
 			remaining = append(remaining, seq)
 			continue
 		}
 		delete(c.inflight, seq)
+		c.ackedInfos = append(c.ackedInfos, info)
 		c.bytesInFlight -= info.size
 		c.delivered += int64(info.size)
 		c.stats.BytesAcked += int64(info.size)
@@ -230,6 +230,7 @@ func (c *Conn) multiAck(pl *ackPayload) {
 	// The connection-level RTT estimate feeds the shared RTO.
 	c.updateRTT(now - newestAll.sentAt)
 
+	c.recycleAcked()
 	c.detectMultiLosses(now)
 	c.rtoTimer.Stop()
 	c.armRTO()
@@ -297,7 +298,8 @@ func (c *Conn) onMultiRTO() {
 		c.rtoBackoff = 6
 	}
 	lost := make(map[*subflow]int)
-	for _, seq := range append([]uint64(nil), c.sentOrder...) {
+	c.seqScratch = append(c.seqScratch[:0], c.sentOrder...)
+	for _, seq := range c.seqScratch {
 		if info, ok := c.inflight[seq]; ok {
 			if info.sub != nil {
 				info.sub.inflight -= info.size
@@ -314,7 +316,7 @@ func (c *Conn) onMultiRTO() {
 			c.notifySubflowLoss(sf, now, bytes, true)
 		}
 	}
-	c.rtoTimer = c.loop.After(c.rto(), c.onRTO)
+	c.rtoTimer = c.loop.After(c.rto(), c.onRTOFn)
 	c.trySend()
 }
 
@@ -343,22 +345,6 @@ func (c *Conn) Subflows() []SubflowStats {
 		})
 	}
 	return out
-}
-
-// ackContains builds a membership test over an ack's ranges.
-func ackContains(pl *ackPayload) func(uint64) bool {
-	return func(seq uint64) bool {
-		for i := len(pl.ranges) - 1; i >= 0; i-- {
-			r := pl.ranges[i]
-			if seq > r.hi {
-				return false
-			}
-			if seq >= r.lo {
-				return true
-			}
-		}
-		return false
-	}
 }
 
 // multiTransmitCtrl sends control traffic (SYN/SYNACK/ACKs) in

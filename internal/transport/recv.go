@@ -1,7 +1,6 @@
 package transport
 
 import (
-	"sort"
 	"time"
 
 	"hvc/internal/cc"
@@ -23,6 +22,22 @@ type ackPayload struct {
 	ranges []seqRange
 }
 
+// contains reports whether the ack covers seq. Ranges are ascending
+// and few (at most maxAckRanges), so it scans from the tail, where the
+// most recently sent sequences live.
+func (pl *ackPayload) contains(seq uint64) bool {
+	for i := len(pl.ranges) - 1; i >= 0; i-- {
+		r := pl.ranges[i]
+		if seq > r.hi {
+			return false
+		}
+		if seq >= r.lo {
+			return true
+		}
+	}
+	return false
+}
+
 // rcvMsg is a message under reassembly on the receive side.
 type rcvMsg struct {
 	stream  uint32
@@ -31,7 +46,7 @@ type rcvMsg struct {
 	got     rangeSet
 	data    any
 	sentAt  time.Duration
-	expiry  *sim.Timer
+	expiry  sim.Timer
 	started time.Duration
 }
 
@@ -47,18 +62,16 @@ func (c *Conn) handleData(p *packet.Packet, frag *fragment) {
 
 	rm, ok := c.rcvMsgs[frag.msgID]
 	if !ok {
-		rm = &rcvMsg{
-			stream:  frag.stream,
-			prio:    frag.prio,
-			total:   frag.total,
-			sentAt:  frag.sentAt,
-			started: c.loop.Now(),
-		}
+		rm = c.newRcvMsg()
+		rm.stream = frag.stream
+		rm.prio = frag.prio
+		rm.total = frag.total
+		rm.sentAt = frag.sentAt
+		rm.started = c.loop.Now()
 		c.rcvMsgs[frag.msgID] = rm
 		if c.cfg.Unreliable {
 			id := frag.msgID
-			t := c.loop.After(c.cfg.MsgTimeout, func() { c.expireMsg(id) })
-			rm.expiry = t
+			rm.expiry = c.loop.After(c.cfg.MsgTimeout, func() { c.expireMsg(id) })
 		}
 	}
 	if frag.length > 0 {
@@ -75,14 +88,9 @@ func (c *Conn) handleData(p *packet.Packet, frag *fragment) {
 
 func (c *Conn) deliverMsg(id uint64, rm *rcvMsg) {
 	delete(c.rcvMsgs, id)
-	if rm.expiry != nil {
-		rm.expiry.Stop()
-	}
+	rm.expiry.Stop()
 	c.stats.MsgsDelivered++
-	if c.onMessage == nil {
-		return
-	}
-	c.onMessage(c, Message{
+	m := Message{
 		ID:          id,
 		Stream:      rm.stream,
 		Priority:    rm.prio,
@@ -90,15 +98,43 @@ func (c *Conn) deliverMsg(id uint64, rm *rcvMsg) {
 		Data:        rm.data,
 		SentAt:      rm.sentAt,
 		DeliveredAt: c.loop.Now(),
-	})
+	}
+	c.freeRcvMsg(rm)
+	if c.onMessage == nil {
+		return
+	}
+	c.onMessage(c, m)
 }
 
 func (c *Conn) expireMsg(id uint64) {
-	if _, ok := c.rcvMsgs[id]; !ok {
+	rm, ok := c.rcvMsgs[id]
+	if !ok {
 		return
 	}
 	delete(c.rcvMsgs, id)
 	c.stats.MsgsExpired++
+	c.freeRcvMsg(rm)
+}
+
+// newRcvMsg returns a recycled (or fresh) reassembly record with an
+// empty range set.
+func (c *Conn) newRcvMsg() *rcvMsg {
+	if n := len(c.freeRcvMsgs); n > 0 {
+		rm := c.freeRcvMsgs[n-1]
+		c.freeRcvMsgs[n-1] = nil
+		c.freeRcvMsgs = c.freeRcvMsgs[:n-1]
+		return rm
+	}
+	return &rcvMsg{}
+}
+
+// freeRcvMsg recycles a delivered or expired reassembly record,
+// keeping its range-set backing array.
+func (c *Conn) freeRcvMsg(rm *rcvMsg) {
+	rs := rm.got.rs[:0]
+	*rm = rcvMsg{}
+	rm.got.rs = rs
+	c.freeRcvMsgs = append(c.freeRcvMsgs, rm)
 }
 
 // scheduleAck decides when to acknowledge: immediately on reordering
@@ -111,7 +147,7 @@ func (c *Conn) scheduleAck(p *packet.Packet) {
 		return
 	}
 	if !c.ackTimer.Active() {
-		c.ackTimer = c.loop.After(c.cfg.MaxAckDelay, c.sendAck)
+		c.ackTimer = c.loop.After(c.cfg.MaxAckDelay, c.sendAckFn)
 	}
 }
 
@@ -122,9 +158,11 @@ func (c *Conn) sendAck() {
 	}
 	c.ackPending = 0
 	c.ackTimer.Stop()
-	ranges := c.rcvRanges.tail(maxAckRanges)
-	p := c.newPacket(packet.Ack, packet.HeaderBytes+4*len(ranges))
-	p.Payload = &ackPayload{ranges: ranges}
+	p := c.newPacket(packet.Ack, 0)
+	pl := c.ep.ackBox(p)
+	pl.ranges = c.rcvRanges.appendTail(pl.ranges[:0], maxAckRanges)
+	p.Size = packet.HeaderBytes + 4*len(pl.ranges)
+	p.Payload = pl
 	c.transmitCtrl(p)
 }
 
@@ -135,24 +173,21 @@ func (c *Conn) handleAck(_ *packet.Packet, pl *ackPayload) {
 		return
 	}
 	now := c.loop.Now()
-	contains := func(seq uint64) bool {
-		i := sort.Search(len(pl.ranges), func(i int) bool { return pl.ranges[i].hi >= seq })
-		return i < len(pl.ranges) && pl.ranges[i].lo <= seq
-	}
-
 	var newlyBytes int
 	var newest *sentInfo
+	c.ackedInfos = c.ackedInfos[:0]
 	remaining := c.sentOrder[:0]
 	for _, seq := range c.sentOrder {
 		info, ok := c.inflight[seq]
 		if !ok {
 			continue // already lost/requeued
 		}
-		if !contains(seq) {
+		if !pl.contains(seq) {
 			remaining = append(remaining, seq)
 			continue
 		}
 		delete(c.inflight, seq)
+		c.ackedInfos = append(c.ackedInfos, info)
 		c.bytesInFlight -= info.size
 		c.delivered += int64(info.size)
 		newlyBytes += info.size
@@ -212,12 +247,26 @@ func (c *Conn) handleAck(_ *packet.Packet, pl *ackPayload) {
 	})
 	c.traceCC(c.cfg.CC)
 
+	c.recycleAcked()
 	c.detectLosses(now)
 
 	// Fresh forward progress: push the timeout out.
 	c.rtoTimer.Stop()
 	c.armRTO()
 	c.trySend()
+}
+
+// recycleAcked returns this ack event's retired tracking records and
+// their chunks to the free lists. An acknowledged chunk can never be
+// retransmitted again, so both are dead once the controller has been
+// told about the ack.
+func (c *Conn) recycleAcked() {
+	for i, info := range c.ackedInfos {
+		c.sched.freeChunk(info.chunk)
+		c.freeSentInfo(info)
+		c.ackedInfos[i] = nil
+	}
+	c.ackedInfos = c.ackedInfos[:0]
 }
 
 // updateRTT folds one sample into the RFC 6298 estimators.

@@ -42,7 +42,8 @@ type chunk struct {
 
 // scheduler orders outgoing work: strict priority across messages,
 // FIFO within a priority level, retransmissions ahead of fresh data at
-// the same priority.
+// the same priority. It also owns the connection's message and chunk
+// free lists, so steady-state sending recycles both.
 type scheduler struct {
 	// retx holds chunks awaiting retransmission, in loss-detection
 	// order.
@@ -51,10 +52,51 @@ type scheduler struct {
 	msgs map[packet.Priority][]*message
 	// prios tracks nonempty buckets in ascending priority.
 	prios []packet.Priority
+
+	freeMsgs   []*message
+	freeChunks []*chunk
 }
 
 func newScheduler() *scheduler {
 	return &scheduler{msgs: make(map[packet.Priority][]*message)}
+}
+
+// newMsg returns a recycled (or fresh) zeroed message.
+func (s *scheduler) newMsg() *message {
+	if n := len(s.freeMsgs); n > 0 {
+		m := s.freeMsgs[n-1]
+		s.freeMsgs[n-1] = nil
+		s.freeMsgs = s.freeMsgs[:n-1]
+		return m
+	}
+	return &message{}
+}
+
+// freeMsg recycles a fully packetized message.
+func (s *scheduler) freeMsg(m *message) {
+	*m = message{}
+	s.freeMsgs = append(s.freeMsgs, m)
+}
+
+// newChunk returns a recycled (or fresh) chunk; the caller overwrites
+// frag entirely.
+func (s *scheduler) newChunk() *chunk {
+	if n := len(s.freeChunks); n > 0 {
+		ch := s.freeChunks[n-1]
+		s.freeChunks[n-1] = nil
+		s.freeChunks = s.freeChunks[:n-1]
+		return ch
+	}
+	return new(chunk)
+}
+
+// freeChunk recycles a chunk whose data no component references any
+// more: its packet was acknowledged, or the flow is unreliable and the
+// packet left the sender. A chunk awaiting retransmission must not be
+// freed — it is owned by the retx queue.
+func (s *scheduler) freeChunk(ch *chunk) {
+	ch.frag = fragment{} // release the message data reference
+	s.freeChunks = append(s.freeChunks, ch)
 }
 
 func (s *scheduler) push(m *message) {
@@ -111,7 +153,8 @@ func (s *scheduler) next(mss int, unreliable bool) *chunk {
 		if n > mss {
 			n = mss
 		}
-		ch := &chunk{frag: fragment{
+		ch := s.newChunk()
+		ch.frag = fragment{
 			stream:     m.stream,
 			msgID:      m.id,
 			offset:     m.offset,
@@ -120,11 +163,12 @@ func (s *scheduler) next(mss int, unreliable bool) *chunk {
 			prio:       m.prio,
 			sentAt:     m.sentAt,
 			unreliable: unreliable,
-		}}
+		}
 		m.offset += n
 		if m.offset >= m.size {
 			ch.frag.data = m.data
 			s.msgs[p] = q[1:]
+			s.freeMsg(m)
 		}
 		return ch
 	}
@@ -167,7 +211,7 @@ func (c *Conn) trySend() {
 				now := c.loop.Now()
 				if c.pacingNext > now {
 					if !c.pacingTimer.Active() {
-						c.pacingTimer = c.loop.At(c.pacingNext, c.trySend)
+						c.pacingTimer = c.loop.At(c.pacingNext, c.trySendFn)
 					}
 					return
 				}
@@ -183,7 +227,7 @@ func (c *Conn) trySend() {
 			// back off briefly — the local-queue analogue of a blocked
 			// qdisc.
 			if !c.retryTimer.Active() {
-				c.retryTimer = c.loop.After(entryDropBackoff, c.trySend)
+				c.retryTimer = c.loop.After(entryDropBackoff, c.trySendFn)
 			}
 			return
 		}
@@ -204,10 +248,21 @@ func (c *Conn) sendChunk(ch *chunk) bool {
 	p.Priority = ch.frag.prio
 	p.MsgID = ch.frag.msgID
 	p.MsgRemaining = ch.frag.total - ch.frag.offset - ch.frag.length
-	frag := ch.frag // copy: the packet owns its payload value
-	p.Payload = &frag
+	// The packet owns a copy of the fragment in a recycled payload box.
+	frag := c.ep.fragBox(p)
+	*frag = ch.frag
+	p.Payload = frag
 
-	carried := c.ep.transmit(c, p)
+	var carried []string
+	var info *sentInfo
+	if c.cfg.Unreliable {
+		c.ep.ctrlNames = c.ep.transmit(c, p, c.ep.ctrlNames[:0])
+		carried = c.ep.ctrlNames
+	} else {
+		info = c.newSentInfo()
+		info.channels = c.ep.transmit(c, p, info.channels[:0])
+		carried = info.channels
+	}
 	c.stats.BytesSent += int64(ch.frag.length)
 	if c.tracer.Enabled() {
 		c.tracer.Emit(telemetry.Event{
@@ -219,27 +274,27 @@ func (c *Conn) sendChunk(ch *chunk) bool {
 	}
 
 	if c.cfg.Unreliable {
-		return true // fire and forget; entry drops are just loss
+		// Fire and forget; entry drops are just loss, and the chunk is
+		// done the moment it leaves (no retransmission state).
+		c.sched.freeChunk(ch)
+		return true
 	}
 
-	info := &sentInfo{
-		seq:                 p.Seq,
-		size:                ch.frag.length,
-		chunk:               ch,
-		sentAt:              now,
-		channels:            carried,
-		chIdx:               make(map[string]int64, len(carried)),
-		deliveredAtSent:     c.delivered,
-		deliveredTimeAtSent: c.deliveredTime,
-	}
+	size := ch.frag.length
+	info.seq = p.Seq
+	info.size = size
+	info.chunk = ch
+	info.sentAt = now
+	info.deliveredAtSent = c.delivered
+	info.deliveredTimeAtSent = c.deliveredTime
 	for _, name := range carried {
 		c.sentIndex[name]++
 		info.chIdx[name] = c.sentIndex[name]
 	}
 	c.inflight[p.Seq] = info
 	c.sentOrder = append(c.sentOrder, p.Seq)
-	c.bytesInFlight += info.size
-	c.cfg.CC.OnSent(now, info.size)
+	c.bytesInFlight += size
+	c.cfg.CC.OnSent(now, size)
 	info.appLimited = c.sched.empty()
 
 	if rate := c.cfg.CC.PacingRate(); rate > 0 {
@@ -255,7 +310,7 @@ func (c *Conn) sendChunk(ch *chunk) bool {
 		// it. Declare it lost at once — entry drops are queue
 		// overflow, i.e. a congestion signal.
 		c.requeue(info)
-		c.notifyLoss(now, info.size)
+		c.notifyLoss(now, size)
 		return false
 	}
 	c.armRTO()
@@ -288,7 +343,7 @@ func (c *Conn) armRTO() {
 	if c.rtoTimer.Active() {
 		return
 	}
-	c.rtoTimer = c.loop.After(c.rto(), c.onRTO)
+	c.rtoTimer = c.loop.After(c.rto(), c.onRTOFn)
 }
 
 func (c *Conn) onRTO() {
@@ -311,7 +366,8 @@ func (c *Conn) onRTO() {
 	c.tracer.Count("transport_rtos_total", 1, "flow", flowLabel(c.flow))
 	// Declare everything outstanding lost and rebuild from the model.
 	var lostBytes int
-	for _, seq := range append([]uint64(nil), c.sentOrder...) {
+	c.seqScratch = append(c.seqScratch[:0], c.sentOrder...)
+	for _, seq := range c.seqScratch {
 		if info, ok := c.inflight[seq]; ok {
 			lostBytes += info.size
 			c.requeue(info)
@@ -324,11 +380,12 @@ func (c *Conn) onRTO() {
 		Timeout: true,
 	})
 	c.traceCC(c.cfg.CC)
-	c.rtoTimer = c.loop.After(c.rto(), c.onRTO)
+	c.rtoTimer = c.loop.After(c.rto(), c.onRTOFn)
 	c.trySend()
 }
 
-// requeue returns an inflight packet's chunk to the scheduler.
+// requeue returns an inflight packet's chunk to the scheduler and
+// recycles its tracking record; the caller must not use info after.
 func (c *Conn) requeue(info *sentInfo) {
 	delete(c.inflight, info.seq)
 	c.bytesInFlight -= info.size
@@ -342,6 +399,7 @@ func (c *Conn) requeue(info *sentInfo) {
 		})
 		c.tracer.Count("transport_retransmits_total", 1, "flow", flowLabel(c.flow))
 	}
+	c.freeSentInfo(info)
 }
 
 // notifyLoss reports non-timeout loss to congestion control, at most

@@ -38,11 +38,23 @@ type Endpoint struct {
 	loop  *sim.Loop
 	side  channel.Side
 	group *channel.Group
+	pool  *packet.Pool // the group's shared free list
 
 	conns    map[packet.FlowID]*Conn
 	nextFlow packet.FlowID
 	ids      packet.IDGen
 	tracer   *telemetry.Tracer
+
+	// ctrlNames is scratch for transmit calls whose carried-channel
+	// list is discarded (control and ack packets).
+	ctrlNames []string
+
+	// Payload-box caches. Pooled packets keep their last payload box
+	// attached; when a packet is reused for a different kind, the
+	// mismatched box is swapped through these free lists instead of
+	// being reallocated.
+	fragBoxes []*fragment
+	ackBoxes  []*ackPayload
 
 	listenCfg func() Config
 	accept    func(*Conn)
@@ -55,6 +67,7 @@ func NewEndpoint(loop *sim.Loop, group *channel.Group, side channel.Side) *Endpo
 		loop:  loop,
 		side:  side,
 		group: group,
+		pool:  group.Pool(),
 		conns: make(map[packet.FlowID]*Conn),
 	}
 	// Client-side flows are even, server-side odd, so simultaneous
@@ -110,16 +123,21 @@ func (e *Endpoint) Dial(cfg Config) *Conn {
 
 // receive routes an arriving packet to its connection, creating a
 // server-side connection on a handshake (or, for unreliable flows,
-// first data) packet when a listener is installed.
+// first data) packet when a listener is installed. The packet dies
+// here: handlePacket copies out everything it keeps, so the packet
+// (payload box attached) goes back to the shared pool for the next
+// transmission from either side.
 func (e *Endpoint) receive(p *packet.Packet) {
 	c, ok := e.conns[p.Flow]
 	if !ok {
 		c = e.acceptConn(p)
 		if c == nil {
+			e.pool.Put(p)
 			return // no listener, or a stray packet: drop
 		}
 	}
 	c.handlePacket(p)
+	e.pool.Put(p)
 }
 
 func (e *Endpoint) acceptConn(p *packet.Packet) *Conn {
@@ -156,9 +174,10 @@ func (e *Endpoint) acceptConn(p *packet.Packet) *Conn {
 func (e *Endpoint) forget(flow packet.FlowID) { delete(e.conns, flow) }
 
 // transmit steers and transmits p, cloning it per channel when the
-// policy replicates. It returns the names of the channels that
-// accepted the packet (empty when every copy was dropped at entry).
-func (e *Endpoint) transmit(c *Conn, p *packet.Packet) []string {
+// policy replicates. Channel names of the copies that were accepted
+// are appended to carried (pass a reusable buffer sliced to zero
+// length; an empty result means every copy was dropped at entry).
+func (e *Endpoint) transmit(c *Conn, p *packet.Packet, carried []string) []string {
 	chs := c.cfg.Steer.Pick(p)
 	if len(chs) == 0 {
 		panic(fmt.Sprintf("transport: policy %q picked no channel", c.cfg.Steer.Name()))
@@ -179,16 +198,77 @@ func (e *Endpoint) transmit(c *Conn, p *packet.Packet) []string {
 				"policy", c.cfg.Steer.Name(), "channel", name, "reason", reason)
 		}
 	}
-	var carried []string
 	for i, ch := range chs {
 		q := p
 		if i > 0 {
-			clone := *p
-			q = &clone
+			q = e.clone(p)
 		}
 		if ch.Send(e.side, q) {
 			carried = append(carried, ch.Name())
+		} else if i > 0 {
+			// A clone refused at entry is dead on the spot; the
+			// original stays with the caller, which may still read it.
+			e.pool.Put(q)
 		}
 	}
 	return carried
+}
+
+// clone duplicates p for replicating policies, giving the copy its own
+// payload box so that both packets can be recycled independently.
+func (e *Endpoint) clone(p *packet.Packet) *packet.Packet {
+	q := e.pool.Get()
+	old := q.Payload
+	*q = *p
+	q.Payload = old
+	switch pl := p.Payload.(type) {
+	case *fragment:
+		nf := e.fragBox(q)
+		*nf = *pl
+		q.Payload = nf
+	case *ackPayload:
+		na := e.ackBox(q)
+		na.ranges = append(na.ranges[:0], pl.ranges...)
+		q.Payload = na
+	case *ctrlPayload:
+		nc := *pl
+		q.Payload = &nc
+	}
+	return q
+}
+
+// fragBox returns a fragment payload box for the pooled packet p,
+// reusing p's attached box when the type matches and recycling a
+// mismatched ack box. The box contents are stale; callers overwrite.
+func (e *Endpoint) fragBox(p *packet.Packet) *fragment {
+	switch old := p.Payload.(type) {
+	case *fragment:
+		return old
+	case *ackPayload:
+		e.ackBoxes = append(e.ackBoxes, old)
+	}
+	if n := len(e.fragBoxes); n > 0 {
+		f := e.fragBoxes[n-1]
+		e.fragBoxes[n-1] = nil
+		e.fragBoxes = e.fragBoxes[:n-1]
+		return f
+	}
+	return new(fragment)
+}
+
+// ackBox is fragBox's counterpart for acknowledgment payloads.
+func (e *Endpoint) ackBox(p *packet.Packet) *ackPayload {
+	switch old := p.Payload.(type) {
+	case *ackPayload:
+		return old
+	case *fragment:
+		e.fragBoxes = append(e.fragBoxes, old)
+	}
+	if n := len(e.ackBoxes); n > 0 {
+		a := e.ackBoxes[n-1]
+		e.ackBoxes[n-1] = nil
+		e.ackBoxes = e.ackBoxes[:n-1]
+		return a
+	}
+	return new(ackPayload)
 }
