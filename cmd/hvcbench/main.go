@@ -14,6 +14,7 @@
 //	hvcbench -exp ablation-ians object-granularity (IANS) baseline (§1)
 //	hvcbench -exp ablation-has  adaptive streaming comparison
 //	hvcbench -exp ablation-tsn  wireless TSN vs best-effort Wi-Fi (§2.2)
+//	hvcbench -exp outage       steering policies through channel blackouts (§2.1)
 //	hvcbench -exp all          everything above
 //
 // The experiment registry itself lives in internal/experiments; this
@@ -60,6 +61,7 @@ func main() {
 		seeds   = flag.Int("seeds", 1, "repeat headline experiments over this many consecutive seeds (in parallel unless -report/-trace/-events)")
 		quick   = flag.Bool("quick", false, "shorter runs and smaller corpora (for smoke testing)")
 		cdf     = flag.Bool("cdf", false, "dump full CDFs/time series instead of summaries")
+		faultF  = flag.String("fault", "", "fault scenario for -exp outage (internal/fault grammar; empty keeps the default blackout schedule)")
 		report  = flag.String("report", "", "write a JSON run report (config, metrics, counters) to this file")
 		traceF  = flag.String("trace", "", "write a Chrome trace-event file (Perfetto-loadable) to this file")
 		eventsF = flag.String("events", "", "write the raw telemetry event stream as JSONL to this file")
@@ -88,7 +90,7 @@ func main() {
 		*seeds = 1
 	}
 
-	e := experiments.Env{Scale: cfg, CDF: *cdf, Out: os.Stdout}
+	e := experiments.Env{Scale: cfg, CDF: *cdf, Out: os.Stdout, Fault: *faultF}
 	var sinks []telemetry.Sink
 	var files []*os.File
 	openSink := func(path string, mk func(*os.File) telemetry.Sink) {
@@ -117,6 +119,9 @@ func main() {
 		e.Report.SetConfig("video_dur", cfg.VideoDur.String())
 		e.Report.SetConfig("pages", fmt.Sprint(cfg.Pages))
 		e.Report.SetConfig("loads", fmt.Sprint(cfg.Loads))
+		if *faultF != "" {
+			e.Report.SetConfig("fault", *faultF)
+		}
 	}
 
 	// The tracer's sinks and the report span runs, so they pin

@@ -11,6 +11,11 @@
 //	hvcsweep -spec "exp=video policy=embb-only,dchannel,priority trace=lowband-driving seeds=10"
 //	hvcsweep -spec "exp=web pages=6 loads=2 trace=lowband-driving,mmwave-driving seeds=1..3"
 //	hvcsweep -spec "exp=abr trace=mmwave-driving seeds=1..5 dur=60s"
+//	hvcsweep -spec "exp=outage policy=embb-only,redundant seeds=1..5 dur=8s fault=outage:ch=embb,at=2s,dur=1s"
+//
+// The fault key (exp=outage only) takes an internal/fault scenario —
+// space-free by construction, so it embeds in the spec; omitted, it
+// defaults to two eMBB blackouts scaled to dur.
 //
 // The default grid is the paper's Figure 1a (four CCAs under DChannel
 // steering vs eMBB-only) over five seeds.

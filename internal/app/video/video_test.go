@@ -134,7 +134,7 @@ func TestSVCDependencyLimitsQuality(t *testing.T) {
 			DownTrace: trace.Constant("lossy", 20*time.Millisecond, 60e6),
 		})}
 	}
-	snd, recv, loop := session(t, 4, 3*time.Second, embbOnly, lossy)
+	snd, recv, loop := session(t, 3, 3*time.Second, embbOnly, lossy)
 	snd.Start()
 	loop.RunUntil(10 * time.Second)
 

@@ -98,17 +98,21 @@ func New(loop *sim.Loop, cfg Config) *Channel {
 		up = cfg.DownTrace
 	}
 	c := &Channel{props: cfg.Props}
+	// The salts keep the two directions' private loss streams distinct
+	// even though both links carry the channel's name.
 	c.toA = netem.New(loop, netem.Config{
 		Name:       cfg.Props.Name,
 		Trace:      cfg.DownTrace,
 		QueueBytes: cfg.QueueBytes,
 		LossProb:   cfg.Props.LossProb,
+		Salt:       "down",
 	}, func(p *packet.Packet) { c.deliver(A, p) })
 	c.toB = netem.New(loop, netem.Config{
 		Name:       cfg.Props.Name,
 		Trace:      up,
 		QueueBytes: cfg.QueueBytes,
 		LossProb:   cfg.Props.LossProb,
+		Salt:       "up",
 	}, func(p *packet.Packet) { c.deliver(B, p) })
 	return c
 }
@@ -168,6 +172,42 @@ func (c *Channel) link(from Side) *netem.Link {
 		return c.toB
 	}
 	return c.toA
+}
+
+// Fault-injection controls (see internal/fault). A channel-level fault
+// models a radio- or path-level event, so it applies to both
+// directions at once; per-direction loss processes go through
+// SetLossFn because each direction keeps its own burst state.
+
+// SetOutage blacks out (or restores) both directions of the channel.
+// Packets already serialized still arrive; queued packets wait.
+func (c *Channel) SetOutage(down bool) {
+	c.toA.SetDown(down)
+	c.toB.SetDown(down)
+}
+
+// Down reports whether a fault outage is active on either direction.
+// Steering policies consult it to fail over off a dead channel and to
+// re-probe it the moment it recovers.
+func (c *Channel) Down() bool { return c.toA.Down() || c.toB.Down() }
+
+// SetRateScale applies a rate slump (0 < f, 1 = nominal) to both
+// directions.
+func (c *Channel) SetRateScale(f float64) {
+	c.toA.SetRateScale(f)
+	c.toB.SetRateScale(f)
+}
+
+// SetExtraDelay applies a delay spike (0 = nominal) to both directions.
+func (c *Channel) SetExtraDelay(d time.Duration) {
+	c.toA.SetExtraDelay(d)
+	c.toB.SetExtraDelay(d)
+}
+
+// SetLossFn installs an extra per-packet drop process on the direction
+// leaving side from; nil removes it.
+func (c *Channel) SetLossFn(from Side, fn func() bool) {
+	c.link(from).SetLossFn(fn)
 }
 
 // A Group is the set of channels available between one pair of hosts.

@@ -28,6 +28,7 @@ const (
 	PolicyPriority         = "priority"          // message-priority forcing (video)
 	PolicyDChannelPriority = "dchannel+priority" // DChannel + flow-priority hints (web)
 	PolicyObjectMap        = "objectmap"         // IANS-style whole-object assignment
+	PolicyRedundant        = "redundant"         // replicate across all live channels
 )
 
 // CCNames lists the congestion-control algorithms NewCC accepts, in
@@ -129,6 +130,8 @@ func NewPolicy(name string, g *channel.Group, side channel.Side) (steering.Polic
 		return steering.NewPriority(g, side, steering.PriorityConfig{AdmitPrio: -1, Heuristic: true}), nil
 	case PolicyObjectMap:
 		return steering.NewObjectMap(g, side, steering.ObjectMapConfig{}), nil
+	case PolicyRedundant:
+		return steering.NewRedundant(g), nil
 	default:
 		return nil, fmt.Errorf("core: unknown steering policy %q", name)
 	}
@@ -138,7 +141,8 @@ func NewPolicy(name string, g *channel.Group, side channel.Side) (steering.Polic
 // accepts.
 func ValidPolicy(name string) bool {
 	switch name {
-	case PolicyEMBBOnly, PolicyDChannel, PolicyPriority, PolicyDChannelPriority, PolicyObjectMap:
+	case PolicyEMBBOnly, PolicyDChannel, PolicyPriority, PolicyDChannelPriority, PolicyObjectMap,
+		PolicyRedundant:
 		return true
 	}
 	return false

@@ -39,6 +39,8 @@ func PolicyFingerprint(name string) (string, error) {
 		return steering.PriorityConfig{AdmitPrio: -1, Heuristic: true}.Canonical(), nil
 	case PolicyObjectMap:
 		return steering.ObjectMapConfig{}.Canonical(), nil
+	case PolicyRedundant:
+		return "redundant/v1 live-channels", nil
 	default:
 		return "", fmt.Errorf("core: unknown steering policy %q", name)
 	}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"hvc/internal/channel"
+	"hvc/internal/fault"
+	"hvc/internal/metrics"
+	"hvc/internal/sim"
+	"hvc/internal/steering"
+	"hvc/internal/telemetry"
+	"hvc/internal/trace"
+	"hvc/internal/transport"
+)
+
+// OutageConfig parameterizes the reliability experiment: a periodic
+// real-time frame stream over eMBB+URLLC while a fault scenario (see
+// internal/fault) injects outages into the channels, comparing how
+// steering policies ride through a blackout.
+type OutageConfig struct {
+	Seed     int64
+	Duration time.Duration
+	// Policy names the steering policy (see NewPolicy); empty means
+	// PolicyEMBBOnly, the no-failover baseline.
+	Policy string
+	// Fault is the scenario in the internal/fault grammar; empty or
+	// "none"... note that unlike elsewhere, empty here means the
+	// *default* schedule — two eMBB blackouts scaled to Duration
+	// (fault.Default) — because an outage experiment without an outage
+	// measures nothing. Pass an explicit scenario to override it.
+	Fault string
+	// Tracer receives cross-layer telemetry (fault windows included);
+	// nil disables tracing.
+	Tracer *telemetry.Tracer
+}
+
+// OutageResult reports one policy's ride through the fault schedule.
+type OutageResult struct {
+	Policy string
+	// Fault is the canonical form of the injected scenario.
+	Fault string
+	// Sent and Delivered count frames; the stream is unreliable, so a
+	// frame lost to the blackout stays lost.
+	Sent, Delivered int
+	// Stall is the longest delivery gap the receiver observed — the
+	// user-visible freeze an outage causes. It includes the tail gap to
+	// the end of the run, so a flow that never recovers scores the
+	// remainder of the run as stall.
+	Stall time.Duration
+	// Delay is the frame-latency distribution in ms.
+	Delay metrics.Distribution
+}
+
+// DeliveryRate is the fraction of sent frames delivered.
+func (r OutageResult) DeliveryRate() float64 {
+	if r.Sent == 0 {
+		return 0
+	}
+	return float64(r.Delivered) / float64(r.Sent)
+}
+
+// RunOutage executes the reliability experiment: ~30 frames/s of
+// 1200-byte unreliable messages from client to server over the fixed
+// eMBB channel plus URLLC, with cfg.Fault injected. Frames ride the
+// policy under test on both sides.
+func RunOutage(cfg OutageConfig) (OutageResult, error) {
+	if cfg.Duration <= 0 {
+		return OutageResult{}, fmt.Errorf("core: outage duration must be positive")
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = PolicyEMBBOnly
+	}
+	if !ValidPolicy(cfg.Policy) {
+		return OutageResult{}, fmt.Errorf("core: unknown steering policy %q", cfg.Policy)
+	}
+	spec, err := fault.ParseSpec(cfg.Fault)
+	if err != nil {
+		return OutageResult{}, err
+	}
+	if spec.Empty() {
+		spec = fault.Default(channel.NameEMBB, cfg.Duration)
+	}
+
+	loop := sim.NewLoop(cfg.Seed)
+	g := Cellular(loop, trace.Constant("embb-fixed", 50*time.Millisecond, 60e6))
+	client := transport.NewEndpoint(loop, g, channel.A)
+	server := transport.NewEndpoint(loop, g, channel.B)
+
+	cfg.Tracer.BeginRun(fmt.Sprintf("outage policy=%s fault=%s seed=%d", cfg.Policy, spec, cfg.Seed))
+	cfg.Tracer.BindClock(loop.Now)
+	g.SetTracer(cfg.Tracer)
+	client.SetTracer(cfg.Tracer)
+	server.SetTracer(cfg.Tracer)
+
+	if err := fault.Inject(loop, g, spec, cfg.Tracer); err != nil {
+		return OutageResult{}, err
+	}
+
+	res := OutageResult{Policy: cfg.Policy, Fault: spec.String()}
+	var lastDelivery, maxGap time.Duration
+	server.Listen(func() transport.Config {
+		return transport.Config{
+			Steer: mustPolicy(cfg.Policy, g, channel.B), Unreliable: true,
+			MsgTimeout: 10 * time.Second,
+		}
+	}, func(c *transport.Conn) {
+		c.OnMessage(func(_ *transport.Conn, m transport.Message) {
+			res.Delivered++
+			res.Delay.AddDuration(m.Latency())
+			if gap := m.DeliveredAt - lastDelivery; gap > maxGap {
+				maxGap = gap
+			}
+			lastDelivery = m.DeliveredAt
+		})
+	})
+
+	steer := steering.NewCounter(mustPolicy(cfg.Policy, g, channel.A))
+	conn := client.Dial(transport.Config{Steer: steer, Unreliable: true})
+	st := conn.NewStream()
+
+	// ~30 fps of 1200-byte frames for the whole run.
+	const frameEvery = 33 * time.Millisecond
+	for at := frameEvery; at < cfg.Duration; at += frameEvery {
+		id := res.Sent
+		loop.At(at, func() { conn.SendMessage(st, 0, 1200, id) })
+		res.Sent++
+	}
+
+	loop.RunUntil(cfg.Duration)
+
+	// The tail gap counts: a flow still stalled at the end of the run
+	// scores the remainder as freeze.
+	if gap := cfg.Duration - lastDelivery; gap > maxGap {
+		maxGap = gap
+	}
+	res.Stall = maxGap
+	return res, nil
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestOutageRedundantMasksBlackout is the experiment's acceptance
+// criterion: under the default blackout schedule, replication (and any
+// failover-capable policy) must achieve strictly lower stall time than
+// the single-channel baseline, whose stall is the blackout itself.
+func TestOutageRedundantMasksBlackout(t *testing.T) {
+	run := func(policy string) OutageResult {
+		r, err := RunOutage(OutageConfig{Seed: 1, Duration: 8 * time.Second, Policy: policy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	base := run(PolicyEMBBOnly)
+	red := run(PolicyRedundant)
+
+	// The default schedule blacks out eMBB for 1/8 of the run; the
+	// baseline's longest freeze must be at least that window.
+	if window := 8 * time.Second / 8; base.Stall < window {
+		t.Fatalf("embb-only stall %v under a %v blackout: outage not injected?", base.Stall, window)
+	}
+	if red.Stall >= base.Stall {
+		t.Fatalf("redundant stall %v not strictly below embb-only %v", red.Stall, base.Stall)
+	}
+	// Replication should mask the blackout almost entirely: the frames
+	// simply ride URLLC while eMBB is dark.
+	if red.Stall > 500*time.Millisecond {
+		t.Fatalf("redundant stall %v; replication failed to mask the blackout", red.Stall)
+	}
+	if red.DeliveryRate() < base.DeliveryRate() {
+		t.Fatalf("redundant delivery %.3f below baseline %.3f", red.DeliveryRate(), base.DeliveryRate())
+	}
+	if red.Delay.Percentile(99) >= base.Delay.Percentile(99) {
+		t.Fatalf("redundant p99 %.1f not below baseline %.1f",
+			red.Delay.Percentile(99), base.Delay.Percentile(99))
+	}
+}
+
+// TestOutageFailoverPoliciesRecover checks every adaptive policy rides
+// through the blackout with bounded stall — none may sit on the dead
+// channel for the whole window.
+func TestOutageFailoverPoliciesRecover(t *testing.T) {
+	for _, policy := range []string{PolicyDChannel, PolicyPriority, PolicyDChannelPriority, PolicyObjectMap, PolicyRedundant} {
+		r, err := RunOutage(OutageConfig{Seed: 1, Duration: 8 * time.Second, Policy: policy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Stall >= time.Second {
+			t.Errorf("%s stall %v: policy kept steering into the blackout", policy, r.Stall)
+		}
+	}
+}
+
+func TestOutageDeterministic(t *testing.T) {
+	run := func() OutageResult {
+		r, err := RunOutage(OutageConfig{Seed: 42, Duration: 6 * time.Second, Policy: PolicyDChannel,
+			Fault: "outage:ch=embb,at=1s,dur=500ms;burst:ch=urllc,at=2s,dur=1s"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different results:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestOutageRecordsCanonicalFault(t *testing.T) {
+	r, err := RunOutage(OutageConfig{Seed: 1, Duration: 4 * time.Second,
+		Fault: "outage:ch=urllc,at=1s,dur=250ms"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Fault != "outage:ch=urllc,at=1s,dur=250ms" {
+		t.Fatalf("Fault = %q", r.Fault)
+	}
+	r, err = RunOutage(OutageConfig{Seed: 1, Duration: 8 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "outage:ch=embb,at=2s,dur=1s;outage:ch=embb,at=5s,dur=1s"; r.Fault != want {
+		t.Fatalf("default Fault = %q, want %q", r.Fault, want)
+	}
+}
+
+func TestOutageRejectsBadConfig(t *testing.T) {
+	for name, cfg := range map[string]OutageConfig{
+		"zero duration":   {Seed: 1, Policy: PolicyEMBBOnly},
+		"unknown policy":  {Seed: 1, Duration: time.Second, Policy: "teleport"},
+		"bad fault":       {Seed: 1, Duration: time.Second, Fault: "meteor:ch=embb,at=0s,dur=1s"},
+		"unknown channel": {Seed: 1, Duration: time.Second, Fault: "outage:ch=nosuch,at=0s,dur=100ms"},
+	} {
+		if _, err := RunOutage(cfg); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -8,10 +8,11 @@ import (
 	"hvc/internal/telemetry"
 )
 
-// tinyScale keeps the full 13-experiment matrix affordable: each bulk
-// simulation runs for one simulated second, video for four (enough for
-// the codec's frame cadence to produce output), and the web corpus
-// shrinks to two pages loaded once.
+// tinyScale keeps the full 14-experiment matrix affordable: each bulk
+// simulation runs for one simulated second, video (and the outage
+// frame stream) for four (enough for the codec's frame cadence to
+// produce output), and the web corpus shrinks to two pages loaded
+// once.
 func tinyScale() Scale {
 	return Scale{
 		BulkDur:  1 * time.Second,

@@ -25,6 +25,7 @@ func Order() []string {
 		"fig1a", "fig1b", "fig2", "table1",
 		"ablation-cc", "ablation-mptcp", "ablation-mlo", "ablation-cost",
 		"ablation-beta", "ablation-tail", "ablation-ians", "ablation-has", "ablation-tsn",
+		"outage",
 	}
 }
 
@@ -68,6 +69,10 @@ type Env struct {
 	Prefix string
 	// Out receives the human-readable tables; nil means io.Discard.
 	Out io.Writer
+	// Fault overrides the outage experiment's fault scenario (the
+	// internal/fault grammar); empty keeps the default schedule. Other
+	// experiments ignore it.
+	Fault string
 }
 
 // metric records one headline value into the run report, when one is
@@ -92,6 +97,7 @@ var runners = map[string]func(Env) error{
 	"ablation-ians":  ablationIANS,
 	"ablation-has":   ablationHAS,
 	"ablation-tsn":   ablationTSN,
+	"outage":         outage,
 }
 
 // Run executes one named experiment under e.
@@ -307,6 +313,31 @@ func ablationHAS(e Env) error {
 			r.MeanBitrate/1e6, r.Switches)
 	}
 	fmt.Fprintln(e.Out)
+	return nil
+}
+
+func outage(e Env) error {
+	fmt.Fprintf(e.Out, "== Outage (§2.1 reliability): 30fps frames through channel blackouts (%v) ==\n", e.Scale.VideoDur)
+	fmt.Fprintf(e.Out, "%-12s %10s %10s %10s %10s\n", "policy", "delivery", "stall_ms", "p50_ms", "p99_ms")
+	var fault string
+	for _, policy := range []string{core.PolicyEMBBOnly, core.PolicyDChannel, core.PolicyRedundant} {
+		r, err := core.RunOutage(core.OutageConfig{
+			Seed: e.Seed, Duration: e.Scale.VideoDur, Policy: policy,
+			Fault: e.Fault, Tracer: e.Tracer,
+		})
+		if err != nil {
+			return err
+		}
+		fault = r.Fault
+		fmt.Fprintf(e.Out, "%-12s %9.2f%% %10.1f %10.1f %10.1f\n",
+			r.Policy, 100*r.DeliveryRate(),
+			float64(r.Stall.Microseconds())/1000,
+			r.Delay.Percentile(50), r.Delay.Percentile(99))
+		e.metric(policy+"/delivery_rate", r.DeliveryRate(), "")
+		e.metric(policy+"/stall_ms", float64(r.Stall.Microseconds())/1000, "ms")
+		e.metric(policy+"/delay_p99", r.Delay.Percentile(99), "ms")
+	}
+	fmt.Fprintf(e.Out, "fault: %s\n\n", fault)
 	return nil
 }
 

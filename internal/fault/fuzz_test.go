@@ -1,0 +1,41 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzFaultSpecParse exercises the scenario parser with arbitrary
+// input: it must never panic, and any scenario it accepts must
+// round-trip — the canonical String reparses to the same spec and is a
+// fixed point.
+func FuzzFaultSpecParse(f *testing.F) {
+	f.Add("none")
+	f.Add("outage:ch=embb,at=5s,dur=2s")
+	f.Add("outage:ch=embb,at=5s,dur=2s,every=8s,count=3")
+	f.Add("burst:ch=embb,at=0s,dur=30s,pgb=0.02,pbg=0.3,loss=0.9,lossgood=0.001")
+	f.Add("slump:ch=embb,at=2s,dur=4s,factor=0.25")
+	f.Add("spike:ch=urllc,at=1.5s,dur=500ms,delay=80ms")
+	f.Add("outage:ch=embb,at=1s,dur=1s;burst:ch=urllc,at=0s,dur=10s")
+	f.Add("outage:ch=embb,at=0s,dur=5s;outage:ch=embb,at=2s,dur=1s")
+	f.Add("burst:ch=x,at=0s,dur=1s,pgb=1e-300")
+	f.Add("outage:ch=embb,at=999h,dur=2h")
+	f.Add(";;;")
+	f.Fuzz(func(t *testing.T, in string) {
+		spec, err := ParseSpec(in)
+		if err != nil {
+			return // rejected: fine, as long as no panic
+		}
+		canonical := spec.String()
+		back, err := ParseSpec(canonical)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %q -> %q: %v", in, canonical, err)
+		}
+		if !reflect.DeepEqual(back, spec) {
+			t.Fatalf("round-trip changed the spec:\n in: %+v\nout: %+v", spec, back)
+		}
+		if again := back.String(); again != canonical {
+			t.Fatalf("canonical form not a fixed point: %q -> %q", canonical, again)
+		}
+	})
+}

@@ -1,0 +1,247 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"hvc/internal/packet"
+	"hvc/internal/sim"
+	"hvc/internal/trace"
+)
+
+// TestPerLinkRNGIsolation pins the private-stream property: each link
+// draws loss from its own seeded RNG, so adding a lossy link to a
+// simulation must not change another link's delivery trace. (Under a
+// shared loop.Rand this fails: the second link's draws perturb the
+// first link's loss pattern.)
+func TestPerLinkRNGIsolation(t *testing.T) {
+	run := func(withB bool) []time.Duration {
+		loop := sim.NewLoop(42)
+		var gotA []*packet.Packet
+		var atA []time.Duration
+		a := New(loop, Config{
+			Name:     "a",
+			Trace:    trace.Constant("c", 10*time.Millisecond, 8e6),
+			LossProb: 0.2,
+		}, collectSink(&gotA, &atA, loop))
+		var b *Link
+		if withB {
+			b = New(loop, Config{
+				Name:     "b",
+				Trace:    trace.Constant("c", 10*time.Millisecond, 8e6),
+				LossProb: 0.5,
+			}, func(*packet.Packet) {})
+		}
+		for i := 0; i < 500; i++ {
+			i := i
+			loop.At(time.Duration(i)*2*time.Millisecond, func() {
+				a.Send(mkpkt(uint64(i), 1000))
+				if withB {
+					b.Send(mkpkt(uint64(i), 1000))
+				}
+			})
+		}
+		loop.Run()
+		return atA
+	}
+	alone, shared := run(false), run(true)
+	if len(alone) != len(shared) {
+		t.Fatalf("adding a lossy link changed link a's deliveries: %d vs %d",
+			len(alone), len(shared))
+	}
+	for i := range alone {
+		if alone[i] != shared[i] {
+			t.Fatalf("arrival %d differs: %v vs %v", i, alone[i], shared[i])
+		}
+	}
+}
+
+// TestSaltSeparatesStreams pins that two links sharing a name (the two
+// directions of a channel) still get distinct loss streams via Salt.
+func TestSaltSeparatesStreams(t *testing.T) {
+	loop := sim.NewLoop(7)
+	mk := func(salt string) (*Link, *[]*packet.Packet) {
+		var got []*packet.Packet
+		var at []time.Duration
+		l := New(loop, Config{
+			Name:     "dup",
+			Salt:     salt,
+			Trace:    trace.Constant("c", time.Millisecond, 1e9),
+			LossProb: 0.5,
+		}, collectSink(&got, &at, loop))
+		return l, &got
+	}
+	down, gotDown := mk("down")
+	up, gotUp := mk("up")
+	const n = 500
+	for i := 0; i < n; i++ {
+		down.Send(mkpkt(uint64(i), 100))
+		up.Send(mkpkt(uint64(i), 100))
+	}
+	loop.Run()
+	same := true
+	if len(*gotDown) != len(*gotUp) {
+		same = false
+	} else {
+		for i := range *gotDown {
+			if (*gotDown)[i].ID != (*gotUp)[i].ID {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("same-name links with different salts produced identical loss patterns")
+	}
+}
+
+// TestBlackholeLossProbOne pins that LossProb == 1 is a legal config
+// meaning "drop everything": a blackhole link for fault modeling.
+func TestBlackholeLossProbOne(t *testing.T) {
+	loop := sim.NewLoop(1)
+	var got []*packet.Packet
+	var at []time.Duration
+	l := New(loop, Config{
+		Name:     "hole",
+		Trace:    trace.Constant("c", time.Millisecond, 1e9),
+		LossProb: 1,
+	}, collectSink(&got, &at, loop))
+	const n = 200
+	for i := 0; i < n; i++ {
+		if !l.Send(mkpkt(uint64(i), 100)) {
+			t.Fatal("blackhole must accept at entry and drop in flight")
+		}
+	}
+	loop.Run()
+	st := l.Stats()
+	if len(got) != 0 || st.Delivered != 0 || st.DroppedRandom != n {
+		t.Fatalf("blackhole delivered %d, stats %+v; want all %d dropped", len(got), st, n)
+	}
+}
+
+func TestSetDownBlocksThenDrains(t *testing.T) {
+	loop := sim.NewLoop(1)
+	var got []*packet.Packet
+	var at []time.Duration
+	// 8 Mbps, 10 ms RTT: 1 ms serialization + 5 ms propagation.
+	l := New(loop, Config{Name: "l", Trace: trace.Constant("c", 10*time.Millisecond, 8e6)},
+		collectSink(&got, &at, loop))
+	if l.Down() {
+		t.Fatal("new link reports Down")
+	}
+	l.SetDown(true)
+	if !l.Down() {
+		t.Fatal("SetDown(true) not visible via Down")
+	}
+	if l.QueueDelay() < time.Hour {
+		t.Fatalf("QueueDelay on a down link = %v, want >= 1h", l.QueueDelay())
+	}
+	if !l.Send(mkpkt(1, 1000)) {
+		t.Fatal("down link must queue, not reject")
+	}
+	loop.RunUntil(50 * time.Millisecond)
+	if len(got) != 0 {
+		t.Fatal("packet crossed a down link")
+	}
+	l.SetDown(false)
+	loop.Run()
+	if len(got) != 1 {
+		t.Fatalf("delivered %d after recovery, want 1", len(got))
+	}
+	// Serialization restarts at 50 ms: 1 ms tx + 5 ms prop.
+	if want := 56 * time.Millisecond; at[0] != want {
+		t.Fatalf("arrival %v, want %v", at[0], want)
+	}
+}
+
+// TestSetDownLetsInflightArrive pins the documented semantics: a fault
+// outage stops serialization, but a packet already on the wire still
+// arrives (the radio died behind it).
+func TestSetDownLetsInflightArrive(t *testing.T) {
+	loop := sim.NewLoop(1)
+	var got []*packet.Packet
+	var at []time.Duration
+	l := New(loop, Config{Name: "l", Trace: trace.Constant("c", 10*time.Millisecond, 8e6)},
+		collectSink(&got, &at, loop))
+	l.Send(mkpkt(1, 1000)) // serialized at 1 ms, arrives at 6 ms
+	loop.RunUntil(2 * time.Millisecond)
+	l.SetDown(true)
+	loop.RunUntil(100 * time.Millisecond)
+	if len(got) != 1 || at[0] != 6*time.Millisecond {
+		t.Fatalf("in-flight packet: got %d arrivals %v, want one at 6ms", len(got), at)
+	}
+}
+
+func TestSetRateScaleStretchesSerialization(t *testing.T) {
+	loop := sim.NewLoop(1)
+	var got []*packet.Packet
+	var at []time.Duration
+	l := New(loop, Config{Name: "l", Trace: trace.Constant("c", 10*time.Millisecond, 8e6)},
+		collectSink(&got, &at, loop))
+	l.SetRateScale(0.5) // 4 Mbps: 2 ms serialization + 5 ms prop
+	l.Send(mkpkt(1, 1000))
+	loop.Run()
+	if want := 7 * time.Millisecond; len(got) != 1 || at[0] != want {
+		t.Fatalf("arrival %v, want %v at half rate", at, want)
+	}
+	l.SetRateScale(1)
+	l.Send(mkpkt(2, 1000))
+	loop.Run()
+	if len(got) != 2 {
+		t.Fatalf("delivered %d, want 2", len(got))
+	}
+	mustPanic(t, "zero scale", func() { l.SetRateScale(0) })
+	mustPanic(t, "negative scale", func() { l.SetRateScale(-1) })
+}
+
+func TestSetExtraDelayShiftsArrival(t *testing.T) {
+	loop := sim.NewLoop(1)
+	var got []*packet.Packet
+	var at []time.Duration
+	l := New(loop, Config{Name: "l", Trace: trace.Constant("c", 10*time.Millisecond, 8e6)},
+		collectSink(&got, &at, loop))
+	l.SetExtraDelay(30 * time.Millisecond)
+	l.Send(mkpkt(1, 1000))
+	loop.Run()
+	if want := 36 * time.Millisecond; len(got) != 1 || at[0] != want {
+		t.Fatalf("arrival %v, want %v with 30ms spike", at, want)
+	}
+	mustPanic(t, "negative delay", func() { l.SetExtraDelay(-time.Millisecond) })
+}
+
+func TestSetLossFnInstallsAndClears(t *testing.T) {
+	loop := sim.NewLoop(1)
+	var got []*packet.Packet
+	var at []time.Duration
+	l := New(loop, Config{Name: "l", Trace: trace.Constant("c", time.Millisecond, 1e9)},
+		collectSink(&got, &at, loop))
+	odd := false
+	l.SetLossFn(func() bool { odd = !odd; return odd }) // drop every other packet
+	const n = 100
+	for i := 0; i < n; i++ {
+		l.Send(mkpkt(uint64(i), 100))
+	}
+	loop.Run()
+	st := l.Stats()
+	if st.DroppedRandom != n/2 || len(got) != n/2 {
+		t.Fatalf("lossFn: dropped %d delivered %d, want %d/%d", st.DroppedRandom, len(got), n/2, n/2)
+	}
+	l.SetLossFn(nil)
+	for i := n; i < n+50; i++ {
+		l.Send(mkpkt(uint64(i), 100))
+	}
+	loop.Run()
+	if st := l.Stats(); st.DroppedRandom != n/2 {
+		t.Fatalf("drops after clearing lossFn: %d, want still %d", st.DroppedRandom, n/2)
+	}
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: want panic", name)
+		}
+	}()
+	fn()
+}

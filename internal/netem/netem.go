@@ -9,6 +9,8 @@ package netem
 
 import (
 	"fmt"
+	"hash/fnv"
+	"math/rand"
 	"time"
 
 	"hvc/internal/packet"
@@ -36,9 +38,14 @@ type Config struct {
 	Trace *trace.Trace
 	// QueueBytes caps the drop-tail queue; 0 means DefaultQueueBytes.
 	QueueBytes int
-	// LossProb drops each packet independently with this probability
-	// before it is queued, modeling non-congestive wireless loss.
+	// LossProb drops each packet independently with this probability,
+	// in [0,1], modeling non-congestive wireless loss. 1 is a legal
+	// blackhole: the link spends air time on every packet and delivers
+	// none.
 	LossProb float64
+	// Salt disambiguates the link's private loss RNG stream when two
+	// links share a name (the two directions of a duplex channel).
+	Salt string
 }
 
 // Stats counts a link's activity since creation.
@@ -79,6 +86,19 @@ type Link struct {
 	onOutageEnd func()
 	onArrive    func()
 
+	// rng is the link's private loss stream, seeded from the loop seed
+	// and the link's name+salt: drawing from it never perturbs any
+	// other link's deliveries, so adding a link (or a fault process)
+	// leaves unrelated links' traces unchanged.
+	rng *rand.Rand
+
+	// Fault-injection overrides (see internal/fault). All are inert in
+	// their zero state except rateScale, which New initializes to 1.
+	down       bool          // full outage: no new transmissions start
+	rateScale  float64       // multiplies the trace rate; 1 = nominal
+	extraDelay time.Duration // added one-way propagation delay
+	lossFn     func() bool   // extra per-packet drop process (bursts)
+
 	stats  Stats
 	tracer *telemetry.Tracer
 }
@@ -96,12 +116,15 @@ func New(loop *sim.Loop, cfg Config, sink Sink) *Link {
 	if cfg.QueueBytes == 0 {
 		cfg.QueueBytes = DefaultQueueBytes
 	}
-	if cfg.LossProb < 0 || cfg.LossProb >= 1 {
-		if cfg.LossProb != 0 {
-			panic(fmt.Sprintf("netem: link %q loss probability %v out of [0,1)", cfg.Name, cfg.LossProb))
-		}
+	if cfg.LossProb < 0 || cfg.LossProb > 1 {
+		panic(fmt.Sprintf("netem: link %q loss probability %v out of [0,1]", cfg.Name, cfg.LossProb))
 	}
-	l := &Link{loop: loop, cfg: cfg, sink: sink}
+	l := &Link{loop: loop, cfg: cfg, sink: sink, rateScale: 1}
+	h := fnv.New64a()
+	h.Write([]byte(cfg.Name))
+	h.Write([]byte{0})
+	h.Write([]byte(cfg.Salt))
+	l.rng = rand.New(rand.NewSource(loop.Seed() ^ int64(h.Sum64())))
 	l.onTxDone = l.finishTx
 	l.onOutageEnd = func() {
 		l.busy = false
@@ -135,20 +158,75 @@ func (l *Link) queued() int { return len(l.queue) - l.head }
 // reports the time to drain the queue at the trace's next nonzero rate
 // observed going forward, bounded by one trace repetition.
 func (l *Link) QueueDelay() time.Duration {
+	if l.down {
+		// Fault outage: the link cannot say when it will recover, so it
+		// reports itself as maximally unattractive (the same sentinel
+		// steering uses for a zero-capacity channel).
+		return time.Hour
+	}
 	now := l.loop.Now()
-	rate := l.cfg.Trace.At(now).Rate
+	rate := l.cfg.Trace.At(now).Rate * l.rateScale
 	if rate > 0 {
 		return time.Duration(float64(l.queuedBytes) * 8 / rate * float64(time.Second))
 	}
 	// Outage: find the next instant with capacity.
 	limit := now + l.cfg.Trace.Duration()
 	for t := l.cfg.Trace.NextChange(now); t < limit; t = l.cfg.Trace.NextChange(t) {
-		if r := l.cfg.Trace.At(t).Rate; r > 0 {
+		if r := l.cfg.Trace.At(t).Rate * l.rateScale; r > 0 {
 			return t - now + time.Duration(float64(l.queuedBytes)*8/r*float64(time.Second))
 		}
 	}
 	return limit - now
 }
+
+// SetDown toggles a fault-injection outage: while down, queued packets
+// wait (drop-tail still applies at entry) and no new transmission
+// starts; packets already serialized still arrive, like frames already
+// on the air when a radio link blacks out. Clearing the outage resumes
+// transmission immediately.
+func (l *Link) SetDown(down bool) {
+	if l.down == down {
+		return
+	}
+	l.down = down
+	if !down {
+		l.kick()
+	}
+}
+
+// Down reports whether a fault-injection outage is active. Steering
+// policies use this as the liveness signal for failover; the
+// trace-driven rate (which the host could not observe directly) is
+// deliberately not consulted.
+func (l *Link) Down() bool { return l.down }
+
+// SetRateScale multiplies the trace rate by f (a fault-injection rate
+// slump); 1 restores nominal conditions. It panics when f <= 0: a
+// total outage is SetDown's job, which knows how to wake up.
+func (l *Link) SetRateScale(f float64) {
+	if f <= 0 {
+		panic(fmt.Sprintf("netem: link %q rate scale %v must be positive (use SetDown for outages)", l.cfg.Name, f))
+	}
+	l.rateScale = f
+}
+
+// SetExtraDelay adds d to the one-way propagation delay of packets
+// finishing serialization from now on (a fault-injection delay spike);
+// 0 restores nominal conditions.
+func (l *Link) SetExtraDelay(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("netem: link %q negative extra delay %v", l.cfg.Name, d))
+	}
+	l.extraDelay = d
+}
+
+// SetLossFn installs an extra per-packet drop process consulted after
+// serialization, before the link's own LossProb draw (which is skipped
+// for packets fn already dropped). Fault injection uses it for
+// Gilbert–Elliott loss bursts; nil removes it. fn must be
+// deterministic given the link's packet sequence — draw any randomness
+// from a private seeded source, never from the loop's shared Rand.
+func (l *Link) SetLossFn(fn func() bool) { l.lossFn = fn }
 
 // Send offers a packet to the link. It reports false when the packet
 // was dropped at entry (queue overflow — a congestion signal) and true
@@ -195,15 +273,21 @@ func (l *Link) kick() {
 		l.head = 0
 		return
 	}
+	if l.down {
+		// Fault outage: stay idle; SetDown(false) re-kicks. Unlike a
+		// trace outage there is no known end time to sleep until.
+		return
+	}
 	now := l.loop.Now()
 	cond := l.cfg.Trace.At(now)
-	if cond.Rate <= 0 {
+	rate := cond.Rate * l.rateScale
+	if rate <= 0 {
 		l.busy = true
 		l.loop.At(l.cfg.Trace.NextChange(now), l.onOutageEnd)
 		return
 	}
 	p := l.queue[l.head]
-	txTime := time.Duration(float64(p.Size) * 8 / cond.Rate * float64(time.Second))
+	txTime := time.Duration(float64(p.Size) * 8 / rate * float64(time.Second))
 	l.busy = true
 	l.loop.After(txTime, l.onTxDone)
 }
@@ -219,23 +303,33 @@ func (l *Link) finishTx() {
 	l.busy = false
 
 	// Non-congestive wireless loss strikes in flight: the transmitter
-	// spent the air time but the packet never arrives.
-	if l.cfg.LossProb > 0 && l.loop.Rand().Float64() < l.cfg.LossProb {
+	// spent the air time but the packet never arrives. The installed
+	// fault process (loss bursts) is consulted first; an independent
+	// draw from the link's private stream covers the configured i.i.d.
+	// loss. LossProb == 1 always drops — Float64 is in [0,1).
+	drop, reason := false, "loss"
+	if l.lossFn != nil && l.lossFn() {
+		drop, reason = true, "burst"
+	}
+	if !drop && l.cfg.LossProb > 0 && l.rng.Float64() < l.cfg.LossProb {
+		drop = true
+	}
+	if drop {
 		l.stats.DroppedRandom++
 		if l.tracer.Enabled() {
 			l.tracer.Emit(telemetry.Event{
 				Layer: telemetry.LayerChannel, Name: telemetry.EvDrop,
 				Channel: l.cfg.Name, Flow: uint32(p.Flow), Seq: p.Seq,
-				Bytes: p.Size, Detail: "loss",
+				Bytes: p.Size, Detail: reason,
 			})
-			l.tracer.Count("netem_dropped_total", 1, "channel", l.cfg.Name, "reason", "loss")
+			l.tracer.Count("netem_dropped_total", 1, "channel", l.cfg.Name, "reason", reason)
 		}
 		l.kick()
 		return
 	}
 
 	now := l.loop.Now()
-	arrival := now + l.cfg.Trace.At(now).RTT/2
+	arrival := now + l.cfg.Trace.At(now).RTT/2 + l.extraDelay
 	// Preserve FIFO delivery when the trace's delay drops between
 	// consecutive packets, as a real single path would.
 	if arrival < l.lastArrival {

@@ -63,6 +63,7 @@ type Loop struct {
 	slots   []eventSlot
 	free    []int32
 	seq     uint64
+	seed    int64
 	rng     *rand.Rand
 	stopped bool
 	// pending counts scheduled, non-cancelled events. It lets Run
@@ -77,8 +78,14 @@ type Loop struct {
 // is seeded with seed. Two loops created with the same seed and driven
 // by the same schedule of callbacks produce identical executions.
 func NewLoop(seed int64) *Loop {
-	return &Loop{rng: rand.New(rand.NewSource(seed))}
+	return &Loop{seed: seed, rng: rand.New(rand.NewSource(seed))}
 }
+
+// Seed reports the seed the loop was created with. Components that
+// need their own random stream (so that drawing from one does not
+// perturb another — netem links, fault processes) derive a private
+// source from it instead of sharing Rand.
+func (l *Loop) Seed() int64 { return l.seed }
 
 // Now reports the current virtual time, measured from the start of the
 // simulation.

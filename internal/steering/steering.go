@@ -100,8 +100,25 @@ type Single struct {
 	pick []*channel.Channel
 }
 
+// failover substitutes alt for choice when choice is in a fault-
+// injection outage (channel.Down) and alt is not, reporting whether it
+// swapped. It is the liveness check every adaptive policy applies
+// after its own preference: a dead channel accepts packets into a
+// queue that drains nowhere, so keeping traffic on it turns one
+// channel's blackout into the connection's. The moment the channel
+// recovers, Down flips back and the policy's ordinary rule re-probes
+// it — no separate probing machinery needed.
+func failover(choice, alt *channel.Channel) (*channel.Channel, bool) {
+	if choice.Down() && !alt.Down() {
+		return alt, true
+	}
+	return choice, false
+}
+
 // NewSingle returns the single-channel policy (the eMBB-only
-// baseline). It panics on a nil channel.
+// baseline). It panics on a nil channel. Single deliberately does not
+// fail over — it is the no-HVC baseline whose stall time under an
+// outage the adaptive policies are measured against.
 func NewSingle(ch *channel.Channel) *Single {
 	if ch == nil {
 		panic("steering: NewSingle(nil)")
@@ -171,11 +188,15 @@ func (d *DChannel) LastReason() string { return d.lastReason }
 
 // Pick implements Policy.
 func (d *DChannel) Pick(p *packet.Packet) []*channel.Channel {
+	ch, alt := d.wide, d.narrow
 	if d.pickNarrow(p) {
-		d.pick = append(d.pick[:0], d.narrow)
-	} else {
-		d.pick = append(d.pick[:0], d.wide)
+		ch, alt = d.narrow, d.wide
 	}
+	if sw, swapped := failover(ch, alt); swapped {
+		ch = sw
+		d.lastReason = "failover:" + ch.Name()
+	}
+	d.pick = append(d.pick[:0], ch)
 	return d.pick
 }
 
@@ -278,13 +299,11 @@ func (pr *Priority) Pick(p *packet.Packet) []*channel.Channel {
 	// the flow-priority input that removes Table 1's queue build-up.
 	if p.FlowPriority == packet.PriorityBulk {
 		pr.lastReason = "bulk-flow"
-		pr.pick = append(pr.pick[:0], pr.wide)
-		return pr.pick
+		return pr.choose(pr.wide, pr.narrow)
 	}
 	if pr.cfg.AdmitPrio >= 0 && p.Kind == packet.Data && int(p.Priority) <= pr.cfg.AdmitPrio {
 		pr.lastReason = "prio-admit"
-		pr.pick = append(pr.pick[:0], pr.narrow)
-		return pr.pick
+		return pr.choose(pr.narrow, pr.wide)
 	}
 	if pr.cfg.Heuristic || p.Kind != packet.Data {
 		chs := pr.fallback.Pick(p)
@@ -292,7 +311,18 @@ func (pr *Priority) Pick(p *packet.Packet) []*channel.Channel {
 		return chs
 	}
 	pr.lastReason = "default-wide"
-	pr.pick = append(pr.pick[:0], pr.wide)
+	return pr.choose(pr.wide, pr.narrow)
+}
+
+// choose returns ch, unless it is dead and alt is not — even a forced
+// priority rule yields to liveness, since a dead narrow channel serves
+// no one's latency.
+func (pr *Priority) choose(ch, alt *channel.Channel) []*channel.Channel {
+	if sw, swapped := failover(ch, alt); swapped {
+		ch = sw
+		pr.lastReason = "failover:" + ch.Name()
+	}
+	pr.pick = append(pr.pick[:0], ch)
 	return pr.pick
 }
 
@@ -321,7 +351,19 @@ func (r *Redundant) LastReason() string { return "replicate" }
 
 // Pick implements Policy.
 func (r *Redundant) Pick(p *packet.Packet) []*channel.Channel {
-	r.pick = append(r.pick[:0], r.g.All()...)
+	// Replicate across the live channels only: a copy queued on a dead
+	// channel cannot arrive during the outage and only resurfaces as a
+	// stale duplicate afterwards. When everything is down, replicate
+	// everywhere — the copies queue and race out at recovery.
+	r.pick = r.pick[:0]
+	for _, ch := range r.g.All() {
+		if !ch.Down() {
+			r.pick = append(r.pick, ch)
+		}
+	}
+	if len(r.pick) == 0 {
+		r.pick = append(r.pick, r.g.All()...)
+	}
 	if len(r.pick) > 1 {
 		p.Copy = true // mark so receivers know duplicates may exist
 	}
@@ -396,6 +438,22 @@ func (c *CostAware) LastReason() string { return c.lastReason }
 // Pick implements Policy.
 func (c *CostAware) Pick(p *packet.Packet) []*channel.Channel {
 	c.refill()
+	// Liveness overrides the budget: while the cheap channel is blacked
+	// out, the priced one is the only way to make progress, so spend on
+	// it even past the token floor (the spend is still metered and the
+	// refill debt is capped at zero, not carried). The reverse case
+	// needs no special path — a dead priced channel's QueueDelay makes
+	// its benefit hugely negative and the rule below picks cheap.
+	if c.cheap.Down() && !c.priced.Down() {
+		c.tokens -= float64(p.Size)
+		if c.tokens < 0 {
+			c.tokens = 0
+		}
+		c.spentBytes += int64(p.Size)
+		c.lastReason = "failover:" + c.priced.Name()
+		c.pick = append(c.pick[:0], c.priced)
+		return c.pick
+	}
 	benefit := c.cheap.Props().BaseRTT/2 + c.cheap.QueueDelay(c.side) -
 		(c.priced.Props().BaseRTT/2 + c.priced.QueueDelay(c.side) + txTime(p.Size, c.priced))
 	if benefit > c.cfg.MinBenefit && c.tokens >= float64(p.Size) {
@@ -480,7 +538,8 @@ func (t *TailBoost) LastReason() string { return t.lastReason }
 func (t *TailBoost) Pick(p *packet.Packet) []*channel.Channel {
 	chosen := t.base.Pick(p)
 	t.lastReason = Reason(t.base)
-	if p.Kind != packet.Data || p.MsgRemaining >= t.tail || len(chosen) != 1 || chosen[0] == t.narrow {
+	if p.Kind != packet.Data || p.MsgRemaining >= t.tail || len(chosen) != 1 ||
+		chosen[0] == t.narrow || t.narrow.Down() {
 		return chosen
 	}
 	baseDelay := chosen[0].Props().BaseRTT/2 + chosen[0].QueueDelay(t.side) + txTime(p.Size, chosen[0])
@@ -574,6 +633,17 @@ func (o *ObjectMap) Pick(p *packet.Packet) []*channel.Channel {
 		o.assignment[p.MsgID] = ch
 	} else {
 		o.lastReason = "object-sticky"
+	}
+	// The object-to-channel assignment stays sticky (the defining IANS
+	// property), but packets detour around an outage: when the assigned
+	// channel is down they ride the other one until it recovers.
+	other := o.wide
+	if ch == o.wide {
+		other = o.narrow
+	}
+	if sw, swapped := failover(ch, other); swapped {
+		ch = sw
+		o.lastReason = "failover:" + ch.Name()
 	}
 	o.pick = append(o.pick[:0], ch)
 	return o.pick

@@ -21,6 +21,10 @@ func FuzzSweepSpecParse(f *testing.F) {
 	f.Add("exp=bulk cc=cubic cc=bbr")
 	f.Add("  exp=bulk\t dur=1h  ")
 	f.Add("exp=bulk dur=1ns seeds=0")
+	f.Add("exp=outage policy=redundant,embb-only seeds=1..3 dur=8s")
+	f.Add("exp=outage fault=outage:ch=embb,at=1s,dur=500ms;burst:ch=urllc,at=2s,dur=1s,pgb=0.3")
+	f.Add("exp=outage fault=none")
+	f.Add("exp=video fault=outage:ch=embb,at=1s,dur=1s")
 	f.Fuzz(func(t *testing.T, in string) {
 		spec, err := ParseSpec(in)
 		if err != nil {

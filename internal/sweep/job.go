@@ -15,7 +15,7 @@ import (
 // cellSchema versions the job key layout and the metric set each
 // experiment reports. Bump it when either changes: every cached cell
 // invalidates at once.
-const cellSchema = "hvc-sweep-cell/v1"
+const cellSchema = "hvc-sweep-cell/v2"
 
 // A job is one independent simulation: a cell at one seed.
 type job struct {
@@ -47,6 +47,9 @@ func (j job) key() string {
 		fmt.Fprintf(&b, " pages=%d loads=%d", j.spec.Pages, j.spec.Loads)
 	} else {
 		fmt.Fprintf(&b, " dur=%s", j.spec.Dur)
+	}
+	if j.spec.Exp == ExpOutage {
+		fmt.Fprintf(&b, " fault=%s", j.spec.Fault)
 	}
 	b.WriteString("\n")
 	if j.cell.CC != "" {
@@ -147,6 +150,19 @@ func (j job) run() ([]MetricValue, error) {
 			{"rebuffer_events", float64(r.RebufferEvents)},
 			{"mean_bitrate_mbps", r.MeanBitrate / 1e6},
 			{"switches", float64(r.Switches)},
+		}, nil
+	case ExpOutage:
+		r, err := core.RunOutage(core.OutageConfig{
+			Seed: j.seed, Duration: j.spec.Dur, Policy: j.cell.Policy, Fault: j.spec.Fault,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return []MetricValue{
+			{"delivery_rate", r.DeliveryRate()},
+			{"stall_ms", float64(r.Stall.Microseconds()) / 1000},
+			{"delay_p50_ms", r.Delay.Percentile(50)},
+			{"delay_p99_ms", r.Delay.Percentile(99)},
 		}, nil
 	default:
 		return nil, fmt.Errorf("sweep: unknown experiment %q", j.spec.Exp)

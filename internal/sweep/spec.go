@@ -18,16 +18,19 @@ import (
 	"strings"
 	"time"
 
+	"hvc/internal/channel"
 	"hvc/internal/core"
+	"hvc/internal/fault"
 )
 
 // Experiment kinds a Spec can sweep. Each maps to one internal/core
 // runner and a fixed, ordered set of per-job metrics (see job.go).
 const (
-	ExpBulk  = "bulk"  // core.RunBulk: Fig. 1 bulk flow
-	ExpVideo = "video" // core.RunVideo: Fig. 2 real-time SVC video
-	ExpWeb   = "web"   // core.RunWeb: Table 1 page loads
-	ExpABR   = "abr"   // core.RunABR: adaptive streaming ablation
+	ExpBulk   = "bulk"   // core.RunBulk: Fig. 1 bulk flow
+	ExpVideo  = "video"  // core.RunVideo: Fig. 2 real-time SVC video
+	ExpWeb    = "web"    // core.RunWeb: Table 1 page loads
+	ExpABR    = "abr"    // core.RunABR: adaptive streaming ablation
+	ExpOutage = "outage" // core.RunOutage: frames through fault scenarios
 )
 
 // maxSeeds bounds a spec's seed range so a typo cannot expand into an
@@ -50,24 +53,29 @@ type Spec struct {
 	// SeedFirst..SeedFirst+SeedCount-1 are the seeds each cell runs.
 	SeedFirst int64
 	SeedCount int
-	// Dur is the run duration (bulk, video) or media length (abr);
-	// unused for web.
+	// Dur is the run duration (bulk, video, outage) or media length
+	// (abr); unused for web.
 	Dur time.Duration
 	// Pages and Loads size the web corpus; unused otherwise.
 	Pages, Loads int
+	// Fault is the fault scenario (internal/fault grammar, outage
+	// only). Empty defaults to the standard two-blackout schedule
+	// scaled to Dur; stored canonically.
+	Fault string
 }
 
 // specKeys is the canonical key order String emits and the complete
 // set ParseSpec accepts.
-var specKeys = []string{"exp", "cc", "policy", "trace", "seeds", "dur", "pages", "loads"}
+var specKeys = []string{"exp", "cc", "policy", "trace", "seeds", "dur", "pages", "loads", "fault"}
 
 // ParseSpec parses the grid-spec syntax: space-separated key=value
 // fields, list values comma-separated, for example
 //
 //	exp=bulk cc=cubic,bbr policy=dchannel,embb-only seeds=1..5 dur=15s
 //
-// Keys: exp (bulk|video|web|abr), cc, policy, trace, seeds (N or
-// A..B inclusive), dur (Go duration), pages, loads. Unknown keys,
+// Keys: exp (bulk|video|web|abr|outage), cc, policy, trace, seeds (N
+// or A..B inclusive), dur (Go duration), pages, loads, fault (an
+// internal/fault scenario, outage only). Unknown keys,
 // duplicate keys, duplicate list values, and names the core package
 // does not accept are errors. Omitted axes default per experiment
 // (see Default). The result is validated and canonical: parsing the
@@ -127,6 +135,8 @@ func ParseSpec(s string) (Spec, error) {
 			} else {
 				spec.Loads = n
 			}
+		case "fault":
+			spec.Fault = val
 		default:
 			return Spec{}, fmt.Errorf("sweep: unknown key %q (valid: %s)", key, strings.Join(specKeys, ", "))
 		}
@@ -226,10 +236,20 @@ func (s *Spec) defaultAndValidate() error {
 		if s.Dur == 0 {
 			s.Dur = 60 * time.Second
 		}
+	case ExpOutage:
+		if s.Policies == nil {
+			s.Policies = []string{core.PolicyEMBBOnly, core.PolicyDChannel, core.PolicyRedundant}
+		}
+		if s.Traces == nil {
+			s.Traces = []string{"fixed"}
+		}
+		if s.Dur == 0 {
+			s.Dur = 8 * time.Second
+		}
 	case "":
-		return fmt.Errorf("sweep: spec needs exp=bulk|video|web|abr")
+		return fmt.Errorf("sweep: spec needs exp=bulk|video|web|abr|outage")
 	default:
-		return fmt.Errorf("sweep: unknown experiment %q (bulk, video, web, abr)", s.Exp)
+		return fmt.Errorf("sweep: unknown experiment %q (bulk, video, web, abr, outage)", s.Exp)
 	}
 
 	if s.Exp != ExpBulk && s.CCs != nil {
@@ -241,6 +261,27 @@ func (s *Spec) defaultAndValidate() error {
 		}
 	} else if s.Pages != 0 || s.Loads != 0 {
 		return fmt.Errorf("sweep: pages/loads only apply to exp=web")
+	}
+	if s.Exp == ExpOutage {
+		// Canonicalize the scenario (or materialize the default blackout
+		// schedule) so String and the cache key name the exact faults the
+		// jobs will run.
+		fs, err := fault.ParseSpec(s.Fault)
+		if err != nil {
+			return err
+		}
+		if fs.Empty() {
+			fs = fault.Default(channel.NameEMBB, s.Dur)
+		}
+		for _, ev := range fs.Events {
+			if ev.Channel != channel.NameEMBB && ev.Channel != channel.NameURLLC {
+				return fmt.Errorf("sweep: fault names channel %q; exp=outage runs %s+%s",
+					ev.Channel, channel.NameEMBB, channel.NameURLLC)
+			}
+		}
+		s.Fault = fs.String()
+	} else if s.Fault != "" {
+		return fmt.Errorf("sweep: fault only applies to exp=outage")
 	}
 	if s.Dur < 0 {
 		return fmt.Errorf("sweep: negative dur")
@@ -270,6 +311,9 @@ func (s *Spec) defaultAndValidate() error {
 		if !valid[tr] {
 			return fmt.Errorf("sweep: unknown trace %q", tr)
 		}
+		if s.Exp == ExpOutage && tr != "fixed" {
+			return fmt.Errorf("sweep: exp=outage only supports trace=fixed")
+		}
 	}
 	return nil
 }
@@ -289,6 +333,9 @@ func (s Spec) String() string {
 		fmt.Fprintf(&b, " pages=%d loads=%d", s.Pages, s.Loads)
 	} else {
 		fmt.Fprintf(&b, " dur=%s", s.Dur)
+	}
+	if s.Exp == ExpOutage {
+		fmt.Fprintf(&b, " fault=%s", s.Fault)
 	}
 	return b.String()
 }

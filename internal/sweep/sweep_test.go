@@ -42,6 +42,11 @@ func TestParseSpecCanonicalRoundTrip(t *testing.T) {
 		{"exp=web pages=3 loads=1", "exp=web policy=dchannel trace=lowband-stationary seeds=1..1 pages=3 loads=1"},
 		{"exp=abr trace=lowband-walking", "exp=abr policy=dchannel trace=lowband-walking seeds=1..1 dur=1m0s"},
 		{"seeds=-2..1 exp=video", "exp=video policy=dchannel trace=lowband-driving seeds=-2..1 dur=20s"},
+		{"exp=outage", "exp=outage policy=embb-only,dchannel,redundant trace=fixed seeds=1..1 dur=8s " +
+			"fault=outage:ch=embb,at=2s,dur=1s;outage:ch=embb,at=5s,dur=1s"},
+		{"exp=outage dur=4s policy=redundant fault=burst:ch=urllc,at=1s,dur=2s,pgb=0.5",
+			"exp=outage policy=redundant trace=fixed seeds=1..1 dur=4s " +
+				"fault=burst:ch=urllc,at=1s,dur=2s,pgb=0.5,pbg=0.25,loss=1,lossgood=0"},
 	}
 	for _, c := range cases {
 		spec := mustParse(t, c.in)
@@ -78,6 +83,11 @@ func TestParseSpecRejects(t *testing.T) {
 		"exp=bulk trace=starlink",        // unknown trace
 		"exp=bulk pages=0",               // non-positive int
 		"exp=bulk seeds=1..900000000000", // range cap
+		"exp=bulk fault=outage:ch=embb,at=0s,dur=1s",   // fault outside outage
+		"exp=outage fault=meteor:ch=embb,at=0s,dur=1s", // unknown fault kind
+		"exp=outage fault=outage:ch=leo,at=0s,dur=1s",  // channel the runner lacks
+		"exp=outage trace=lowband-driving",             // outage is fixed-trace only
+		"exp=outage pages=2",                           // pages outside web
 	}
 	for _, s := range bad {
 		if _, err := ParseSpec(s); err == nil {
@@ -164,6 +174,38 @@ func TestRunCellOrderAndAggregation(t *testing.T) {
 	want := core.Summarize(vals)
 	if got := m.Cells[0].Metrics[0].Summary; got != want {
 		t.Fatalf("cell aggregate %+v, want serial %+v", got, want)
+	}
+}
+
+// TestRunOutageGrid runs the fault experiment end to end through the
+// engine: the outage metrics come back in their fixed order, and the
+// aggregate reproduces the acceptance result — replication stalls
+// strictly less than the single-channel baseline under the blackout.
+func TestRunOutageGrid(t *testing.T) {
+	spec := mustParse(t, "exp=outage policy=embb-only,redundant seeds=1..2 dur=4s")
+	m, err := Run(spec, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Jobs != 2*2 {
+		t.Fatalf("jobs = %d, want 4", m.Jobs)
+	}
+	if len(m.Cells) != 2 {
+		t.Fatalf("%d cells, want 2", len(m.Cells))
+	}
+	wantMetrics := []string{"delivery_rate", "stall_ms", "delay_p50_ms", "delay_p99_ms"}
+	stall := map[string]float64{}
+	for _, c := range m.Cells {
+		for i, mt := range c.Metrics {
+			if mt.Name != wantMetrics[i] {
+				t.Fatalf("cell %s metric %d = %s, want %s", c.Policy, i, mt.Name, wantMetrics[i])
+			}
+		}
+		stall[c.Policy] = c.Metrics[1].Mean
+	}
+	if stall["redundant"] >= stall["embb-only"] {
+		t.Fatalf("redundant stall %.1fms not below embb-only %.1fms",
+			stall["redundant"], stall["embb-only"])
 	}
 }
 
@@ -293,7 +335,7 @@ func TestJobKeyIncludesFingerprintsAndSeed(t *testing.T) {
 	spec := mustParse(t, "exp=bulk cc=bbr seeds=3 dur=2s")
 	j := job{spec: spec, cell: cellKey{CC: "bbr", Policy: "dchannel", Trace: "fixed"}, seed: 3}
 	key := j.key()
-	for _, want := range []string{"hvc-sweep-cell/v1", "cc=bbr", "seed=3", "cc-config=bbr/v1", "policy-config=dchannel/v1", "code="} {
+	for _, want := range []string{cellSchema, "cc=bbr", "seed=3", "cc-config=bbr/v1", "policy-config=dchannel/v1", "code="} {
 		if !strings.Contains(key, want) {
 			t.Errorf("job key missing %q:\n%s", want, key)
 		}
@@ -302,5 +344,21 @@ func TestJobKeyIncludesFingerprintsAndSeed(t *testing.T) {
 	j2.seed = 4
 	if j.hash() == j2.hash() {
 		t.Fatal("different seeds share a cache hash")
+	}
+}
+
+// TestJobKeyFoldsFaultScenario pins the fault axis into the cache
+// address: outage jobs that differ only in scenario must not share a
+// cached result.
+func TestJobKeyFoldsFaultScenario(t *testing.T) {
+	spec := mustParse(t, "exp=outage policy=redundant seeds=1 dur=4s")
+	j := job{spec: spec, cell: cellKey{Policy: "redundant", Trace: "fixed"}, seed: 1}
+	if !strings.Contains(j.key(), "fault="+spec.Fault) {
+		t.Fatalf("job key missing fault scenario:\n%s", j.key())
+	}
+	j2 := j
+	j2.spec.Fault = "outage:ch=urllc,at=1s,dur=500ms"
+	if j.hash() == j2.hash() {
+		t.Fatal("different fault scenarios share a cache hash")
 	}
 }

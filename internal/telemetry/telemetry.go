@@ -29,6 +29,7 @@ const (
 	LayerCC        = "cc"
 	LayerSteering  = "steering"
 	LayerApp       = "app"
+	LayerFault     = "fault"
 )
 
 // Event names emitted by the instrumented layers. The set is open —
@@ -58,6 +59,10 @@ const (
 	EvFrameDecode  = "frame_decode"  // video frame decoded (Detail: hit/miss)
 	EvObjectDone   = "object_done"   // web object fully arrived
 	EvPageComplete = "page_complete" // web page onLoad fired
+
+	// fault-injection events (Detail: fault kind, Dur: window length).
+	EvFaultStart = "fault_start" // a fault window opened on a channel
+	EvFaultEnd   = "fault_end"   // the fault window closed
 )
 
 // An Event is one timestamped occurrence somewhere in the stack. The

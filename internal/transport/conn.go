@@ -146,8 +146,14 @@ type Conn struct {
 	largestAcked  uint64
 	recoverySeq   uint64
 
-	// Receive state.
+	// Receive state. doneMsgs records completed (delivered or expired)
+	// message IDs: retransmissions carry fresh sequence numbers, so
+	// after a long outage a second complete copy of a message can
+	// arrive and would otherwise reassemble and deliver again. Message
+	// IDs are allocated sequentially, so the set stays a handful of
+	// ranges.
 	rcvRanges  rangeSet
+	doneMsgs   rangeSet
 	ackPending int
 	ackTimer   sim.Timer
 	rcvMsgs    map[uint64]*rcvMsg

@@ -1,0 +1,213 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"hvc/internal/cc"
+	"hvc/internal/channel"
+	"hvc/internal/sim"
+	"hvc/internal/steering"
+)
+
+// Regression tests for fault-injection outages (internal/fault drives
+// channel.SetOutage; here the tests flip it directly): the transport
+// must survive an outage spanning many RTOs without a dead timer or a
+// fire storm, and must resume within one capped RTO of recovery.
+
+func TestFlowResumesAfterMultiMinuteOutage(t *testing.T) {
+	loop := sim.NewLoop(1)
+	embb := channel.EMBBFixed(loop)
+	w := &world{loop: loop, group: channel.NewGroup(embb)}
+	w.client = NewEndpoint(loop, w.group, channel.A)
+	w.server = NewEndpoint(loop, w.group, channel.B)
+	var got []Message
+	w.listen(func() Config {
+		return Config{CC: cc.NewCubic(), Steer: w.embbOnly()}
+	}, &got)
+	conn := w.client.Dial(Config{CC: cc.NewCubic(), Steer: w.embbOnly()})
+	st := conn.NewStream()
+
+	// One 1000-byte message every 200 ms for 130 s.
+	const n = 650
+	for i := 0; i < n; i++ {
+		i := i
+		loop.At(time.Duration(i)*200*time.Millisecond, func() {
+			conn.SendMessage(st, 0, 1000, i)
+		})
+	}
+	// A two-minute blackout: at the 30 s RTO cap this spans several
+	// consecutive timeouts, the regime where a backoff-counter overflow
+	// or a lost re-arm would strand the flow forever.
+	const outageStart, outageEnd = 2 * time.Second, 122 * time.Second
+	loop.At(outageStart, func() { embb.SetOutage(true) })
+	loop.At(outageEnd, func() { embb.SetOutage(false) })
+	loop.RunUntil(300 * time.Second)
+
+	var before, during, firstAfter time.Duration
+	for _, m := range got {
+		at := m.DeliveredAt
+		switch {
+		case at < outageStart:
+			before = at
+		case at < outageEnd:
+			during = at
+		case firstAfter == 0:
+			firstAfter = at
+		}
+	}
+	if before == 0 {
+		t.Fatal("nothing delivered before the outage")
+	}
+	// In-flight packets may land just after the blackout begins, but
+	// nothing new crosses a down channel.
+	if during > outageStart+100*time.Millisecond {
+		t.Fatalf("delivery at %v while the channel was down", during)
+	}
+	if firstAfter == 0 {
+		t.Fatal("flow never resumed after the outage: dead RTO timer")
+	}
+	// The hardening criterion: resumption within one capped RTO (30 s)
+	// of the channel coming back.
+	if firstAfter > outageEnd+30*time.Second {
+		t.Fatalf("first delivery %v after recovery at %v: more than one RTO late",
+			firstAfter, outageEnd)
+	}
+	// Backoff must keep the timer chain quiet, not storming: a 120 s
+	// outage at exponentially-backed-off RTOs fires ~a dozen times.
+	if rtos := conn.Stats().RTOs; rtos == 0 || rtos > 20 {
+		t.Fatalf("RTOs = %d over a 120s outage, want ~a dozen (storm or dead timer)", rtos)
+	}
+	// Reliability: everything sent must eventually arrive.
+	if len(got) != n {
+		t.Fatalf("delivered %d/%d messages", len(got), n)
+	}
+}
+
+// TestBackoffResetsAfterRecovery pins that the post-outage flow is not
+// stuck at the 30 s backoff ceiling: once new data is acked, the RTO
+// returns to its smoothed value.
+func TestBackoffResetsAfterRecovery(t *testing.T) {
+	loop := sim.NewLoop(2)
+	embb := channel.EMBBFixed(loop)
+	w := &world{loop: loop, group: channel.NewGroup(embb)}
+	w.client = NewEndpoint(loop, w.group, channel.A)
+	w.server = NewEndpoint(loop, w.group, channel.B)
+	var got []Message
+	w.listen(func() Config {
+		return Config{CC: cc.NewCubic(), Steer: w.embbOnly()}
+	}, &got)
+	conn := w.client.Dial(Config{CC: cc.NewCubic(), Steer: w.embbOnly()})
+	st := conn.NewStream()
+
+	conn.SendMessage(st, 0, 1000, "pre")
+	loop.At(1*time.Second, func() { embb.SetOutage(true) })
+	loop.At(100*time.Millisecond+1*time.Second, func() {}) // keep times distinct
+	loop.At(1100*time.Millisecond, func() { conn.SendMessage(st, 0, 1000, "mid") })
+	loop.At(91*time.Second, func() { embb.SetOutage(false) })
+	loop.RunUntil(180 * time.Second)
+	if conn.rtoBackoff != 0 {
+		t.Fatalf("rtoBackoff = %d after recovery and acks, want 0", conn.rtoBackoff)
+	}
+	if len(got) != 2 {
+		t.Fatalf("delivered %d/2", len(got))
+	}
+}
+
+// Redundant-steering dedup: duplicates arriving on both channels must
+// not double-count goodput or corrupt reassembly (the recv.go rangeSet
+// path), and stats must reflect the deduplicated payload exactly.
+
+func redundantWorld(seed int64) (*world, *Conn, *[]Message) {
+	w := newWorld(seed)
+	var got []Message
+	w.server.Listen(func() Config {
+		return Config{CC: cc.NewCubic(), Steer: steering.NewRedundant(w.group)}
+	}, func(c *Conn) {
+		c.OnMessage(func(_ *Conn, m Message) { got = append(got, m) })
+	})
+	conn := w.client.Dial(Config{CC: cc.NewCubic(), Steer: steering.NewRedundant(w.group)})
+	return w, conn, &got
+}
+
+func TestRedundantDedupExactAccounting(t *testing.T) {
+	w, conn, got := redundantWorld(5)
+	st := conn.NewStream()
+	const n, size = 20, 5000
+	for i := 0; i < n; i++ {
+		i := i
+		w.loop.At(time.Duration(i)*100*time.Millisecond, func() {
+			conn.SendMessage(st, 0, size, i)
+		})
+	}
+	w.loop.RunUntil(30 * time.Second)
+
+	if len(*got) != n {
+		t.Fatalf("delivered %d/%d messages", len(*got), n)
+	}
+	seen := make(map[int]bool)
+	for _, m := range *got {
+		if m.Size != size {
+			t.Fatalf("message size %d, want %d (reassembly corrupted)", m.Size, size)
+		}
+		id := m.Data.(int)
+		if seen[id] {
+			t.Fatalf("message %d delivered twice", id)
+		}
+		seen[id] = true
+	}
+	srv := serverConn(t, w)
+	// Both channels carried a full copy of every segment; goodput must
+	// count the payload exactly once.
+	if br := srv.Stats().BytesReceived; br != n*size {
+		t.Fatalf("BytesReceived = %d, want exactly %d (duplicates double-counted)", br, n*size)
+	}
+	if md := srv.Stats().MsgsDelivered; md != n {
+		t.Fatalf("MsgsDelivered = %d, want %d", md, n)
+	}
+	// Sanity: duplication actually happened — both directions saw
+	// traffic on both channels.
+	for _, ch := range w.group.All() {
+		if ch.Stats(channel.A).Sent == 0 {
+			t.Fatalf("channel %s carried nothing; replication not exercised", ch.Name())
+		}
+	}
+}
+
+// TestRedundantMasksOutage pins the §2.2 reliability claim at the
+// transport level: with replication, an eMBB blackout leaves delivery
+// running over URLLC with no stall, while the copies arriving later on
+// the recovered channel are absorbed as duplicates.
+func TestRedundantMasksOutage(t *testing.T) {
+	w, conn, got := redundantWorld(6)
+	embb := w.group.Get(channel.NameEMBB)
+	st := conn.NewStream()
+	const n = 80 // 8 s of 1000-byte messages every 100 ms
+	for i := 0; i < n; i++ {
+		i := i
+		w.loop.At(time.Duration(i)*100*time.Millisecond, func() {
+			conn.SendMessage(st, 0, 1000, i)
+		})
+	}
+	w.loop.At(2*time.Second, func() { embb.SetOutage(true) })
+	w.loop.At(5*time.Second, func() { embb.SetOutage(false) })
+	w.loop.RunUntil(30 * time.Second)
+
+	if len(*got) != n {
+		t.Fatalf("delivered %d/%d", len(*got), n)
+	}
+	// No delivery gap longer than a few message intervals: URLLC keeps
+	// the stream alive through the blackout.
+	var prev time.Duration
+	for _, m := range *got {
+		if prev != 0 && m.DeliveredAt-prev > time.Second {
+			t.Fatalf("delivery gap %v across the outage; replication failed to mask it",
+				m.DeliveredAt-prev)
+		}
+		prev = m.DeliveredAt
+	}
+	srv := serverConn(t, w)
+	if br := srv.Stats().BytesReceived; br != n*1000 {
+		t.Fatalf("BytesReceived = %d, want exactly %d", br, n*1000)
+	}
+}

@@ -59,6 +59,9 @@ func (c *Conn) handleData(p *packet.Packet, frag *fragment) {
 	if !isNew {
 		return // duplicate (redundant copy or spurious retransmit)
 	}
+	if c.doneMsgs.contains(frag.msgID) {
+		return // late copy of a message already delivered or expired
+	}
 
 	rm, ok := c.rcvMsgs[frag.msgID]
 	if !ok {
@@ -88,6 +91,7 @@ func (c *Conn) handleData(p *packet.Packet, frag *fragment) {
 
 func (c *Conn) deliverMsg(id uint64, rm *rcvMsg) {
 	delete(c.rcvMsgs, id)
+	c.doneMsgs.add(id)
 	rm.expiry.Stop()
 	c.stats.MsgsDelivered++
 	m := Message{
@@ -112,6 +116,7 @@ func (c *Conn) expireMsg(id uint64) {
 		return
 	}
 	delete(c.rcvMsgs, id)
+	c.doneMsgs.add(id)
 	c.stats.MsgsExpired++
 	c.freeRcvMsg(rm)
 }

@@ -351,7 +351,16 @@ func (c *Conn) onRTO() {
 		c.onMultiRTO()
 		return
 	}
-	if c.closed || len(c.inflight) == 0 {
+	if c.closed {
+		return
+	}
+	if len(c.inflight) == 0 {
+		// Nothing outstanding, but the scheduler may still hold
+		// requeued chunks (a long outage drains inflight through entry
+		// drops faster than the retry timer refills it). Kick the send
+		// path so recovery never depends on a timer that might not be
+		// pending.
+		c.trySend()
 		return
 	}
 	c.stats.RTOs++
