@@ -1,0 +1,100 @@
+// Command hvcchaos soaks the simulator under randomized fault
+// schedules with the runtime invariant layer (internal/invariant)
+// armed: it generates fault schedules × experiments × seeds from a
+// seeded meta-RNG, runs every trial across a worker pool, and — on a
+// violation — shrinks the failing trial to a minimal counterexample
+// and prints it as a replayable job string.
+//
+//	hvcchaos -jobs 256 -metaseed 1                  # soak
+//	hvcchaos -budget 90s -metaseed 1 -jobs 100000   # CI: bounded soak
+//	hvcchaos -repro "exp=outage policy=embb-only seed=7 dur=750ms reliable=true fault=outage:ch=embb,at=99ms,dur=376ms"
+//
+// The soak is deterministic: the same -metaseed yields the same job
+// list and, under any -workers value, the same first finding. A
+// finding exits 1; a clean soak exits 0.
+//
+// -seed-bug reintroduces a named, deliberately re-armed historical bug
+// (see invariant.ParseBug) so the detection and shrinking pipeline can
+// be demonstrated — and CI can prove it still works — end to end:
+//
+//	hvcchaos -seed-bug dup-deliver -metaseed 1 -jobs 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hvc/internal/chaos"
+	"hvc/internal/invariant"
+)
+
+func main() {
+	var (
+		jobs     = flag.Int("jobs", 256, "number of trials to generate")
+		metaseed = flag.Int64("metaseed", 1, "meta-RNG seed; the whole soak is a function of it")
+		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		dur      = flag.Duration("dur", 4*time.Second, "virtual duration of each trial")
+		budget   = flag.Duration("budget", 0, "wall-clock budget; 0 = run all jobs")
+		repro    = flag.String("repro", "", "replay one job string instead of soaking")
+		seedBug  = flag.String("seed-bug", "", "arm a named historical bug (e.g. dup-deliver)")
+		verbose  = flag.Bool("v", false, "log per-batch progress to stderr")
+	)
+	flag.Parse()
+
+	if !invariant.Compiled {
+		fmt.Fprintln(os.Stderr, "hvcchaos: built with -tags invariant_off; nothing to check")
+		os.Exit(2)
+	}
+	invariant.SetEnabled(true)
+	if *seedBug != "" {
+		b, err := invariant.ParseBug(*seedBug)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hvcchaos: %v\n", err)
+			os.Exit(2)
+		}
+		invariant.SetBug(b, true)
+		fmt.Fprintf(os.Stderr, "hvcchaos: seeded bug %q armed\n", *seedBug)
+	}
+
+	if *repro != "" {
+		j, err := chaos.ParseJob(*repro)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hvcchaos: %v\n", err)
+			os.Exit(2)
+		}
+		if err := chaos.Run(j); err != nil {
+			fmt.Printf("reproduced: %v\n  job: %s\n", err, j)
+			os.Exit(1)
+		}
+		fmt.Printf("clean: %s\n", j)
+		return
+	}
+
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "hvcchaos: "+format+"\n", args...)
+		}
+	}
+	start := time.Now()
+	finding, ran, err := chaos.Soak(chaos.Options{
+		MetaSeed: *metaseed, Jobs: *jobs, Workers: *workers,
+		Dur: *dur, Budget: *budget, Log: logf,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hvcchaos: %v\n", err)
+		os.Exit(2)
+	}
+	if finding != nil {
+		fmt.Printf("FINDING after %d trials (%.1fs):\n%s\n", ran, time.Since(start).Seconds(), finding)
+		fmt.Printf("\nreplay with:\n  hvcchaos -repro %q", finding.Minimal)
+		if *seedBug != "" {
+			fmt.Printf(" -seed-bug %s", *seedBug)
+		}
+		fmt.Println()
+		os.Exit(1)
+	}
+	fmt.Printf("clean: %d trials, metaseed %d, %.1fs\n", ran, *metaseed, time.Since(start).Seconds())
+}

@@ -210,6 +210,19 @@ func (c *Channel) SetLossFn(from Side, fn func() bool) {
 	c.link(from).SetLossFn(fn)
 }
 
+// RateScale reports the fault-injection rate multiplier currently
+// applied to both directions (1 = nominal). The fault layer's
+// window-restore invariant reads it after clearing a slump.
+func (c *Channel) RateScale() float64 { return c.toA.RateScale() }
+
+// ExtraDelay reports the fault-injection delay currently added to both
+// directions (0 = nominal).
+func (c *Channel) ExtraDelay() time.Duration { return c.toA.ExtraDelay() }
+
+// LossFnInstalled reports whether a fault-injection drop process is
+// installed on the direction leaving side from.
+func (c *Channel) LossFnInstalled(from Side) bool { return c.link(from).LossFnInstalled() }
+
 // A Group is the set of channels available between one pair of hosts.
 // It also owns the simulation's packet free list: the group is the one
 // object both endpoints share, so packets recycled by the receiving

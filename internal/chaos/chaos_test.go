@@ -1,0 +1,158 @@
+package chaos
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"hvc/internal/fault"
+	"hvc/internal/invariant"
+)
+
+func TestMain(m *testing.M) {
+	invariant.SetEnabled(true)
+	os.Exit(m.Run())
+}
+
+func TestJobStringRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		j := genJob(rng, 4*time.Second)
+		got, err := ParseJob(j.String())
+		if err != nil {
+			t.Fatalf("ParseJob(%q): %v", j.String(), err)
+		}
+		if got.String() != j.String() {
+			t.Fatalf("round trip changed the job:\n  in:  %s\n  out: %s", j, got)
+		}
+	}
+}
+
+func TestParseJobRejects(t *testing.T) {
+	for _, s := range []string{
+		"",
+		"exp=bulk policy=dchannel seed=1 dur=2s fault=none", // bulk without cc
+		"exp=outage cc=bbr policy=dchannel seed=1 dur=2s fault=none",
+		"exp=warp policy=dchannel seed=1 dur=2s fault=none",
+		"exp=outage policy=dchannel seed=1 fault=none", // no dur
+		"exp=outage policy=dchannel seed=x dur=2s fault=none",
+		"exp=outage policy=dchannel seed=1 dur=2s fault=bogus:ch=embb",
+		"exp=outage exp=outage policy=dchannel seed=1 dur=2s fault=none",
+	} {
+		if _, err := ParseJob(s); err == nil {
+			t.Errorf("ParseJob(%q) accepted", s)
+		}
+	}
+}
+
+func TestGenSpecAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		spec := genSpec(rng, 4*time.Second)
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("generated spec invalid: %v\n%s", err, spec)
+		}
+		back, err := fault.ParseSpec(spec.String())
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %v\n%s", err, spec)
+		}
+		if back.String() != spec.String() {
+			t.Fatalf("spec not canonical:\n  in:  %s\n  out: %s", spec, back)
+		}
+	}
+}
+
+// skipWithoutInvariants skips soak tests in an -tags invariant_off
+// build, where Soak correctly refuses to run.
+func skipWithoutInvariants(t *testing.T) {
+	t.Helper()
+	if !invariant.Compiled {
+		t.Skip("built with -tags invariant_off")
+	}
+}
+
+func TestSoakRefusesDisabledInvariants(t *testing.T) {
+	invariant.SetEnabled(false)
+	defer invariant.SetEnabled(true)
+	if _, _, err := Soak(Options{MetaSeed: 1, Jobs: 1}); err == nil {
+		t.Fatal("Soak ran with invariants disabled")
+	}
+}
+
+// TestSoakCatchesSeededBug is the end-to-end proof of the harness: it
+// re-arms the pre-PR 5 duplicate-delivery bug behind the seeded-bug
+// switch, soaks until the exactly-once invariant trips, and checks the
+// finding shrinks to a replayable minimal counterexample.
+func TestSoakCatchesSeededBug(t *testing.T) {
+	skipWithoutInvariants(t)
+	invariant.SetBug(invariant.BugDupDeliver, true)
+	defer invariant.SetBug(invariant.BugDupDeliver, false)
+
+	f, ran, err := Soak(Options{MetaSeed: 42, Jobs: 64, Workers: 4, Dur: 3 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f == nil {
+		t.Fatalf("soak missed the seeded duplicate-delivery bug after %d trials", ran)
+	}
+	if f.Violation == nil || f.Violation.Layer != "transport" || f.Violation.Name != "exactly-once" {
+		t.Fatalf("finding is not the exactly-once violation: %v", f)
+	}
+
+	// The minimal counterexample replays: parse its String form (the
+	// shape a user would paste into -repro) and re-run it.
+	min, perr := ParseJob(f.Minimal.String())
+	if perr != nil {
+		t.Fatalf("minimal counterexample does not re-parse: %v", perr)
+	}
+	rerr := Run(min)
+	var v *invariant.Violation
+	if !errors.As(rerr, &v) || v.Layer != "transport" || v.Name != "exactly-once" {
+		t.Fatalf("minimal counterexample does not reproduce: %v", rerr)
+	}
+
+	// Shrinking must never grow the trial.
+	if f.Minimal.Dur > f.Job.Dur || len(f.Minimal.Fault.Events) > len(f.Job.Fault.Events) {
+		t.Fatalf("shrink grew the job:\n  original: %s\n  minimal:  %s", f.Job, f.Minimal)
+	}
+	if f.Minimal.Exp == ExpOutage && f.Minimal.Fault.Empty() {
+		t.Fatalf("shrink emptied an outage job's schedule (default substitution would change the trial): %s", f.Minimal)
+	}
+	t.Logf("finding after %d trials:\n%s", ran, f)
+}
+
+func TestSoakCleanOnHealthySimulator(t *testing.T) {
+	skipWithoutInvariants(t)
+	if testing.Short() {
+		t.Skip("soak in -short mode")
+	}
+	f, ran, err := Soak(Options{MetaSeed: 7, Jobs: 24, Workers: 4, Dur: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != nil {
+		t.Fatalf("healthy simulator produced a finding after %d trials:\n%s", ran, f)
+	}
+	if ran != 24 {
+		t.Fatalf("soak ran %d trials, want 24", ran)
+	}
+}
+
+func TestSoakDeterministicAcrossWorkerCounts(t *testing.T) {
+	skipWithoutInvariants(t)
+	invariant.SetBug(invariant.BugDupDeliver, true)
+	defer invariant.SetBug(invariant.BugDupDeliver, false)
+	var minimals []string
+	for _, workers := range []int{1, 4} {
+		f, _, err := Soak(Options{MetaSeed: 42, Jobs: 64, Workers: workers, Dur: 3 * time.Second})
+		if err != nil || f == nil {
+			t.Fatalf("workers=%d: finding=%v err=%v", workers, f, err)
+		}
+		minimals = append(minimals, f.Job.String()+"\n"+f.Minimal.String())
+	}
+	if minimals[0] != minimals[1] {
+		t.Fatalf("finding depends on worker count:\n  w=1: %s\n  w=4: %s", minimals[0], minimals[1])
+	}
+}

@@ -1,0 +1,50 @@
+package chaos
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"hvc/internal/fault"
+)
+
+// FuzzChaosScheduleGen drives the schedule generator with arbitrary
+// meta-seeds and run lengths: whatever the inputs, the generated spec
+// must validate, render canonically, and survive a parse round trip —
+// the properties the soak and the shrinker both lean on.
+func FuzzChaosScheduleGen(f *testing.F) {
+	f.Add(int64(0), int64(4_000))
+	f.Add(int64(42), int64(500))
+	f.Add(int64(-1), int64(60_000))
+	f.Fuzz(func(t *testing.T, seed, durMS int64) {
+		if durMS < 100 {
+			durMS = 100
+		}
+		if durMS > 120_000 {
+			durMS %= 120_000
+		}
+		dur := time.Duration(durMS) * time.Millisecond
+		rng := rand.New(rand.NewSource(seed))
+		spec := genSpec(rng, dur)
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("seed=%d dur=%v: invalid spec: %v\n%s", seed, dur, err, spec)
+		}
+		back, err := fault.ParseSpec(spec.String())
+		if err != nil {
+			t.Fatalf("seed=%d dur=%v: canonical form does not re-parse: %v\n%s", seed, dur, err, spec)
+		}
+		if back.String() != spec.String() {
+			t.Fatalf("seed=%d dur=%v: not canonical:\n  in:  %s\n  out: %s", seed, dur, spec, back)
+		}
+
+		// The job wrapper must round-trip too.
+		j := genJob(rand.New(rand.NewSource(seed)), dur)
+		got, err := ParseJob(j.String())
+		if err != nil {
+			t.Fatalf("seed=%d dur=%v: job does not re-parse: %v\n%s", seed, dur, err, j)
+		}
+		if got.String() != j.String() {
+			t.Fatalf("seed=%d dur=%v: job not canonical:\n  in:  %s\n  out: %s", seed, dur, j, got)
+		}
+	})
+}

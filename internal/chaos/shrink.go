@@ -1,0 +1,108 @@
+package chaos
+
+import (
+	"errors"
+	"time"
+
+	"hvc/internal/fault"
+	"hvc/internal/invariant"
+)
+
+// Shrink greedily minimizes a failing trial: it tries dropping fault
+// clauses, collapsing repetitions, halving durations, and pulling
+// windows earlier, keeping each candidate only if it still fails with
+// the same violation (same layer and name — a candidate that fails
+// differently is a different bug, not a smaller version of this one).
+// It returns the minimal job and the number of accepted steps.
+//
+// The walk restarts from the shrunk job after every accepted step, so
+// the result is a local minimum: no single remaining edit both stays
+// valid and still reproduces the violation.
+func Shrink(j Job, v *invariant.Violation, logf func(format string, args ...any)) (Job, int) {
+	steps := 0
+	fails := func(c Job) bool {
+		err := Run(c)
+		if err == nil {
+			return false
+		}
+		if v == nil {
+			// The original failure had no violation payload (a plain
+			// panic or error); any failure counts as a reproduction.
+			return true
+		}
+		var cv *invariant.Violation
+		return errors.As(err, &cv) && cv.Layer == v.Layer && cv.Name == v.Name
+	}
+	for {
+		accepted := false
+		for _, c := range candidates(j) {
+			if c.Fault.Validate() != nil {
+				continue // e.g. pulling a window earlier made it overlap
+			}
+			if fails(c) {
+				j, accepted = c, true
+				steps++
+				logf("shrink step %d: %s", steps, j)
+				break // restart the candidate walk from the smaller job
+			}
+		}
+		if !accepted {
+			return j, steps
+		}
+	}
+}
+
+// candidates proposes one-edit reductions of j, most aggressive first.
+func candidates(j Job) []Job {
+	var out []Job
+	events := j.Fault.Events
+
+	// Drop each clause. An outage job must keep at least one: its
+	// runner substitutes the default blackout schedule for an empty
+	// spec, which would change the trial instead of shrinking it.
+	for i := range events {
+		if len(events) == 1 && j.Exp == ExpOutage {
+			break
+		}
+		c := j
+		c.Fault = fault.Spec{Events: append(append([]fault.Event{}, events[:i]...), events[i+1:]...)}
+		out = append(out, c)
+	}
+
+	// Collapse each repetition to a single window.
+	for i, ev := range events {
+		if ev.Count <= 1 {
+			continue
+		}
+		c := withEvent(j, i, func(e *fault.Event) { e.Count, e.Every = 1, 0 })
+		out = append(out, c)
+	}
+
+	// Halve the run itself — the strongest time reduction.
+	if half := (j.Dur / 2).Truncate(time.Millisecond); half >= 100*time.Millisecond {
+		c := j
+		c.Dur = half
+		out = append(out, c)
+	}
+
+	// Halve each window, then pull it earlier.
+	for i, ev := range events {
+		if half := (ev.Dur / 2).Truncate(time.Millisecond); half >= time.Millisecond {
+			out = append(out, withEvent(j, i, func(e *fault.Event) { e.Dur = half }))
+		}
+		if ev.At > 0 {
+			out = append(out, withEvent(j, i, func(e *fault.Event) {
+				e.At = (e.At / 2).Truncate(time.Millisecond)
+			}))
+		}
+	}
+	return out
+}
+
+// withEvent copies j with edit applied to clause i.
+func withEvent(j Job, i int, edit func(*fault.Event)) Job {
+	c := j
+	c.Fault = fault.Spec{Events: append([]fault.Event{}, j.Fault.Events...)}
+	edit(&c.Fault.Events[i])
+	return c
+}

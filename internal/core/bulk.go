@@ -6,6 +6,7 @@ import (
 
 	"hvc/internal/capture"
 	"hvc/internal/channel"
+	"hvc/internal/fault"
 	"hvc/internal/metrics"
 	"hvc/internal/sim"
 	"hvc/internal/steering"
@@ -24,6 +25,11 @@ type BulkConfig struct {
 	CC string
 	// Policy names the steering policy; Fig. 1 uses PolicyDChannel.
 	Policy string
+	// Fault is an optional scenario in the internal/fault grammar.
+	// Empty means no faults — the paper's Fig. 1 runs on a clean
+	// channel, and the determinism matrix depends on that — unlike
+	// OutageConfig, where empty selects the default blackout schedule.
+	Fault string
 	// EMBB overrides the eMBB trace; nil means the paper's fixed
 	// 50 ms / 60 Mbps channel.
 	EMBB *trace.Trace
@@ -77,6 +83,10 @@ func RunBulk(cfg BulkConfig) (BulkResult, error) {
 	if err != nil {
 		return BulkResult{}, err
 	}
+	spec, err := fault.ParseSpec(cfg.Fault)
+	if err != nil {
+		return BulkResult{}, err
+	}
 
 	loop := sim.NewLoop(cfg.Seed)
 	g := Cellular(loop, embb)
@@ -88,6 +98,12 @@ func RunBulk(cfg BulkConfig) (BulkResult, error) {
 	g.SetTracer(cfg.Tracer)
 	client.SetTracer(cfg.Tracer)
 	server.SetTracer(cfg.Tracer)
+
+	if !spec.Empty() {
+		if err := fault.Inject(loop, g, spec, cfg.Tracer); err != nil {
+			return BulkResult{}, err
+		}
+	}
 
 	res := BulkResult{CC: cfg.CC, Policy: cfg.Policy}
 	if cfg.CaptureEvery > 0 {

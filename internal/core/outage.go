@@ -30,6 +30,12 @@ type OutageConfig struct {
 	// (fault.Default) — because an outage experiment without an outage
 	// measures nothing. Pass an explicit scenario to override it.
 	Fault string
+	// Reliable switches the frame stream from best-effort to reliable
+	// delivery: frames lost to a blackout are retransmitted instead of
+	// dropped, trading delivery rate 1.0 for a latency tail. This is
+	// the regime where stale fresh-seq retransmissions race their
+	// recovered originals, so the chaos harness leans on it.
+	Reliable bool
 	// Tracer receives cross-layer telemetry (fault windows included);
 	// nil disables tracing.
 	Tracer *telemetry.Tracer
@@ -100,10 +106,15 @@ func RunOutage(cfg OutageConfig) (OutageResult, error) {
 	res := OutageResult{Policy: cfg.Policy, Fault: spec.String()}
 	var lastDelivery, maxGap time.Duration
 	server.Listen(func() transport.Config {
-		return transport.Config{
+		tc := transport.Config{
 			Steer: mustPolicy(cfg.Policy, g, channel.B), Unreliable: true,
 			MsgTimeout: 10 * time.Second,
 		}
+		if cfg.Reliable {
+			ccSrv, _ := NewCC("cubic")
+			tc.CC, tc.Unreliable, tc.MsgTimeout = ccSrv, false, 0
+		}
+		return tc
 	}, func(c *transport.Conn) {
 		c.OnMessage(func(_ *transport.Conn, m transport.Message) {
 			res.Delivered++
@@ -116,7 +127,12 @@ func RunOutage(cfg OutageConfig) (OutageResult, error) {
 	})
 
 	steer := steering.NewCounter(mustPolicy(cfg.Policy, g, channel.A))
-	conn := client.Dial(transport.Config{Steer: steer, Unreliable: true})
+	tc := transport.Config{Steer: steer, Unreliable: true}
+	if cfg.Reliable {
+		ccCli, _ := NewCC("cubic")
+		tc.CC, tc.Unreliable = ccCli, false
+	}
+	conn := client.Dial(tc)
 	st := conn.NewStream()
 
 	// ~30 fps of 1200-byte frames for the whole run.

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"hvc/internal/channel"
+	"hvc/internal/invariant"
 	"hvc/internal/sim"
 	"hvc/internal/telemetry"
 )
@@ -49,6 +50,9 @@ func Inject(loop *sim.Loop, g *channel.Group, spec Spec, tr *telemetry.Tracer) e
 		}
 		end := func() {
 			clear()
+			if invariant.Enabled() {
+				checkRestored(ch, ev)
+			}
 			if tr.Enabled() {
 				tr.Emit(telemetry.Event{
 					Layer: telemetry.LayerFault, Name: telemetry.EvFaultEnd,
@@ -88,6 +92,37 @@ func actions(loop *sim.Loop, ch *channel.Channel, ev Event, clause int) (apply, 
 		return func() { ch.SetExtraDelay(ev.Delay) }, func() { ch.SetExtraDelay(0) }
 	}
 	panic(fmt.Sprintf("fault: unreachable kind %q after validation", ev.Kind))
+}
+
+// checkRestored asserts the window-restore invariant after a clause's
+// end action: each fault kind owns one state slot per channel (the
+// overlap rule Validate enforces), so the instant a window closes, its
+// kind's slot must read nominal again. A failure here means two
+// windows trampled each other's state — the channel would carry a
+// phantom fault for the rest of the run.
+func checkRestored(ch *channel.Channel, ev Event) {
+	switch ev.Kind {
+	case Outage:
+		if ch.Down() {
+			invariant.Failf("fault", "window-restore",
+				"channel %q still down after outage window ended", ev.Channel)
+		}
+	case Burst:
+		if ch.LossFnInstalled(channel.A) || ch.LossFnInstalled(channel.B) {
+			invariant.Failf("fault", "window-restore",
+				"channel %q still has a loss process after burst window ended", ev.Channel)
+		}
+	case Slump:
+		if s := ch.RateScale(); s != 1 {
+			invariant.Failf("fault", "window-restore",
+				"channel %q rate scale %v after slump window ended", ev.Channel, s)
+		}
+	case Spike:
+		if d := ch.ExtraDelay(); d != 0 {
+			invariant.Failf("fault", "window-restore",
+				"channel %q extra delay %v after spike window ended", ev.Channel, d)
+		}
+	}
 }
 
 // geProc is one direction's Gilbert–Elliott two-state loss chain: each

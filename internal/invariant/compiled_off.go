@@ -1,0 +1,7 @@
+//go:build invariant_off
+
+package invariant
+
+// Compiled is false in an invariant_off build: Enabled() and
+// BugEnabled() become constant false and the checks vanish.
+const Compiled = false

@@ -1,0 +1,9 @@
+//go:build !invariant_off
+
+package invariant
+
+// Compiled reports whether invariant checking is compiled into the
+// binary. The default build carries the checks (inert until
+// SetEnabled); -tags invariant_off makes this a false constant so
+// every guarded check site is eliminated by the compiler.
+const Compiled = true

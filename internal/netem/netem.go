@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"time"
 
+	"hvc/internal/invariant"
 	"hvc/internal/packet"
 	"hvc/internal/sim"
 	"hvc/internal/telemetry"
@@ -228,6 +229,19 @@ func (l *Link) SetExtraDelay(d time.Duration) {
 // from a private seeded source, never from the loop's shared Rand.
 func (l *Link) SetLossFn(fn func() bool) { l.lossFn = fn }
 
+// RateScale reports the active fault-injection rate multiplier
+// (1 = nominal). The fault layer checks it to verify a slump window
+// restored the link.
+func (l *Link) RateScale() float64 { return l.rateScale }
+
+// ExtraDelay reports the active fault-injection delay addition
+// (0 = nominal).
+func (l *Link) ExtraDelay() time.Duration { return l.extraDelay }
+
+// LossFnInstalled reports whether a fault-injection drop process is
+// installed.
+func (l *Link) LossFnInstalled() bool { return l.lossFn != nil }
+
 // Send offers a packet to the link. It reports false when the packet
 // was dropped at entry (queue overflow — a congestion signal) and true
 // when it was accepted. Random wireless loss happens in flight, after
@@ -268,7 +282,14 @@ func (l *Link) kick() {
 		return
 	}
 	if l.head == len(l.queue) {
-		// Drained: rewind the ring so the backing array is reused.
+		// Drained: rewind the ring so the backing array is reused. An
+		// empty queue must account for exactly zero bytes — any drift in
+		// the byte counter (a size mutated while queued, a double
+		// subtract) surfaces here, at the first quiet moment.
+		if invariant.Enabled() && l.queuedBytes != 0 {
+			invariant.Failf("netem", "queue-bytes",
+				"link %q drained its queue with %d bytes still accounted", l.cfg.Name, l.queuedBytes)
+		}
 		l.queue = l.queue[:0]
 		l.head = 0
 		return
@@ -344,8 +365,42 @@ func (l *Link) finishTx() {
 	l.kick()
 }
 
+// checkConservation verifies the link's packet-conservation identity:
+// every packet ever offered is, at this instant, exactly one of queued
+// (awaiting or in serialization), dropped at entry, dropped in flight,
+// or serialized for delivery (stats.Delivered counts these, whether
+// still propagating or already handed to the sink). The identity is
+// O(1) and is asserted at every delivery, so a leak or double count
+// anywhere in the link's state machine fails within one packet.
+func (l *Link) checkConservation() {
+	accounted := l.queued() + l.stats.DroppedQueue + l.stats.DroppedRandom + l.stats.Delivered
+	if l.stats.Sent != accounted {
+		invariant.Failf("netem", "conservation",
+			"link %q: sent %d != queued %d + dropped(queue %d, random %d) + delivered %d",
+			l.cfg.Name, l.stats.Sent, l.queued(), l.stats.DroppedQueue,
+			l.stats.DroppedRandom, l.stats.Delivered)
+	}
+	if l.queuedBytes < 0 {
+		invariant.Failf("netem", "queue-bytes", "link %q: negative queued bytes %d", l.cfg.Name, l.queuedBytes)
+	}
+}
+
 // deliver hands the oldest in-flight packet to the sink.
 func (l *Link) deliver() {
+	if invariant.Enabled() {
+		l.checkConservation()
+		if l.inHead >= len(l.inflight) {
+			invariant.Failf("netem", "inflight-ring",
+				"link %q: arrival event with empty in-flight ring", l.cfg.Name)
+		}
+		// Arrivals are FIFO by construction (the lastArrival clamp);
+		// a delivery past the recorded horizon means the ring and the
+		// scheduled arrival events have come apart.
+		if now := l.loop.Now(); now > l.lastArrival {
+			invariant.Failf("netem", "fifo-arrival",
+				"link %q: delivery at %v after last scheduled arrival %v", l.cfg.Name, now, l.lastArrival)
+		}
+	}
 	p := l.inflight[l.inHead]
 	l.inflight[l.inHead] = nil
 	l.inHead++

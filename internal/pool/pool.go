@@ -9,6 +9,7 @@ package pool
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
@@ -25,6 +26,32 @@ func (e *Error) Error() string { return fmt.Sprintf("job %d: %v", e.Index, e.Err
 
 // Unwrap exposes the job's own error to errors.Is/As.
 func (e *Error) Unwrap() error { return e.Err }
+
+// A Panic is the error a job that panicked resolves to, wrapped in the
+// usual *Error carrying the job index. Capturing the panic inside the
+// worker instead of letting it unwind the goroutine matters for two
+// reasons: an unrecovered panic on a worker goroutine would kill the
+// whole process (not just the failing job), and it would take the
+// other in-flight jobs' results with it — where Map's contract is that
+// every job below the failing index completes.
+type Panic struct {
+	// Value is the value passed to panic().
+	Value any
+	// Stack is the panicking goroutine's stack, captured at recover.
+	Stack []byte
+}
+
+func (p *Panic) Error() string { return fmt.Sprintf("panic: %v\n%s", p.Value, p.Stack) }
+
+// Unwrap exposes a panic value that is itself an error — an
+// *invariant.Violation thrown by Failf, typically — so errors.As can
+// reach through *Error and *Panic to the typed value.
+func (p *Panic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
 
 // Map runs fn(0..n-1) on min(workers, n) goroutines and returns the
 // results indexed by job, independent of completion order. workers <= 0
@@ -67,7 +94,7 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 				next++
 				mu.Unlock()
 
-				v, err := fn(i)
+				v, err := protect(fn, i)
 
 				mu.Lock()
 				if err != nil {
@@ -86,4 +113,14 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 		return nil, &Error{Index: errIdx, Err: jobErr}
 	}
 	return out, nil
+}
+
+// protect runs one job, converting a panic into a *Panic error.
+func protect[T any](fn func(i int) (T, error), i int) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &Panic{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i)
 }

@@ -3,6 +3,7 @@ package pool
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -90,5 +91,56 @@ func TestMapStopsClaimingPastFailure(t *testing.T) {
 		if ran[i] {
 			t.Fatalf("job %d ran after the failure at 2", i)
 		}
+	}
+}
+
+func TestMapRecoversWorkerPanic(t *testing.T) {
+	sentinel := errors.New("invariant blew up")
+	_, err := Map(8, 4, func(i int) (int, error) {
+		if i == 5 {
+			panic(sentinel)
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected an error from the panicking job")
+	}
+	var je *Error
+	if !errors.As(err, &je) || je.Index != 5 {
+		t.Fatalf("err = %v, want *Error with Index 5", err)
+	}
+	var pe *Panic
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want a *Panic in the chain", err)
+	}
+	if pe.Value != sentinel {
+		t.Fatalf("Panic.Value = %v, want the sentinel", pe.Value)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "pool") {
+		t.Fatalf("Panic.Stack missing or unhelpful:\n%s", pe.Stack)
+	}
+	// The panic value is an error, so errors.Is must reach it through
+	// *Error -> *Panic.
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("errors.Is(err, sentinel) = false through %v", err)
+	}
+}
+
+func TestMapPanicWithNonErrorValue(t *testing.T) {
+	_, err := Map(3, 2, func(i int) (int, error) {
+		if i == 1 {
+			panic("plain string panic")
+		}
+		return i, nil
+	})
+	var pe *Panic
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want a *Panic in the chain", err)
+	}
+	if pe.Unwrap() != nil {
+		t.Fatalf("Unwrap of a non-error panic value = %v, want nil", pe.Unwrap())
+	}
+	if !strings.Contains(err.Error(), "plain string panic") {
+		t.Fatalf("err.Error() = %q, want the panic value in the message", err)
 	}
 }

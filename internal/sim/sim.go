@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"hvc/internal/invariant"
 )
 
 // A heapEntry is one scheduled occurrence in the event heap. Entries
@@ -196,6 +198,10 @@ func (l *Loop) Step() bool {
 		fn := sl.fn
 		l.freeSlot(e.slot)
 		l.pending--
+		if invariant.Enabled() && e.at < l.now {
+			invariant.Failf("sim", "monotonic-time",
+				"event at %v popped with clock already at %v", e.at, l.now)
+		}
 		l.now = e.at
 		fn()
 		return true
@@ -207,6 +213,9 @@ func (l *Loop) Step() bool {
 func (l *Loop) Run() {
 	l.stopped = false
 	for !l.stopped && l.Step() {
+	}
+	if invariant.Enabled() {
+		l.checkIntegrity()
 	}
 }
 
@@ -224,6 +233,62 @@ func (l *Loop) RunUntil(deadline time.Duration) {
 	}
 	if l.now < deadline {
 		l.now = deadline
+	}
+	if invariant.Enabled() {
+		l.checkIntegrity()
+	}
+}
+
+// checkIntegrity audits the scheduler's structural invariants in one
+// O(heap + slots) pass: the 4-ary heap property holds over (at, seq),
+// no queued event lies in the past, every heap entry points at a
+// live or cancelled slot, the pending and cancelled counters match the
+// occupancy, and free-listed slots are really free. It runs at the end
+// of Run and RunUntil when checking is enabled — once per drive of the
+// loop, so the audit never changes the complexity of a simulation.
+func (l *Loop) checkIntegrity() {
+	var live, cancelled int
+	for i, e := range l.heap {
+		if i > 0 {
+			parent := (i - 1) >> 2
+			if entryLess(e, l.heap[parent]) {
+				invariant.Failf("sim", "heap-order",
+					"entry %d (at=%v seq=%d) sorts before its parent %d (at=%v seq=%d)",
+					i, e.at, e.seq, parent, l.heap[parent].at, l.heap[parent].seq)
+			}
+		}
+		if e.slot < 0 || int(e.slot) >= len(l.slots) {
+			invariant.Failf("sim", "heap-slot", "entry %d references slot %d of %d", i, e.slot, len(l.slots))
+		}
+		switch l.slots[e.slot].state {
+		case slotLive:
+			live++
+			// A Stop() mid-run legitimately leaves live events behind
+			// the clock: RunUntil advances to its deadline regardless,
+			// preserving the queue for a resume.
+			if e.at < l.now && !l.stopped {
+				invariant.Failf("sim", "monotonic-time",
+					"live event queued at %v behind clock %v", e.at, l.now)
+			}
+			if l.slots[e.slot].fn == nil {
+				invariant.Failf("sim", "slot-state", "live slot %d has nil callback", e.slot)
+			}
+		case slotCancelled:
+			cancelled++
+		default:
+			invariant.Failf("sim", "slot-state", "heap entry %d references free slot %d", i, e.slot)
+		}
+	}
+	if live != l.pending {
+		invariant.Failf("sim", "pending-count", "%d live heap entries but pending=%d", live, l.pending)
+	}
+	if cancelled != l.cancelled {
+		invariant.Failf("sim", "cancelled-count", "%d cancelled heap entries but cancelled=%d", cancelled, l.cancelled)
+	}
+	for _, slot := range l.free {
+		if l.slots[slot].state != slotFree {
+			invariant.Failf("sim", "free-list", "slot %d on the free list in state %d", slot, l.slots[slot].state)
+		}
 	}
 }
 

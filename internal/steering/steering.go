@@ -41,6 +41,19 @@ type Policy interface {
 	Pick(p *packet.Packet) []*channel.Channel
 }
 
+// A LivenessAware policy declares whether it routes around channels in
+// a fault outage. For a policy that reports FailsOver() == true, the
+// runtime invariant layer asserts after every Pick that no chosen
+// channel is down while a live alternative exists — the steering
+// liveness property that turns one channel's blackout into, at worst,
+// a detour rather than the connection's. Single reports false: the
+// no-failover baseline ships traffic onto dead channels by design.
+type LivenessAware interface {
+	// FailsOver reports whether the policy avoids channels that are
+	// Down when a live alternative exists.
+	FailsOver() bool
+}
+
 // A Reasoner is a Policy that can explain its most recent Pick: a
 // short machine-greppable string ("control:narrow-faster",
 // "bulk-flow") recorded by the telemetry layer with each steering
@@ -613,9 +626,17 @@ func (o *ObjectMap) LastReason() string { return o.lastReason }
 func (o *ObjectMap) Pick(p *packet.Packet) []*channel.Channel {
 	if p.Kind != packet.Data {
 		// IANS operates above the transport; its control traffic just
-		// follows the default (wide) network.
+		// follows the default (wide) network — except around an outage,
+		// where an ack or handshake stranded on the dead default would
+		// stall the whole flow. (Found by the steering liveness
+		// invariant under chaos soak.)
+		ch := o.wide
 		o.lastReason = "control-default"
-		o.pick = append(o.pick[:0], o.wide)
+		if sw, swapped := failover(ch, o.narrow); swapped {
+			ch = sw
+			o.lastReason = "failover:" + ch.Name()
+		}
+		o.pick = append(o.pick[:0], ch)
 		return o.pick
 	}
 	ch, ok := o.assignment[p.MsgID]
@@ -647,4 +668,46 @@ func (o *ObjectMap) Pick(p *packet.Packet) []*channel.Channel {
 	}
 	o.pick = append(o.pick[:0], ch)
 	return o.pick
+}
+
+// Liveness declarations (see LivenessAware). Every adaptive policy in
+// this package routes around a Down channel when a live alternative
+// exists, so the invariant layer holds it to that; Single is the
+// deliberate no-failover baseline.
+
+// FailsOver implements LivenessAware: the baseline does not fail over.
+func (s *Single) FailsOver() bool { return false }
+
+// FailsOver implements LivenessAware.
+func (d *DChannel) FailsOver() bool { return true }
+
+// FailsOver implements LivenessAware.
+func (pr *Priority) FailsOver() bool { return true }
+
+// FailsOver implements LivenessAware.
+func (r *Redundant) FailsOver() bool { return true }
+
+// FailsOver implements LivenessAware.
+func (c *CostAware) FailsOver() bool { return true }
+
+// FailsOver implements LivenessAware.
+func (o *ObjectMap) FailsOver() bool { return true }
+
+// FailsOver implements LivenessAware by delegating to the base policy:
+// the tail boost only ever adds the narrow channel when it is up, so
+// liveness is the base's property.
+func (t *TailBoost) FailsOver() bool {
+	if la, ok := t.base.(LivenessAware); ok {
+		return la.FailsOver()
+	}
+	return false
+}
+
+// FailsOver implements LivenessAware by delegating to the wrapped
+// policy.
+func (c *Counter) FailsOver() bool {
+	if la, ok := c.Policy.(LivenessAware); ok {
+		return la.FailsOver()
+	}
+	return false
 }

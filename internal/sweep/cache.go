@@ -31,16 +31,23 @@ type cacheEntry struct {
 // cacheLoad returns the cached metrics for a job, or ok=false on any
 // miss — absent file, unreadable JSON, or key mismatch. A corrupt
 // entry is treated as a miss, never an error: the job just re-runs.
+// The bad file itself is deleted on the spot, because it can never
+// become a hit again — its hash is the job key's, so a key mismatch
+// means the entry is lying about its identity, and unparseable JSON
+// means a torn or bit-rotted write that the atomic-rename writer
+// would not have produced. Leaving it would re-fail every sweep.
 func cacheLoad(dir string, j job) ([]MetricValue, bool) {
 	if dir == "" {
 		return nil, false
 	}
-	data, err := os.ReadFile(cachePath(dir, j))
+	path := cachePath(dir, j)
+	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, false
+		return nil, false // absent (the common miss): nothing to clean
 	}
 	var e cacheEntry
 	if err := json.Unmarshal(data, &e); err != nil || e.Key != j.key() || e.Metrics == nil {
+		os.Remove(path)
 		return nil, false
 	}
 	return e.Metrics, true

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -360,5 +361,67 @@ func TestJobKeyFoldsFaultScenario(t *testing.T) {
 	j2.spec.Fault = "outage:ch=urllc,at=1s,dur=500ms"
 	if j.hash() == j2.hash() {
 		t.Fatal("different fault scenarios share a cache hash")
+	}
+}
+
+func TestCacheLoadQuarantinesBadEntries(t *testing.T) {
+	dir := t.TempDir()
+	spec := mustParse(t, "exp=video policy=dchannel trace=lowband-driving seeds=1..1 dur=5s")
+	j := job{spec: spec, cell: cellKey{Policy: "dchannel", Trace: "lowband-driving"}, seed: 1}
+	want := []MetricValue{{Name: "latency_p50_ms", Value: 12.5}}
+
+	// Round trip: a stored entry loads back verbatim.
+	if err := cacheStore(dir, j, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := cacheLoad(dir, j)
+	if !ok || len(got) != 1 || got[0] != want[0] {
+		t.Fatalf("cacheLoad after store = %v, %v", got, ok)
+	}
+
+	path := cachePath(dir, j)
+	exists := func() bool { _, err := os.Stat(path); return err == nil }
+
+	// Corrupt JSON: miss, and the file is deleted so the next sweep
+	// does not trip over it again.
+	if err := writeFile(path, "{torn write"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cacheLoad(dir, j); ok {
+		t.Fatal("corrupt entry reported as a hit")
+	}
+	if exists() {
+		t.Fatal("corrupt entry not deleted")
+	}
+
+	// Key mismatch under the right hash: an entry lying about its
+	// identity is deleted too.
+	other := j
+	other.seed = 2
+	entry, err := json.Marshal(cacheEntry{Key: other.key(), Metrics: want})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFile(path, string(entry)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cacheLoad(dir, j); ok {
+		t.Fatal("key-mismatched entry reported as a hit")
+	}
+	if exists() {
+		t.Fatal("key-mismatched entry not deleted")
+	}
+
+	// Plain absence stays a quiet miss.
+	if _, ok := cacheLoad(dir, j); ok {
+		t.Fatal("absent entry reported as a hit")
+	}
+
+	// The quarantine is per-entry: storing again restores the hit.
+	if err := cacheStore(dir, j, want); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cacheLoad(dir, j); !ok {
+		t.Fatal("re-stored entry missed")
 	}
 }

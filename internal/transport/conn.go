@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"hvc/internal/cc"
+	"hvc/internal/invariant"
 	"hvc/internal/packet"
 	"hvc/internal/sim"
 	"hvc/internal/steering"
@@ -387,6 +388,11 @@ func (c *Conn) transmitCtrl(p *packet.Packet) {
 func flowLabel(f packet.FlowID) string { return strconv.FormatUint(uint64(f), 10) }
 
 func (c *Conn) traceCC(alg cc.Algorithm) {
+	// traceCC runs after every congestion-controller event, so it is the
+	// one place the cwnd/inflight invariants cover every algorithm.
+	if invariant.Enabled() {
+		c.checkCC(alg)
+	}
 	if c.tracer == nil {
 		return
 	}
@@ -403,6 +409,36 @@ func (c *Conn) traceCC(alg cc.Algorithm) {
 			Flow: uint32(c.flow), Value: rate, Detail: alg.Name(),
 		})
 		c.tracer.SetGauge("cc_pacing_bps", rate, "flow", flow, "alg", alg.Name())
+	}
+}
+
+// maxSaneCwnd bounds any congestion window the simulator can
+// legitimately reach: 1 GiB is orders of magnitude above every
+// channel's bandwidth-delay product, so crossing it means runaway
+// window arithmetic, not congestion control.
+const maxSaneCwnd = 1 << 30
+
+// checkCC asserts the congestion-control accounting invariants after a
+// controller event: the window stays positive and sane, in-flight
+// bytes never go negative, and an empty in-flight table accounts for
+// exactly zero bytes (the cheap O(1) cross-check that catches
+// double-subtracts and leaks in the sent-info lifecycle).
+func (c *Conn) checkCC(alg cc.Algorithm) {
+	if cwnd := alg.CWND(); cwnd <= 0 || cwnd > maxSaneCwnd {
+		invariant.Failf("transport", "cwnd-bounds",
+			"flow %d: %s cwnd %d outside (0, %d]", c.flow, alg.Name(), cwnd, maxSaneCwnd)
+	}
+	if rate := alg.PacingRate(); rate < 0 {
+		invariant.Failf("transport", "cwnd-bounds",
+			"flow %d: %s negative pacing rate %v", c.flow, alg.Name(), rate)
+	}
+	if c.bytesInFlight < 0 {
+		invariant.Failf("transport", "inflight-bytes",
+			"flow %d: negative bytes in flight %d", c.flow, c.bytesInFlight)
+	}
+	if len(c.inflight) == 0 && c.subflows == nil && c.bytesInFlight != 0 {
+		invariant.Failf("transport", "inflight-bytes",
+			"flow %d: empty in-flight table accounts for %d bytes", c.flow, c.bytesInFlight)
 	}
 }
 

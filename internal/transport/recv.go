@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"hvc/internal/cc"
+	"hvc/internal/invariant"
 	"hvc/internal/packet"
 	"hvc/internal/sim"
 	"hvc/internal/telemetry"
@@ -60,7 +61,14 @@ func (c *Conn) handleData(p *packet.Packet, frag *fragment) {
 		return // duplicate (redundant copy or spurious retransmit)
 	}
 	if c.doneMsgs.contains(frag.msgID) {
-		return // late copy of a message already delivered or expired
+		// Late copy of a message already delivered or expired. The
+		// seeded-bug switch falls through instead, reintroducing the
+		// pre-PR 5 duplicate delivery so the chaos harness can prove its
+		// detection pipeline (the exactly-once invariant in deliverMsg
+		// is the independent check that must catch it).
+		if !invariant.BugEnabled(invariant.BugDupDeliver) {
+			return
+		}
 	}
 
 	rm, ok := c.rcvMsgs[frag.msgID]
@@ -90,6 +98,15 @@ func (c *Conn) handleData(p *packet.Packet, frag *fragment) {
 }
 
 func (c *Conn) deliverMsg(id uint64, rm *rcvMsg) {
+	// Exactly-once delivery is a standing property, checked here
+	// independently of the handleData dedup paths that are supposed to
+	// uphold it: a message ID already marked done must never complete
+	// reassembly a second time, whatever combination of retransmission,
+	// replication, and outage produced the second copy.
+	if invariant.Enabled() && c.doneMsgs.contains(id) {
+		invariant.Failf("transport", "exactly-once",
+			"flow %d delivered message %d twice", c.flow, id)
+	}
 	delete(c.rcvMsgs, id)
 	c.doneMsgs.add(id)
 	rm.expiry.Stop()

@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"hvc/internal/channel"
+	"hvc/internal/invariant"
 	"hvc/internal/packet"
 	"hvc/internal/sim"
 	"hvc/internal/steering"
@@ -182,6 +183,9 @@ func (e *Endpoint) transmit(c *Conn, p *packet.Packet, carried []string) []strin
 	if len(chs) == 0 {
 		panic(fmt.Sprintf("transport: policy %q picked no channel", c.cfg.Steer.Name()))
 	}
+	if invariant.Enabled() {
+		e.checkLiveness(c.cfg.Steer, chs)
+	}
 	if e.tracer.Enabled() {
 		names := make([]string, len(chs))
 		for i, ch := range chs {
@@ -212,6 +216,30 @@ func (e *Endpoint) transmit(c *Conn, p *packet.Packet, carried []string) []strin
 		}
 	}
 	return carried
+}
+
+// checkLiveness asserts the steering liveness invariant: a policy that
+// declares failover (steering.LivenessAware) must never steer a packet
+// onto a channel in a fault outage while a live channel exists in the
+// group. The scan is over the group's handful of channels and
+// allocates nothing.
+func (e *Endpoint) checkLiveness(pol steering.Policy, chs []*channel.Channel) {
+	la, ok := pol.(steering.LivenessAware)
+	if !ok || !la.FailsOver() {
+		return
+	}
+	for _, ch := range chs {
+		if !ch.Down() {
+			continue
+		}
+		for _, alt := range e.group.All() {
+			if !alt.Down() {
+				invariant.Failf("steering", "liveness",
+					"policy %q steered onto down channel %q while %q is live",
+					pol.Name(), ch.Name(), alt.Name())
+			}
+		}
+	}
 }
 
 // clone duplicates p for replicating policies, giving the copy its own
