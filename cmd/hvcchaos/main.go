@@ -13,6 +13,13 @@
 // list and, under any -workers value, the same first finding. A
 // finding exits 1; a clean soak exits 0.
 //
+// Every trial runs with a flight recorder on its telemetry stream: a
+// finding (and a failed -repro) prints an hvc-flight/v1 dump of the
+// last -flight events leading up to the violation, the violation
+// itself appended as the final line. -progress emits machine-readable
+// hvc-progress/v1 snapshot lines (trials done, trial-time quantiles)
+// to stderr at the given interval without perturbing the soak.
+//
 // -seed-bug reintroduces a named, deliberately re-armed historical bug
 // (see invariant.ParseBug) so the detection and shrinking pipeline can
 // be demonstrated — and CI can prove it still works — end to end:
@@ -27,7 +34,10 @@ import (
 	"time"
 
 	"hvc/internal/chaos"
+	"hvc/internal/flight"
 	"hvc/internal/invariant"
+	"hvc/internal/sketch"
+	"hvc/internal/telemetry"
 )
 
 func main() {
@@ -40,6 +50,8 @@ func main() {
 		repro    = flag.String("repro", "", "replay one job string instead of soaking")
 		seedBug  = flag.String("seed-bug", "", "arm a named historical bug (e.g. dup-deliver)")
 		verbose  = flag.Bool("v", false, "log per-batch progress to stderr")
+		progress = flag.Duration("progress", 0, "emit hvc-progress/v1 snapshot lines (trials done, trial-time quantiles) to stderr at this interval; 0 disables")
+		depth    = flag.Int("flight", flight.DefaultDepth, "flight-recorder depth: last-N telemetry events dumped with a finding or failed repro")
 	)
 	flag.Parse()
 
@@ -64,8 +76,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "hvcchaos: %v\n", err)
 			os.Exit(2)
 		}
-		if err := chaos.Run(j); err != nil {
+		rec, err := chaos.RunFlight(j, *depth)
+		if err != nil {
 			fmt.Printf("reproduced: %v\n  job: %s\n", err, j)
+			dumpFlight(rec)
 			os.Exit(1)
 		}
 		fmt.Printf("clean: %s\n", j)
@@ -78,11 +92,38 @@ func main() {
 			fmt.Fprintf(os.Stderr, "hvcchaos: "+format+"\n", args...)
 		}
 	}
-	start := time.Now()
-	finding, ran, err := chaos.Soak(chaos.Options{
+	opts := chaos.Options{
 		MetaSeed: *metaseed, Jobs: *jobs, Workers: *workers,
-		Dur: *dur, Budget: *budget, Log: logf,
-	})
+		Dur: *dur, Budget: *budget, Log: logf, FlightDepth: *depth,
+	}
+	stopProgress := func() {}
+	if *progress > 0 {
+		opts.Sketch = sketch.NewGroup()
+		done := make(chan int, 1) // latest-value mailbox, lock-free sampling
+		opts.Progress = func(d, total int) {
+			select {
+			case <-done:
+			default:
+			}
+			done <- d
+		}
+		var last int
+		stopProgress = telemetry.StartProgress(os.Stderr, *progress, func() telemetry.Progress {
+			select {
+			case d := <-done:
+				last = d
+			default:
+			}
+			return telemetry.Progress{
+				Done: last, Total: *jobs,
+				Sketches: telemetry.ProgressSketches(opts.Sketch.Snapshot()),
+			}
+		})
+	}
+
+	start := time.Now()
+	finding, ran, err := chaos.Soak(opts)
+	stopProgress()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hvcchaos: %v\n", err)
 		os.Exit(2)
@@ -94,7 +135,21 @@ func main() {
 			fmt.Printf(" -seed-bug %s", *seedBug)
 		}
 		fmt.Println()
+		dumpFlight(finding.Flight)
 		os.Exit(1)
 	}
 	fmt.Printf("clean: %d trials, metaseed %d, %.1fs\n", ran, *metaseed, time.Since(start).Seconds())
+}
+
+// dumpFlight prints a recorder's last-N-events context after a finding
+// or a failed repro. It goes to stdout below the replay line, so the
+// repro string stays the last non-dump line CI and users extract.
+func dumpFlight(rec *flight.Recorder) {
+	if rec == nil || rec.Total() == 0 {
+		return
+	}
+	fmt.Printf("\nflight recorder (last %d of %d events):\n", rec.Len(), rec.Total())
+	if err := rec.Dump(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "hvcchaos: flight dump: %v\n", err)
+	}
 }

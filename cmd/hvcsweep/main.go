@@ -38,10 +38,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 	"text/tabwriter"
 	"time"
 
 	"hvc/internal/prof"
+	"hvc/internal/sketch"
 	"hvc/internal/sweep"
 	"hvc/internal/telemetry"
 )
@@ -51,15 +53,16 @@ const defaultSpec = "exp=bulk cc=cubic,bbr,vegas,vivace policy=dchannel,embb-onl
 func main() {
 	profile := prof.Register()
 	var (
-		specF   = flag.String("spec", defaultSpec, "grid spec (space-separated key=value; see package doc)")
-		workers = flag.Int("workers", 0, "worker goroutines; 0 means GOMAXPROCS")
-		cache   = flag.String("cache", ".hvcsweep", "result cache directory")
-		noCache = flag.Bool("no-cache", false, "disable the result cache entirely")
-		quick   = flag.Bool("quick", false, "shrink durations/corpus for smoke testing (5s runs, 2 pages x 1 load)")
-		format  = flag.String("format", "table", "stdout format: table or csv")
-		csvF    = flag.String("csv", "", "also write the tidy CSV matrix to this file")
-		jsonF   = flag.String("json", "", "also write the hvc-sweep-report/v1 JSON bundle to this file")
-		verbose = flag.Bool("v", false, "report per-job progress on stderr")
+		specF    = flag.String("spec", defaultSpec, "grid spec (space-separated key=value; see package doc)")
+		workers  = flag.Int("workers", 0, "worker goroutines; 0 means GOMAXPROCS")
+		cache    = flag.String("cache", ".hvcsweep", "result cache directory")
+		noCache  = flag.Bool("no-cache", false, "disable the result cache entirely")
+		quick    = flag.Bool("quick", false, "shrink durations/corpus for smoke testing (5s runs, 2 pages x 1 load)")
+		format   = flag.String("format", "table", "stdout format: table or csv")
+		csvF     = flag.String("csv", "", "also write the tidy CSV matrix to this file")
+		jsonF    = flag.String("json", "", "also write the hvc-sweep-report/v1 JSON bundle to this file")
+		verbose  = flag.Bool("v", false, "report per-job progress on stderr")
+		progress = flag.Duration("progress", 0, "emit hvc-progress/v1 snapshot lines (jobs, cache hits, live metric quantiles) to stderr at this interval; 0 disables")
 	)
 	flag.Parse()
 	if err := profile.Start(); err != nil {
@@ -89,9 +92,39 @@ func main() {
 			fmt.Fprintf(os.Stderr, "hvcsweep: %d/%d jobs (%d cached)\n", done, total, cached)
 		}
 	}
+	stopProgress := func() {}
+	if *progress > 0 {
+		// The snapshot emitter samples counters the engine's progress
+		// hook maintains plus the live metric sketches. It only observes:
+		// the result table is byte-identical with or without it.
+		opt.Sketch = sketch.NewGroup()
+		var (
+			mu                  sync.Mutex
+			done, total, cached int
+		)
+		prev := opt.Progress
+		opt.Progress = func(d, t, c int) {
+			mu.Lock()
+			done, total, cached = d, t, c
+			mu.Unlock()
+			if prev != nil {
+				prev(d, t, c)
+			}
+		}
+		stopProgress = telemetry.StartProgress(os.Stderr, *progress, func() telemetry.Progress {
+			mu.Lock()
+			d, t, c := done, total, cached
+			mu.Unlock()
+			return telemetry.Progress{
+				Done: d, Total: t, Cached: c,
+				Sketches: telemetry.ProgressSketches(opt.Sketch.Snapshot()),
+			}
+		})
+	}
 
 	start := time.Now()
 	m, err := sweep.Run(spec, opt)
+	stopProgress()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hvcsweep: %v\n", err)
 		os.Exit(1)

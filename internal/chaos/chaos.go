@@ -7,8 +7,11 @@ import (
 	"time"
 
 	"hvc/internal/core"
+	"hvc/internal/flight"
 	"hvc/internal/invariant"
 	"hvc/internal/pool"
+	"hvc/internal/sketch"
+	"hvc/internal/telemetry"
 )
 
 // Options configures a soak.
@@ -31,6 +34,19 @@ type Options struct {
 	Budget time.Duration
 	// Log, when non-nil, receives progress lines.
 	Log func(format string, args ...any)
+	// Progress, when non-nil, is called after every finished trial with
+	// the done count and the total. Completion order is arbitrary; the
+	// hook is for live display only and cannot affect the finding.
+	Progress func(done, total int)
+	// Sketch, when non-nil, receives each trial's wall-clock duration
+	// as "trial_ms" — the live quantile surface for watching a soak's
+	// pace. Wall clock is inherently non-deterministic; nothing
+	// downstream of the finding reads the group.
+	Sketch *sketch.Group
+	// FlightDepth sizes the flight recorder attached when a finding's
+	// minimal counterexample is replayed for its dump; <= 0 means
+	// flight.DefaultDepth.
+	FlightDepth int
 }
 
 // A Finding is one invariant violation the soak surfaced, shrunk to a
@@ -47,6 +63,11 @@ type Finding struct {
 	Err error
 	// Shrunk counts the accepted shrink steps from Job to Minimal.
 	Shrunk int
+	// Flight is the recorder captured by replaying Minimal: the last
+	// events leading up to the breach, the breach itself appended as a
+	// synthetic note. Replay is deterministic, so this is the same
+	// telemetry the original failure produced.
+	Flight *flight.Recorder
 }
 
 func (f *Finding) String() string {
@@ -95,13 +116,21 @@ func Soak(opts Options) (finding *Finding, ran int, err error) {
 	}
 	batch *= 4
 	start := time.Now()
+	var onDone func(done int)
 	for lo := 0; lo < len(jobs); lo += batch {
 		hi := lo + batch
 		if hi > len(jobs) {
 			hi = len(jobs)
 		}
-		_, err := pool.Map(hi-lo, opts.Workers, func(i int) (struct{}, error) {
-			return struct{}{}, Run(jobs[lo+i])
+		if opts.Progress != nil {
+			base := lo // rebind per batch: the hook reports batch-local counts
+			onDone = func(done int) { opts.Progress(base+done, len(jobs)) }
+		}
+		_, err := pool.MapProgress(hi-lo, opts.Workers, onDone, func(i int) (struct{}, error) {
+			t0 := time.Now()
+			err := Run(jobs[lo+i])
+			opts.Sketch.Observe("trial_ms", float64(time.Since(t0))/float64(time.Millisecond))
+			return struct{}{}, err
 		})
 		if err != nil {
 			var je *pool.Error
@@ -114,6 +143,7 @@ func Soak(opts Options) (finding *Finding, ran int, err error) {
 			f := &Finding{Job: j, Err: je.Err}
 			errors.As(je.Err, &f.Violation)
 			f.Minimal, f.Shrunk = Shrink(j, f.Violation, logf)
+			f.Flight, _ = RunFlight(f.Minimal, opts.FlightDepth)
 			return f, ran, nil
 		}
 		ran += hi - lo
@@ -133,23 +163,60 @@ func Soak(opts Options) (finding *Finding, ran int, err error) {
 func Run(j Job) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			if e, ok := r.(error); ok {
-				err = e
-				return
-			}
-			err = fmt.Errorf("chaos: job panicked: %v", r)
+			err = recovered(r)
 		}
 	}()
+	return dispatch(j, nil)
+}
+
+// RunFlight executes one trial like Run, with a flight recorder riding
+// the run's telemetry stream. On failure the recorder holds the last
+// events leading up to the breach, the breach itself appended as a
+// synthetic note — the triage context every finding ships with. The
+// recorder is returned in every case; on success its ring is just the
+// tail of a healthy run.
+func RunFlight(j Job, depth int) (rec *flight.Recorder, err error) {
+	rec = flight.NewRecorder(depth)
+	tr := telemetry.New(rec)
+	tr.BeginRun(j.String())
+	defer func() {
+		if r := recover(); r != nil {
+			err = recovered(r)
+		}
+		if err == nil {
+			return
+		}
+		var v *invariant.Violation
+		if errors.As(err, &v) {
+			rec.Note(v.Layer, v.Name, v.Detail)
+		} else {
+			rec.Note("chaos", "failure", err.Error())
+		}
+	}()
+	return rec, dispatch(j, tr)
+}
+
+// recovered converts a trial panic into its error form, preserving a
+// typed panic value (an *invariant.Violation) for errors.As.
+func recovered(r any) error {
+	if e, ok := r.(error); ok {
+		return e
+	}
+	return fmt.Errorf("chaos: job panicked: %v", r)
+}
+
+// dispatch runs the job's experiment under an optional tracer.
+func dispatch(j Job, tr *telemetry.Tracer) (err error) {
 	switch j.Exp {
 	case ExpBulk:
 		_, err = core.RunBulk(core.BulkConfig{
 			Seed: j.Seed, Duration: j.Dur, CC: j.CC,
-			Policy: j.Policy, Fault: j.Fault.String(),
+			Policy: j.Policy, Fault: j.Fault.String(), Tracer: tr,
 		})
 	case ExpOutage:
 		_, err = core.RunOutage(core.OutageConfig{
 			Seed: j.Seed, Duration: j.Dur,
-			Policy: j.Policy, Fault: j.Fault.String(), Reliable: j.Reliable,
+			Policy: j.Policy, Fault: j.Fault.String(), Reliable: j.Reliable, Tracer: tr,
 		})
 	default:
 		err = fmt.Errorf("chaos: unknown experiment %q", j.Exp)

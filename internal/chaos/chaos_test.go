@@ -1,14 +1,17 @@
 package chaos
 
 import (
+	"bytes"
 	"errors"
 	"math/rand"
 	"os"
+	"strings"
 	"testing"
 	"time"
 
 	"hvc/internal/fault"
 	"hvc/internal/invariant"
+	"hvc/internal/sketch"
 )
 
 func TestMain(m *testing.M) {
@@ -121,6 +124,77 @@ func TestSoakCatchesSeededBug(t *testing.T) {
 		t.Fatalf("shrink emptied an outage job's schedule (default substitution would change the trial): %s", f.Minimal)
 	}
 	t.Logf("finding after %d trials:\n%s", ran, f)
+}
+
+// TestFindingShipsFlightDump is the acceptance check for the flight
+// recorder: an induced invariant violation must come with a dump that
+// carries the violating event itself plus the telemetry leading up to
+// it, and the live progress/sketch hooks must observe the soak without
+// changing its finding.
+func TestFindingShipsFlightDump(t *testing.T) {
+	skipWithoutInvariants(t)
+	invariant.SetBug(invariant.BugDupDeliver, true)
+	defer invariant.SetBug(invariant.BugDupDeliver, false)
+
+	var progressCalls, lastDone int
+	g := sketch.NewGroup()
+	f, ran, err := Soak(Options{
+		MetaSeed: 42, Jobs: 64, Workers: 4, Dur: 3 * time.Second,
+		Progress: func(done, total int) {
+			progressCalls++
+			lastDone = done
+			if done < 1 || done > total || total != 64 {
+				t.Errorf("progress reported done=%d total=%d", done, total)
+			}
+		},
+		Sketch: g,
+	})
+	if err != nil || f == nil {
+		t.Fatalf("finding=%v err=%v after %d trials", f, err, ran)
+	}
+
+	// The hooks saw every completed trial; same finding as the hookless
+	// soak in TestSoakCatchesSeededBug (same meta-seed).
+	if progressCalls == 0 || lastDone < ran {
+		t.Fatalf("progress calls=%d lastDone=%d ran=%d", progressCalls, lastDone, ran)
+	}
+	sums := g.Snapshot()
+	if len(sums) != 1 || sums[0].Name != "trial_ms" || sums[0].N == 0 {
+		t.Fatalf("trial sketch snapshot = %+v", sums)
+	}
+	if f.Violation == nil || f.Violation.Name != "exactly-once" {
+		t.Fatalf("finding = %v", f)
+	}
+
+	if f.Flight == nil {
+		t.Fatal("finding has no flight recorder")
+	}
+	var buf bytes.Buffer
+	if err := f.Flight.Dump(&buf); err != nil {
+		t.Fatalf("Dump: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"schema":"hvc-flight/v1"`) {
+		t.Fatalf("dump missing header:\n%s", out)
+	}
+	// The breach itself is the dump's last line, in sequence with the
+	// events that led to it.
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, `"name":"exactly-once"`) || !strings.Contains(last, `"layer":"transport"`) {
+		t.Fatalf("dump's last line is not the violation:\n%s", last)
+	}
+	if !strings.Contains(last, "delivered") || !strings.Contains(last, "twice") {
+		t.Fatalf("violation note lost its detail:\n%s", last)
+	}
+	if len(lines) < 3 {
+		t.Fatalf("dump carries no context events before the breach:\n%s", out)
+	}
+	// The context is real run telemetry: transport/channel events from
+	// the replay of the minimal counterexample.
+	if !strings.Contains(out, `"layer":"channel"`) && !strings.Contains(out, `"name":"send"`) {
+		t.Fatalf("dump context has no data-path events:\n%s", out)
+	}
 }
 
 func TestSoakCleanOnHealthySimulator(t *testing.T) {

@@ -1,0 +1,138 @@
+// Package flight is the always-on crash-context recorder: a bounded
+// ring buffer over the telemetry event stream that keeps the last N
+// events of a run and dumps them when something goes wrong — an
+// internal/invariant violation, an unexpected panic, a chaos finding.
+// The point is triage: a replayable counterexample (hvcchaos -repro)
+// tells you *that* a run breaks; its flight dump shows the packet,
+// steering, and fault events leading up to the breach without
+// re-running anything under a full tracer.
+//
+// A Recorder is a telemetry.Sink, so it attaches anywhere a tracer
+// does and costs one ring write per event — no allocation, no I/O —
+// until Dump is called. Like all sinks it is driven from the single
+// simulation goroutine and needs no locking.
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"hvc/internal/telemetry"
+)
+
+// DefaultDepth is the ring size harnesses use when the caller does not
+// choose one: enough context to see several RTTs of transport activity
+// around a violation, small enough to print in a terminal.
+const DefaultDepth = 64
+
+// Schema identifies the dump header line's JSON layout.
+const Schema = "hvc-flight/v1"
+
+// A Recorder retains the most recent events of a run in a fixed ring.
+type Recorder struct {
+	ring  []telemetry.Event
+	total uint64
+	label string
+}
+
+// NewRecorder returns a recorder retaining the last depth events;
+// depth <= 0 selects DefaultDepth. The ring is allocated once, here.
+func NewRecorder(depth int) *Recorder {
+	if depth <= 0 {
+		depth = DefaultDepth
+	}
+	return &Recorder{ring: make([]telemetry.Event, depth)}
+}
+
+// Event implements telemetry.Sink: one ring write, no allocation.
+func (r *Recorder) Event(ev telemetry.Event) {
+	r.ring[r.total%uint64(len(r.ring))] = ev
+	r.total++
+}
+
+// BeginRun implements telemetry.Sink, retaining the run label for the
+// dump header. The ring is not cleared: a recorder is per run by
+// construction (harnesses attach a fresh one to each trial).
+func (r *Recorder) BeginRun(label string) { r.label = label }
+
+// Close implements telemetry.Sink; a recorder holds no resources.
+func (r *Recorder) Close() error { return nil }
+
+// Note appends a synthetic event — the violation or panic that ended
+// the run, typically — stamped with the last recorded event's virtual
+// time, so the dump carries the breach itself in sequence with the
+// telemetry that led to it.
+func (r *Recorder) Note(layer, name, detail string) {
+	var ev telemetry.Event
+	if r.total > 0 {
+		ev.At = r.ring[(r.total-1)%uint64(len(r.ring))].At
+	}
+	ev.Layer, ev.Name, ev.Detail = layer, name, detail
+	r.Event(ev)
+}
+
+// Len reports how many events the ring currently holds.
+func (r *Recorder) Len() int {
+	if r.total < uint64(len(r.ring)) {
+		return int(r.total)
+	}
+	return len(r.ring)
+}
+
+// Total reports how many events were observed over the run's lifetime.
+func (r *Recorder) Total() uint64 { return r.total }
+
+// Dropped reports how many events the ring has overwritten.
+func (r *Recorder) Dropped() uint64 {
+	if kept := uint64(len(r.ring)); r.total > kept {
+		return r.total - kept
+	}
+	return 0
+}
+
+// Label reports the run label of the last BeginRun.
+func (r *Recorder) Label() string { return r.label }
+
+// Events returns the retained events, oldest first.
+func (r *Recorder) Events() []telemetry.Event {
+	n := r.Len()
+	out := make([]telemetry.Event, 0, n)
+	start := r.total - uint64(n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.ring[(start+uint64(i))%uint64(len(r.ring))])
+	}
+	return out
+}
+
+// header is the first line of a dump: what run this is, how much the
+// ring saw, and how much it kept.
+type header struct {
+	Schema  string `json:"schema"`
+	Run     string `json:"run,omitempty"`
+	Total   uint64 `json:"total"`
+	Kept    int    `json:"kept"`
+	Dropped uint64 `json:"dropped,omitempty"`
+}
+
+// Dump writes the retained events to w as one JSON header line
+// followed by one JSONL event per line (the telemetry JSONL format,
+// so the same tooling reads full traces and flight dumps). Output is
+// deterministic: identical rings dump identical bytes.
+func (r *Recorder) Dump(w io.Writer) error {
+	b, err := json.Marshal(header{
+		Schema: Schema, Run: r.label,
+		Total: r.total, Kept: r.Len(), Dropped: r.Dropped(),
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", b); err != nil {
+		return err
+	}
+	sink := telemetry.NewJSONL(w)
+	for _, ev := range r.Events() {
+		sink.Event(ev)
+	}
+	return sink.Close()
+}

@@ -1,0 +1,188 @@
+package flight
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"hvc/internal/telemetry"
+)
+
+func ev(i int) telemetry.Event {
+	return telemetry.Event{
+		At:    time.Duration(i) * time.Millisecond,
+		Layer: telemetry.LayerChannel,
+		Name:  telemetry.EvDeliver,
+		Seq:   uint64(i),
+	}
+}
+
+// TestFill covers the not-yet-wrapped regime: everything is kept, in
+// order, and nothing is reported dropped.
+func TestFill(t *testing.T) {
+	r := NewRecorder(8)
+	r.BeginRun("fill")
+	for i := 0; i < 5; i++ {
+		r.Event(ev(i))
+	}
+	if r.Len() != 5 || r.Total() != 5 || r.Dropped() != 0 {
+		t.Fatalf("len/total/dropped = %d/%d/%d, want 5/5/0", r.Len(), r.Total(), r.Dropped())
+	}
+	if got := r.Label(); got != "fill" {
+		t.Fatalf("label = %q, want %q", got, "fill")
+	}
+	for i, e := range r.Events() {
+		if e.Seq != uint64(i) {
+			t.Fatalf("event %d has seq %d, want %d", i, e.Seq, i)
+		}
+	}
+}
+
+// TestWraparound pins the core ring property: after overflow the
+// recorder keeps exactly the last depth events, oldest first, and
+// accounts for every overwritten one.
+func TestWraparound(t *testing.T) {
+	const depth, total = 8, 29
+	r := NewRecorder(depth)
+	for i := 0; i < total; i++ {
+		r.Event(ev(i))
+	}
+	if r.Len() != depth || r.Total() != total || r.Dropped() != total-depth {
+		t.Fatalf("len/total/dropped = %d/%d/%d, want %d/%d/%d",
+			r.Len(), r.Total(), r.Dropped(), depth, total, total-depth)
+	}
+	got := r.Events()
+	for i, e := range got {
+		want := uint64(total - depth + i)
+		if e.Seq != want {
+			t.Fatalf("event %d has seq %d, want %d (oldest-first order broken)", i, e.Seq, want)
+		}
+	}
+}
+
+// TestDefaultDepth checks the zero-value depth selection.
+func TestDefaultDepth(t *testing.T) {
+	r := NewRecorder(0)
+	for i := 0; i < DefaultDepth+3; i++ {
+		r.Event(ev(i))
+	}
+	if r.Len() != DefaultDepth {
+		t.Fatalf("len = %d, want DefaultDepth %d", r.Len(), DefaultDepth)
+	}
+}
+
+// TestNote checks the synthetic-event path used to fold an invariant
+// violation into the dump: the note lands last, stamped with the
+// preceding event's virtual time.
+func TestNote(t *testing.T) {
+	r := NewRecorder(8)
+	r.Event(ev(3))
+	r.Note("transport", "exactly-once", "flow 1 delivered message 2 twice")
+	evs := r.Events()
+	if len(evs) != 2 {
+		t.Fatalf("len = %d, want 2", len(evs))
+	}
+	n := evs[1]
+	if n.Layer != "transport" || n.Name != "exactly-once" || !strings.Contains(n.Detail, "twice") {
+		t.Fatalf("note event = %+v", n)
+	}
+	if n.At != evs[0].At {
+		t.Fatalf("note stamped %v, want previous event's time %v", n.At, evs[0].At)
+	}
+
+	// A note on an empty ring still records, stamped at zero.
+	empty := NewRecorder(4)
+	empty.Note("chaos", "panic", "boom")
+	if got := empty.Events(); len(got) != 1 || got[0].At != 0 {
+		t.Fatalf("note on empty ring: %+v", got)
+	}
+}
+
+// TestDump checks the dump format: an hvc-flight/v1 header line with
+// honest accounting, followed by the retained events in telemetry
+// JSONL form, byte-identical across repeated dumps.
+func TestDump(t *testing.T) {
+	r := NewRecorder(4)
+	r.BeginRun("bulk/seed=7")
+	for i := 0; i < 6; i++ {
+		r.Event(ev(i))
+	}
+
+	var buf bytes.Buffer
+	if err := r.Dump(&buf); err != nil {
+		t.Fatalf("Dump: %v", err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("dump has %d lines, want header + 4 events:\n%s", len(lines), buf.String())
+	}
+
+	var hdr struct {
+		Schema  string `json:"schema"`
+		Run     string `json:"run"`
+		Total   uint64 `json:"total"`
+		Kept    int    `json:"kept"`
+		Dropped uint64 `json:"dropped"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil {
+		t.Fatalf("header %q: %v", lines[0], err)
+	}
+	if hdr.Schema != Schema || hdr.Run != "bulk/seed=7" || hdr.Total != 6 || hdr.Kept != 4 || hdr.Dropped != 2 {
+		t.Fatalf("header = %+v", hdr)
+	}
+	for i, line := range lines[1:] {
+		var e struct {
+			Layer string `json:"layer"`
+			Seq   uint64 `json:"seq"`
+		}
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("event line %q: %v", line, err)
+		}
+		if want := uint64(2 + i); e.Seq != want || e.Layer != telemetry.LayerChannel {
+			t.Fatalf("event %d = %+v, want seq %d", i, e, want)
+		}
+	}
+
+	var again bytes.Buffer
+	if err := r.Dump(&again); err != nil {
+		t.Fatalf("second Dump: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("repeated dumps of the same ring differ")
+	}
+}
+
+// TestDumpWriteError propagates sink failures instead of dropping them.
+func TestDumpWriteError(t *testing.T) {
+	r := NewRecorder(4)
+	r.Event(ev(0))
+	if err := r.Dump(failWriter{}); err == nil {
+		t.Fatal("Dump to a failing writer returned nil error")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, fmt.Errorf("disk full") }
+
+// TestAsTracerSink drives the recorder through a real Tracer, the way
+// chaos trials attach it: virtual-time stamping and run labels must
+// arrive intact.
+func TestAsTracerSink(t *testing.T) {
+	r := NewRecorder(8)
+	tr := telemetry.New(r)
+	now := 5 * time.Millisecond
+	tr.BindClock(func() time.Duration { return now })
+	tr.BeginRun("trial")
+	tr.Emit(telemetry.Event{Layer: telemetry.LayerTransport, Name: telemetry.EvSend, Seq: 9})
+	evs := r.Events()
+	if len(evs) != 1 || evs[0].At != now || evs[0].Seq != 9 {
+		t.Fatalf("events = %+v", evs)
+	}
+	if r.Label() != "trial" {
+		t.Fatalf("label = %q", r.Label())
+	}
+}

@@ -18,7 +18,11 @@
 //   - Enabled: checks run but never allocate on the success path; the
 //     failure path builds a *Violation and panics, which the chaos
 //     harness (internal/chaos) and the worker pool (internal/pool)
-//     catch and attribute to the failing job.
+//     catch and attribute to the failing job. The chaos harness then
+//     replays the shrunk counterexample under a flight recorder
+//     (internal/flight), so every violation ships with the last
+//     telemetry events leading up to the breach — the breach itself
+//     appended as the dump's final line.
 //
 // Tests enable checking process-wide from TestMain via SetEnabled, so
 // the whole suite doubles as an invariant soak. Enabled checking is

@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPercentileCachesSortedState pins the sorted-state cache
+// whitebox: querying an order statistic sorts once and marks the
+// distribution sorted; Adds that keep the values ordered preserve the
+// mark, disordering Adds invalidate it, and the next query restores
+// it. Every experiment table leans on this — they read several
+// percentiles off each distribution back to back.
+func TestPercentileCachesSortedState(t *testing.T) {
+	var d Distribution
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		d.Add(r.Float64() * 100)
+	}
+	if d.sorted {
+		t.Fatal("random stream left the distribution marked sorted")
+	}
+	p95 := d.Percentile(95)
+	if !d.sorted {
+		t.Fatal("Percentile did not cache the sorted state")
+	}
+	if again := d.Percentile(95); again != p95 {
+		t.Fatalf("repeated query changed: %v then %v", p95, again)
+	}
+
+	// Appending at or above the maximum keeps the order, so the cache
+	// must survive...
+	d.Add(d.Max() + 1)
+	if !d.sorted {
+		t.Fatal("in-order Add invalidated the sorted cache")
+	}
+	// ...while an out-of-order Add must invalidate it, and the next
+	// query must reflect the new value.
+	d.Add(d.Min() - 1)
+	if d.sorted {
+		t.Fatal("disordering Add left the stale sorted mark")
+	}
+	if got, want := d.Percentile(0), d.Min(); got != want {
+		t.Fatalf("p0 after re-sort = %v, want new minimum %v", got, want)
+	}
+}
+
+// TestPercentileQueriesAllocFree pins the steady-state cost: once
+// sorted, an order-statistic query neither re-sorts nor allocates.
+func TestPercentileQueriesAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	var d Distribution
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		d.Add(r.NormFloat64())
+	}
+	d.Percentile(50) // pay the one sort
+	if avg := testing.AllocsPerRun(200, func() {
+		_ = d.Percentile(95)
+		_ = d.Percentile(99)
+		_ = d.Median()
+	}); avg != 0 {
+		t.Errorf("sorted-state queries allocate %v/op, want 0", avg)
+	}
+}
+
+// BenchmarkPercentileRepeated is the regression guard for the sorted
+// cache: with caching, b.N queries cost O(1) each after one sort; a
+// regression to sort-per-call shows up as a ~1000× slowdown at this
+// size.
+func BenchmarkPercentileRepeated(b *testing.B) {
+	var d Distribution
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 100_000; i++ {
+		d.Add(r.Float64())
+	}
+	d.Percentile(50)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.Percentile(99)
+	}
+}
+
+// BenchmarkPercentileInterleaved measures the honest mixed workload:
+// each disordering Add invalidates the cache and the following query
+// re-sorts a mostly-sorted slice.
+func BenchmarkPercentileInterleaved(b *testing.B) {
+	var d Distribution
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 10_000; i++ {
+		d.Add(r.Float64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Add(r.Float64())
+		_ = d.Percentile(95)
+	}
+}

@@ -63,6 +63,19 @@ func (p *Panic) Unwrap() error {
 // failing index — the same error a serial left-to-right run would have
 // hit first.
 func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	return MapProgress(n, workers, nil, fn)
+}
+
+// MapProgress is Map with a completion hook: after each job finishes —
+// successfully or not — progress is called with the number of jobs
+// completed so far. Calls are serialized under the pool's internal lock
+// and carry a strictly increasing count, but jobs complete in arbitrary
+// order, so the count says nothing about which indices are done.
+// progress must be cheap and must not invoke the pool reentrantly; a
+// nil progress makes MapProgress exactly Map. The hook observes
+// completion, it cannot influence it — results, error selection, and
+// job order are byte-identical with and without one.
+func MapProgress[T any](n, workers int, progress func(done int), fn func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -76,6 +89,7 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	var (
 		mu     sync.Mutex
 		next   int
+		done   int
 		errIdx = -1
 		jobErr error
 	)
@@ -103,6 +117,10 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 					}
 				} else {
 					out[i] = v
+				}
+				done++
+				if progress != nil {
+					progress(done)
 				}
 				mu.Unlock()
 			}

@@ -94,6 +94,54 @@ func TestMapStopsClaimingPastFailure(t *testing.T) {
 	}
 }
 
+func TestMapProgressReportsEveryCompletion(t *testing.T) {
+	// The hook runs under the pool's lock, so across any worker count
+	// the observed counts are exactly 1..n in order, while the results
+	// stay byte-identical to a hookless Map.
+	for _, workers := range []int{1, 4, 32} {
+		var seen []int
+		got, err := MapProgress(25, workers, func(done int) {
+			seen = append(seen, done)
+		}, func(i int) (int, error) { return i * 3, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(seen) != 25 {
+			t.Fatalf("workers=%d: %d progress calls, want 25", workers, len(seen))
+		}
+		for i, d := range seen {
+			if d != i+1 {
+				t.Fatalf("workers=%d: progress call %d reported %d, want %d", workers, i, d, i+1)
+			}
+		}
+		for i, v := range got {
+			if v != i*3 {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, v, i*3)
+			}
+		}
+	}
+}
+
+func TestMapProgressCountsFailedJobs(t *testing.T) {
+	// A failing job still completes; the hook must count it, and the
+	// error contract is unchanged from Map.
+	var calls int
+	_, err := MapProgress(6, 1, func(done int) { calls++ }, func(i int) (int, error) {
+		if i == 2 {
+			return 0, errors.New("boom")
+		}
+		return i, nil
+	})
+	var pe *Error
+	if !errors.As(err, &pe) || pe.Index != 2 {
+		t.Fatalf("err = %v, want *Error at index 2", err)
+	}
+	// One worker claims 0,1,2 and stops past the failure: 3 completions.
+	if calls != 3 {
+		t.Fatalf("progress calls = %d, want 3", calls)
+	}
+}
+
 func TestMapRecoversWorkerPanic(t *testing.T) {
 	sentinel := errors.New("invariant blew up")
 	_, err := Map(8, 4, func(i int) (int, error) {

@@ -1,0 +1,97 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hvc/internal/metrics"
+)
+
+// FuzzSketchMergeVsExact drives the sketch with randomized streams and
+// shardings: the merged per-shard sketches must agree exactly with a
+// single-feed sketch on every bucket count and extremum, and every
+// quantile of the merged sketch must sit within the promised relative
+// error of the exact sample at that rank (metrics.Distribution being
+// the exact reference). This is the streaming-aggregation contract
+// fleet mode will lean on.
+func FuzzSketchMergeVsExact(f *testing.F) {
+	f.Add(int64(1), uint16(100), uint8(4), uint8(0))
+	f.Add(int64(42), uint16(1), uint8(1), uint8(1))
+	f.Add(int64(7), uint16(5000), uint8(13), uint8(2))
+	f.Add(int64(-9), uint16(0), uint8(3), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, n uint16, shards uint8, shape uint8) {
+		if shards == 0 {
+			shards = 1
+		}
+		r := rand.New(rand.NewSource(seed))
+		gen := func() float64 {
+			switch shape % 3 {
+			case 0:
+				return 1e-3 + 1e6*r.Float64() // wide uniform
+			case 1:
+				return math.Pow(1-r.Float64(), -1/1.1) // heavy tail
+			default:
+				if r.Intn(10) == 0 {
+					return 0 // low-bucket mass
+				}
+				return 10 + r.NormFloat64() // tight mode around 10
+			}
+		}
+
+		single := NewDefault()
+		parts := make([]*Sketch, shards)
+		for i := range parts {
+			parts[i] = NewDefault()
+		}
+		var d metrics.Distribution
+		for i := 0; i < int(n); i++ {
+			v := gen()
+			if math.IsNaN(v) || v < 0 {
+				v = 0
+			}
+			single.Observe(v)
+			parts[i%int(shards)].Observe(v)
+			d.Add(v)
+		}
+		merged := NewDefault()
+		for _, p := range parts {
+			merged.Merge(p)
+		}
+
+		if single.N() != merged.N() || single.low != merged.low {
+			t.Fatalf("counts diverge: single %d/%d, merged %d/%d", single.N(), single.low, merged.N(), merged.low)
+		}
+		if single.Min() != merged.Min() || single.Max() != merged.Max() {
+			t.Fatalf("extrema diverge: single [%v,%v], merged [%v,%v]",
+				single.Min(), single.Max(), merged.Min(), merged.Max())
+		}
+		for i := range single.counts {
+			if single.counts[i] != merged.counts[i] {
+				t.Fatalf("bucket %d: single %d, merged %d", i, single.counts[i], merged.counts[i])
+			}
+		}
+		if n == 0 {
+			return
+		}
+		sorted := d.Values()
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+			k := int(math.Ceil(q * float64(len(sorted))))
+			if k < 1 {
+				k = 1
+			}
+			exact := sorted[k-1]
+			got := merged.Quantile(q)
+			if exact <= MinTrackable {
+				// Below-range ranks answer the exact minimum.
+				if got != merged.Min() {
+					t.Fatalf("q=%v: low-bucket rank answered %v, want min %v", q, got, merged.Min())
+				}
+				continue
+			}
+			if err := math.Abs(got-exact) / exact; err > DefaultAlpha*(1+1e-9) {
+				t.Fatalf("q=%v: sketch %v vs exact %v (relative error %.5f)", q, got, exact, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,60 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestObserveAllocFree pins the zero-allocation budget on the hot
+// path: fleet-scale runs push one Observe per sample per UE, so any
+// per-observation allocation would dominate the aggregation cost.
+func TestObserveAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	s := NewDefault()
+	vals := [...]float64{0.003, 1, 17.2, 42, 999.5, 1e6, 0, 3e-12}
+	i := 0
+	if avg := testing.AllocsPerRun(1000, func() {
+		s.Observe(vals[i%len(vals)])
+		i++
+	}); avg != 0 {
+		t.Errorf("Observe allocates %v/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		_ = s.Quantile(0.95)
+	}); avg != 0 {
+		t.Errorf("Quantile allocates %v/op, want 0", avg)
+	}
+}
+
+// BenchmarkSketchObserve measures the streaming hot path.
+func BenchmarkSketchObserve(b *testing.B) {
+	s := NewDefault()
+	r := rand.New(rand.NewSource(1))
+	vals := make([]float64, 1024)
+	for i := range vals {
+		vals[i] = 1e-3 + 1e5*r.Float64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Observe(vals[i&1023])
+	}
+}
+
+// BenchmarkSketchMerge measures the per-shard fold cost fleet
+// aggregation pays once per job.
+func BenchmarkSketchMerge(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	shard := NewDefault()
+	for i := 0; i < 10000; i++ {
+		shard.Observe(1e-3 + 1e5*r.Float64())
+	}
+	total := NewDefault()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total.Merge(shard)
+	}
+}

@@ -1,0 +1,286 @@
+package sketch
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"hvc/internal/metrics"
+)
+
+// sample generators for the agreement tests: uniform, bimodal, and
+// heavy-tailed inputs exercise dense buckets, widely separated modes,
+// and the sparse upper decades respectively.
+var generators = []struct {
+	name string
+	gen  func(r *rand.Rand) float64
+}{
+	{"uniform", func(r *rand.Rand) float64 { return 1 + 99*r.Float64() }},
+	{"bimodal", func(r *rand.Rand) float64 {
+		if r.Intn(2) == 0 {
+			return 5 + r.Float64()
+		}
+		return 5000 + 100*r.Float64()
+	}},
+	{"heavy-tail", func(r *rand.Rand) float64 {
+		// Pareto with shape 1.2: a long upper tail across decades.
+		return math.Pow(1-r.Float64(), -1/1.2)
+	}},
+}
+
+// exactRank is the nearest-rank sample Quantile promises to
+// approximate: the ⌈q·n⌉-th smallest observation (1-indexed).
+func exactRank(sorted []float64, q float64) float64 {
+	k := int(math.Ceil(q * float64(len(sorted))))
+	if k < 1 {
+		k = 1
+	}
+	return sorted[k-1]
+}
+
+// TestQuantileAgreesWithDistribution is the exact-vs-sketch agreement
+// gate: across input shapes and sizes, every sketch quantile must be
+// within the promised relative error of the exact sample at that rank,
+// as computed by metrics.Distribution over the same stream.
+func TestQuantileAgreesWithDistribution(t *testing.T) {
+	quantiles := []float64{0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1}
+	for _, g := range generators {
+		for _, n := range []int{1, 2, 17, 1000, 20000} {
+			r := rand.New(rand.NewSource(int64(n)))
+			s := NewDefault()
+			var d metrics.Distribution
+			for i := 0; i < n; i++ {
+				v := g.gen(r)
+				s.Observe(v)
+				d.Add(v)
+			}
+			if int(s.N()) != d.N() {
+				t.Fatalf("%s n=%d: sketch N=%d, distribution N=%d", g.name, n, s.N(), d.N())
+			}
+			if s.Min() != d.Min() || s.Max() != d.Max() {
+				t.Fatalf("%s n=%d: extrema differ: sketch [%v,%v] exact [%v,%v]",
+					g.name, n, s.Min(), s.Max(), d.Min(), d.Max())
+			}
+			if exact := d.Mean(); math.Abs(s.Mean()-exact) > 1e-9*math.Abs(exact) {
+				t.Fatalf("%s n=%d: mean %v, want %v (exact streaming sum)", g.name, n, s.Mean(), exact)
+			}
+			sorted := d.Values()
+			for _, q := range quantiles {
+				exact := exactRank(sorted, q)
+				got := s.Quantile(q)
+				if err := math.Abs(got-exact) / exact; err > DefaultAlpha*(1+1e-9) {
+					t.Errorf("%s n=%d q=%v: sketch %v vs exact %v (relative error %.4f > %.4f)",
+						g.name, n, q, got, exact, err, DefaultAlpha)
+				}
+			}
+		}
+	}
+}
+
+// TestQuantileEdges pins the exactness of the endpoints and the
+// empty/low-bucket behaviour.
+func TestQuantileEdges(t *testing.T) {
+	s := NewDefault()
+	if s.Quantile(0.5) != 0 || s.N() != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty sketch must answer zeros")
+	}
+	for _, v := range []float64{42, 0, -3, 7, 42} {
+		s.Observe(v)
+	}
+	if got := s.Quantile(0); got != -3 {
+		t.Errorf("Quantile(0) = %v, want exact min -3", got)
+	}
+	if got := s.Quantile(1); got != 42 {
+		t.Errorf("Quantile(1) = %v, want exact max 42", got)
+	}
+	// Ranks 1 and 2 of 5 fall among the below-range observations
+	// (0 and -3); the sketch answers the exact minimum for them.
+	if got := s.Quantile(0.2); got != -3 {
+		t.Errorf("Quantile(0.2) = %v, want min -3 for a low-bucket rank", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Quantile(1.5) should panic")
+			}
+		}()
+		s.Quantile(1.5)
+	}()
+}
+
+func TestObserveDuration(t *testing.T) {
+	s := NewDefault()
+	s.ObserveDuration(250 * time.Millisecond)
+	if got := s.Max(); got != 250 {
+		t.Fatalf("ObserveDuration(250ms) recorded %v, want 250 (ms)", got)
+	}
+}
+
+// shardMerge splits values into per-job shards (as a fleet run would),
+// then folds the shard sketches in shard order.
+func shardMerge(values []float64, shards int) *Sketch {
+	parts := make([]*Sketch, shards)
+	for i := range parts {
+		parts[i] = NewDefault()
+	}
+	for i, v := range values {
+		parts[i%shards].Observe(v)
+	}
+	total := NewDefault()
+	for _, p := range parts {
+		total.Merge(p)
+	}
+	return total
+}
+
+// TestMergeCommutativeAndAssociative: bucket counts, low counts, the
+// observation count, and the extrema must be exactly order- and
+// grouping-independent; a⋅b and b⋅a must be byte-identical (float
+// addition is commutative), and regrouping must leave everything but
+// the last bits of the float sum untouched.
+func TestMergeCommutativeAndAssociative(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	mk := func(n int) *Sketch {
+		s := NewDefault()
+		for i := 0; i < n; i++ {
+			s.Observe(math.Pow(1-r.Float64(), -1/1.5))
+		}
+		return s
+	}
+	clone := func(s *Sketch) *Sketch {
+		c := NewDefault()
+		c.Merge(s) // 0+sum is exact, so a clone's state is byte-identical
+		return c
+	}
+	a, b, c := mk(100), mk(57), mk(3)
+
+	ab := clone(a)
+	ab.Merge(b)
+	ba := clone(b)
+	ba.Merge(a)
+	if !bytes.Equal(ab.Marshal(), ba.Marshal()) {
+		t.Error("a⋅b and b⋅a differ: Merge is not commutative")
+	}
+
+	abc1 := clone(ab)
+	abc1.Merge(c)
+	bc := clone(b)
+	bc.Merge(c)
+	abc2 := clone(a)
+	abc2.Merge(bc)
+	if abc1.count != abc2.count || abc1.low != abc2.low ||
+		abc1.min != abc2.min || abc1.max != abc2.max {
+		t.Error("(a⋅b)⋅c and a⋅(b⋅c) differ on integral state")
+	}
+	for i := range abc1.counts {
+		if abc1.counts[i] != abc2.counts[i] {
+			t.Fatalf("bucket %d differs across groupings: %d vs %d", i, abc1.counts[i], abc2.counts[i])
+		}
+	}
+	if rel := math.Abs(abc1.sum-abc2.sum) / math.Abs(abc1.sum); rel > 1e-12 {
+		t.Errorf("sum drifted %.2e across groupings", rel)
+	}
+
+	// Merging an empty or nil sketch is the identity.
+	id := clone(a)
+	id.Merge(NewDefault())
+	id.Merge(nil)
+	if !bytes.Equal(id.Marshal(), clone(a).Marshal()) {
+		t.Error("merging an empty sketch changed state")
+	}
+}
+
+// TestMergeByteIdenticalAcrossWorkerCounts is the fleet-mode substrate
+// property: per-job shards folded in job order produce byte-identical
+// complete state (sum included) no matter how many workers computed
+// the shards — because the shard contents and the fold order are both
+// functions of the job decomposition alone.
+func TestMergeByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	values := make([]float64, 5000)
+	for i := range values {
+		values[i] = math.Pow(1-r.Float64(), -1/1.3)
+	}
+	const jobs = 16
+	want := shardMerge(values, jobs).Marshal()
+	// Recompute the same per-job shards under different simulated
+	// worker counts: workers change nothing about shard contents or
+	// fold order, so the bytes must match exactly.
+	for trial := 0; trial < 4; trial++ {
+		if got := shardMerge(values, jobs).Marshal(); !bytes.Equal(got, want) {
+			t.Fatalf("trial %d: merged sketch bytes differ", trial)
+		}
+	}
+	// And a different sharding of the same stream still agrees on all
+	// integral state with the single-feed sketch.
+	single := NewDefault()
+	for _, v := range values {
+		single.Observe(v)
+	}
+	merged := shardMerge(values, 7)
+	if single.count != merged.count || single.min != merged.min || single.max != merged.max {
+		t.Fatal("sharded merge lost observations or extrema")
+	}
+	for i := range single.counts {
+		if single.counts[i] != merged.counts[i] {
+			t.Fatalf("bucket %d: single-feed %d vs merged %d", i, single.counts[i], merged.counts[i])
+		}
+	}
+}
+
+func TestMergeRejectsMismatchedAccuracy(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("merging sketches of different alpha should panic")
+		}
+	}()
+	a, b := New(0.01), New(0.02)
+	b.Observe(1)
+	a.Merge(b)
+}
+
+func TestNewRejectsBadAlpha(t *testing.T) {
+	for _, alpha := range []float64{0, -1, 1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%v) should panic", alpha)
+				}
+			}()
+			New(alpha)
+		}()
+	}
+}
+
+func TestGroup(t *testing.T) {
+	var nilGroup *Group
+	nilGroup.Observe("x", 1) // must not panic
+	if nilGroup.Snapshot() != nil {
+		t.Error("nil group snapshot should be nil")
+	}
+
+	g := NewGroup()
+	for i := 0; i < 100; i++ {
+		g.Observe("latency_ms", float64(i+1))
+		g.Observe("goodput_mbps", 50)
+	}
+	snap := g.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d entries, want 2", len(snap))
+	}
+	if snap[0].Name != "goodput_mbps" || snap[1].Name != "latency_ms" {
+		t.Fatalf("snapshot not sorted by name: %v, %v", snap[0].Name, snap[1].Name)
+	}
+	if snap[0].P50 != 50 || snap[0].N != 100 {
+		t.Errorf("goodput p50=%v n=%d, want 50/100", snap[0].P50, snap[0].N)
+	}
+	lat := snap[1]
+	if lat.Min != 1 || lat.Max != 100 || lat.N != 100 {
+		t.Errorf("latency summary %+v lost extrema or count", lat)
+	}
+	if err := math.Abs(lat.P50-50) / 50; err > DefaultAlpha*(1+1e-9) {
+		t.Errorf("latency p50 = %v, want within %.2f%% of 50", lat.P50, 100*DefaultAlpha)
+	}
+}

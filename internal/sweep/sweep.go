@@ -7,6 +7,7 @@ import (
 
 	"hvc/internal/core"
 	"hvc/internal/pool"
+	"hvc/internal/sketch"
 	"hvc/internal/telemetry"
 )
 
@@ -30,6 +31,14 @@ type Options struct {
 	// across cells follows completion order, so Progress must not be
 	// used to build deterministic output.
 	Progress func(done, total, cached int)
+	// Sketch, when non-nil, receives every completed job's metric
+	// values (one Observe per MetricValue, under the metric's name), so
+	// a live progress surface can report converging quantiles while the
+	// sweep runs. Observation order follows completion order; the
+	// quantities progress lines read from a sketch (count, quantiles)
+	// are order-independent, and the Matrix never reads the group, so
+	// results stay byte-identical with or without one.
+	Sketch *sketch.Group
 }
 
 // testRunJob, when non-nil, replaces job.run — it lets tests inject
@@ -60,11 +69,22 @@ func Run(spec Spec, opt Options) (*Matrix, error) {
 	}
 	var (
 		mu     sync.Mutex
-		done   int
 		cached int
 	)
 	opt.Registry.Set("sweep/jobs_total", float64(len(jobs)))
-	results, err := pool.Map(len(jobs), opt.Workers, func(i int) ([]MetricValue, error) {
+	// The done count comes from the pool's completion hook; the cached
+	// count is updated by the job body just before it returns, so by the
+	// time the hook fires for a job its cache outcome is counted.
+	var onDone func(done int)
+	if opt.Progress != nil {
+		onDone = func(done int) {
+			mu.Lock()
+			c := cached
+			mu.Unlock()
+			opt.Progress(done, len(jobs), c)
+		}
+	}
+	results, err := pool.MapProgress(len(jobs), opt.Workers, onDone, func(i int) ([]MetricValue, error) {
 		j := jobs[i]
 		metrics, hit := cacheLoad(opt.CacheDir, j)
 		if !hit {
@@ -77,19 +97,17 @@ func Run(spec Spec, opt Options) (*Matrix, error) {
 				return nil, err
 			}
 		}
+		for _, mv := range metrics {
+			opt.Sketch.Observe(mv.Name, mv.Value)
+		}
 		mu.Lock()
-		done++
 		if hit {
 			cached++
 			opt.Registry.Add("sweep/jobs", 1, "result", "cached")
 		} else {
 			opt.Registry.Add("sweep/jobs", 1, "result", "executed")
 		}
-		d, c := done, cached
 		mu.Unlock()
-		if opt.Progress != nil {
-			opt.Progress(d, len(jobs), c)
-		}
 		return metrics, nil
 	})
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"hvc/internal/core"
+	"hvc/internal/sketch"
 	"hvc/internal/telemetry"
 )
 
@@ -252,6 +253,50 @@ func TestRunServesSecondSweepFromCache(t *testing.T) {
 	}
 	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
 		t.Fatal("cached sweep produced different matrix bytes")
+	}
+}
+
+// TestRunFeedsSketchGroupWithoutPerturbingMatrix checks the live
+// quantile surface: every job's metrics land in the group (one
+// observation per job per metric), and attaching a group leaves the
+// matrix byte-identical to a sweep without one.
+func TestRunFeedsSketchGroupWithoutPerturbingMatrix(t *testing.T) {
+	spec := mustParse(t, "exp=video policy=embb-only,dchannel trace=lowband-driving seeds=1..3 dur=5s")
+
+	plain, err := Run(spec, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := sketch.NewGroup()
+	sketched, err := Run(spec, Options{Workers: 4, Sketch: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var b1, b2 bytes.Buffer
+	if err := plain.WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sketched.WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("attaching a sketch group changed the matrix bytes")
+	}
+
+	sums := g.Snapshot()
+	if len(sums) == 0 {
+		t.Fatal("sketch group saw no observations")
+	}
+	byName := map[string]uint64{}
+	for _, s := range sums {
+		byName[s.Name] = s.N
+	}
+	// 2 cells × 3 seeds = 6 jobs; every job reports every video metric.
+	for _, name := range []string{"latency_p50_ms", "latency_p99_ms"} {
+		if byName[name] != 6 {
+			t.Fatalf("sketch %q saw %d observations, want 6 (snapshot: %+v)", name, byName[name], sums)
+		}
 	}
 }
 

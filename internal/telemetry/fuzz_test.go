@@ -3,6 +3,8 @@ package telemetry
 import (
 	"bytes"
 	"testing"
+
+	"hvc/internal/sketch"
 )
 
 // realReportBytes builds a representative hvc-run-report/v1 bundle the
@@ -15,6 +17,11 @@ func realReportBytes() []byte {
 	r.AddMetric("fig1a/cubic/goodput", 59.81, "Mbps")
 	r.AddMetric("fig1a/cubic/retransmits", 12, "")
 	r.AddMetric("table1/lowband-driving/dchannel/plt_mean", 618.7, "ms")
+	sk := sketch.NewDefault()
+	for i := 1; i <= 500; i++ {
+		sk.Observe(0.5 * float64(i))
+	}
+	r.AddSketch("table1/lowband-driving/dchannel/plt_ms", sk)
 	reg := NewRegistry()
 	reg.Add("transport/packets", 1234, "channel", "embb")
 	reg.Add("transport/packets", 56, "channel", "urllc")
@@ -37,6 +44,8 @@ func FuzzReportRoundTrip(f *testing.F) {
 	f.Add([]byte(`{"schema":"hvc-run-report/v1","experiment":"","seed":-9,"metrics":null,"config":{}}`))
 	f.Add([]byte(`{"schema":"hvc-run-report/v1","seed":1,"metrics":[{"name":"m","value":-0.0}]}`))
 	f.Add([]byte(`{"schema":"hvc-run-report/v1","counters":[{"name":"c","kind":"counter","value":1e300,"labels":{}}]}`))
+	f.Add([]byte(`{"schema":"hvc-run-report/v1","metrics":[],"sketches":[{"name":"s","n":3,"mean":1,"min":0.5,"max":2,"p50":1,"p95":2,"p99":2}]}`))
+	f.Add([]byte(`{"schema":"hvc-run-report/v1","metrics":[],"sketches":[]}`))
 	f.Add([]byte(`{"schema":"wrong/v9"}`))
 	f.Add([]byte(`not json`))
 	f.Add([]byte(``))

@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+
+	"hvc/internal/sketch"
+)
+
+// ProgressSchema identifies the live progress snapshot line layout.
+const ProgressSchema = "hvc-progress/v1"
+
+// A ProgressSketch is one metric's live quantile summary inside a
+// progress snapshot: enough to watch a long run's distributions
+// converge without waiting for the final report.
+type ProgressSketch struct {
+	Name string  `json:"name"`
+	N    uint64  `json:"n"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+}
+
+// A Progress is one machine-readable snapshot of a long run, emitted
+// as a single JSON line. The emitter fills Schema and ElapsedS; the
+// harness's sampler fills the rest.
+type Progress struct {
+	Schema     string           `json:"schema"`
+	ElapsedS   float64          `json:"elapsed_s"`
+	Done       int              `json:"done"`
+	Total      int              `json:"total"`
+	Cached     int              `json:"cached,omitempty"`
+	Violations int              `json:"violations,omitempty"`
+	Sketches   []ProgressSketch `json:"sketches,omitempty"`
+}
+
+// ProgressSketches converts a sketch.Group snapshot into the progress
+// line's quantile shape, dropping empty sketches.
+func ProgressSketches(sums []sketch.Summary) []ProgressSketch {
+	var out []ProgressSketch
+	for _, s := range sums {
+		if s.N == 0 {
+			continue
+		}
+		out = append(out, ProgressSketch{Name: s.Name, N: s.N, P50: s.P50, P95: s.P95, P99: s.P99})
+	}
+	return out
+}
+
+// StartProgress launches a background emitter that calls sample every
+// interval and writes the snapshot as one JSON line to w. The returned
+// stop function emits one final snapshot — so short runs still produce
+// at least one line — and joins the emitter; call it exactly once.
+//
+// The emitter only observes: sample must be safe to call concurrently
+// with the run it watches (counters behind the pool's lock, a
+// sketch.Group), and w is typically stderr so progress interleaves
+// with nothing the run's consumers parse. Wall-clock timing makes the
+// line stream inherently non-deterministic; results stay byte-identical
+// because nothing downstream reads it.
+func StartProgress(w io.Writer, every time.Duration, sample func() Progress) (stop func()) {
+	if every <= 0 {
+		every = time.Second
+	}
+	start := time.Now()
+	emit := func() {
+		p := sample()
+		p.Schema = ProgressSchema
+		p.ElapsedS = roundMS(time.Since(start).Seconds())
+		b, err := json.Marshal(p)
+		if err != nil {
+			return
+		}
+		b = append(b, '\n')
+		w.Write(b)
+	}
+	quit := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				emit()
+			case <-quit:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(quit)
+			wg.Wait()
+			emit()
+		})
+	}
+}
+
+// roundMS rounds elapsed seconds to milliseconds so progress lines
+// stay short; precision beyond that is noise at the cadences used.
+func roundMS(s float64) float64 {
+	return float64(int64(s*1000+0.5)) / 1000
+}

@@ -1,0 +1,181 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"hvc/internal/sketch"
+)
+
+func TestProgressSketches(t *testing.T) {
+	g := sketch.NewGroup()
+	for i := 1; i <= 100; i++ {
+		g.Observe("latency_ms", float64(i))
+	}
+	g.Observe("zzz_single", 7)
+	got := ProgressSketches(g.Snapshot())
+	if len(got) != 2 {
+		t.Fatalf("got %d sketches, want 2: %+v", len(got), got)
+	}
+	lat := got[0]
+	if lat.Name != "latency_ms" || lat.N != 100 {
+		t.Fatalf("first sketch = %+v", lat)
+	}
+	if rel := (lat.P50 - 50) / 50; rel > sketch.DefaultAlpha || rel < -sketch.DefaultAlpha {
+		t.Fatalf("p50 = %v, want within %v of 50", lat.P50, sketch.DefaultAlpha)
+	}
+	if got[1].Name != "zzz_single" || got[1].P99 != 7 {
+		t.Fatalf("second sketch = %+v", got[1])
+	}
+
+	// Summaries with no observations are dropped, and nil input maps to
+	// nil output (the omitempty shape).
+	if out := ProgressSketches([]sketch.Summary{{Name: "empty"}}); out != nil {
+		t.Fatalf("empty summary survived: %+v", out)
+	}
+	if out := ProgressSketches(nil); out != nil {
+		t.Fatalf("nil snapshot produced %+v", out)
+	}
+}
+
+// syncWriter serializes writes: the emitter goroutine and the test's
+// reads would otherwise race on the buffer.
+type syncWriter struct {
+	mu  chan struct{}
+	buf bytes.Buffer
+}
+
+func newSyncWriter() *syncWriter {
+	w := &syncWriter{mu: make(chan struct{}, 1)}
+	w.mu <- struct{}{}
+	return w
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	<-w.mu
+	defer func() { w.mu <- struct{}{} }()
+	return w.buf.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	<-w.mu
+	defer func() { w.mu <- struct{}{} }()
+	return w.buf.String()
+}
+
+func TestStartProgressEmitsSnapshotLines(t *testing.T) {
+	w := newSyncWriter()
+	done := 0
+	stop := StartProgress(w, 2*time.Millisecond, func() Progress {
+		done++
+		return Progress{Done: done, Total: 40, Cached: 3, Violations: 1,
+			Sketches: []ProgressSketch{{Name: "plt_ms", N: 10, P50: 100, P95: 200, P99: 250}}}
+	})
+	time.Sleep(20 * time.Millisecond)
+	stop()
+	stop() // idempotent
+
+	lines := strings.Split(strings.TrimSuffix(w.String(), "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("want ticker lines plus a final line, got %d:\n%s", len(lines), w.String())
+	}
+	for _, line := range lines {
+		var p Progress
+		if err := json.Unmarshal([]byte(line), &p); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		if p.Schema != ProgressSchema {
+			t.Fatalf("schema = %q, want %q", p.Schema, ProgressSchema)
+		}
+		if p.Total != 40 || p.Cached != 3 || p.Violations != 1 {
+			t.Fatalf("snapshot = %+v", p)
+		}
+		if len(p.Sketches) != 1 || p.Sketches[0].Name != "plt_ms" || p.Sketches[0].P95 != 200 {
+			t.Fatalf("sketches = %+v", p.Sketches)
+		}
+	}
+	// The final (stop-time) line samples one more time than the ticks.
+	var last Progress
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Done != len(lines) {
+		t.Fatalf("final snapshot done = %d, want one sample per line (%d)", last.Done, len(lines))
+	}
+}
+
+func TestStartProgressFinalLineWithoutTicks(t *testing.T) {
+	// Short runs never reach the first tick; stop must still emit one
+	// snapshot so the surface is never silent.
+	w := newSyncWriter()
+	stop := StartProgress(w, time.Hour, func() Progress {
+		return Progress{Done: 40, Total: 40}
+	})
+	stop()
+	var p Progress
+	if err := json.Unmarshal([]byte(strings.TrimSuffix(w.String(), "\n")), &p); err != nil {
+		t.Fatalf("final line %q: %v", w.String(), err)
+	}
+	if p.Done != 40 || p.Total != 40 || p.Schema != ProgressSchema {
+		t.Fatalf("final snapshot = %+v", p)
+	}
+}
+
+func TestReportSketches(t *testing.T) {
+	r := NewReport("fig2", 1)
+	r.AddMetric("fig2/duplication/latency_p50", 30, "ms")
+
+	s := sketch.NewDefault()
+	for i := 1; i <= 1000; i++ {
+		s.Observe(float64(i))
+	}
+	r.AddSketch("fig2/duplication/latency_ms", s)
+	r.AddSketch("skipped-empty", sketch.NewDefault())
+	r.AddSketch("skipped-nil", nil)
+
+	if len(r.Sketches) != 1 {
+		t.Fatalf("sketches = %+v, want exactly the non-empty one", r.Sketches)
+	}
+	sk := r.Sketches[0]
+	if sk.Name != "fig2/duplication/latency_ms" || sk.N != 1000 || sk.Min != 1 || sk.Max != 1000 {
+		t.Fatalf("sketch summary = %+v", sk)
+	}
+	if rel := (sk.P95 - 950) / 950; rel > sketch.DefaultAlpha || rel < -sketch.DefaultAlpha {
+		t.Fatalf("p95 = %v, want within %v of 950", sk.P95, sketch.DefaultAlpha)
+	}
+
+	// Round trip: parse normalizes, re-encode is byte-stable.
+	var b1 bytes.Buffer
+	if err := r.WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b1.String(), `"sketches"`) {
+		t.Fatalf("serialized report missing sketches:\n%s", b1.String())
+	}
+	r2, err := ParseReport(bytes.NewReader(b1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b2 bytes.Buffer
+	if err := r2.WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatalf("round trip unstable:\n%s\n----\n%s", b1.Bytes(), b2.Bytes())
+	}
+
+	// A report without sketches serializes exactly as before the field
+	// existed: additive means omitted, not null or [].
+	plain := NewReport("fig1a", 2)
+	plain.AddMetric("m", 1, "")
+	var pb bytes.Buffer
+	if err := plain.WriteJSON(&pb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(pb.String(), "sketches") {
+		t.Fatalf("sketch-free report mentions sketches:\n%s", pb.String())
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"hvc/internal/sketch"
 )
 
 // ReportSchema identifies the run-report JSON layout. Bump it when a
@@ -19,6 +21,22 @@ type Metric struct {
 	Unit  string  `json:"unit,omitempty"`
 }
 
+// A SketchSummary is one metric distribution's sketch-derived shape in
+// a report: exact count, mean, and extrema plus quantiles within the
+// sketch's relative accuracy. It complements the headline Metrics —
+// those stay the paper's exact numbers; the sketch section adds tail
+// visibility at fixed memory, the form fleet-scale runs report.
+type SketchSummary struct {
+	Name string  `json:"name"`
+	N    uint64  `json:"n"`
+	Mean float64 `json:"mean"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+}
+
 // A Report is the machine-readable record of one experiment
 // invocation: what ran (experiment, seed, config), what came out
 // (headline metrics), and the final counter snapshot. Every field
@@ -30,6 +48,7 @@ type Report struct {
 	Seed       int64             `json:"seed"`
 	Config     map[string]string `json:"config,omitempty"`
 	Metrics    []Metric          `json:"metrics"`
+	Sketches   []SketchSummary   `json:"sketches,omitempty"`
 	Counters   []Record          `json:"counters,omitempty"`
 }
 
@@ -52,6 +71,21 @@ func (r *Report) AddMetric(name string, value float64, unit string) {
 	r.Metrics = append(r.Metrics, Metric{Name: name, Value: value, Unit: unit})
 }
 
+// AddSketch appends the named sketch's summary. Empty sketches are
+// skipped: a distribution nothing was observed into says nothing worth
+// a report line, and skipping keeps sketch emission additive (reports
+// without observations serialize exactly as before the field existed).
+func (r *Report) AddSketch(name string, s *sketch.Sketch) {
+	if s == nil || s.N() == 0 {
+		return
+	}
+	sum := s.Summarize(name)
+	r.Sketches = append(r.Sketches, SketchSummary{
+		Name: sum.Name, N: sum.N, Mean: sum.Mean, Min: sum.Min, Max: sum.Max,
+		P50: sum.P50, P95: sum.P95, P99: sum.P99,
+	})
+}
+
 // AttachCounters snapshots reg into the report, replacing any earlier
 // snapshot. A nil registry clears the section.
 func (r *Report) AttachCounters(reg *Registry) {
@@ -72,6 +106,9 @@ func ParseReport(rd io.Reader) (*Report, error) {
 	}
 	if len(r.Config) == 0 {
 		r.Config = nil
+	}
+	if len(r.Sketches) == 0 {
+		r.Sketches = nil
 	}
 	if len(r.Counters) == 0 {
 		r.Counters = nil
