@@ -32,6 +32,15 @@
 // -format csv); progress and timing go to stderr. -json/-csv
 // additionally write the hvc-sweep-report/v1 bundle and the tidy CSV
 // matrix to files.
+//
+// With -fleet, -spec is instead an internal/fleet population spec and
+// the run delegates to the fleet harness (the engine cmd/hvcfleet
+// fronts): N derived UE sessions, sketch aggregation, and an
+// hvc-fleet-report/v1 bundle from -json. -workers and -progress keep
+// their meanings; the sweep-only knobs (cache, format, csv, quick) do
+// not apply:
+//
+//	hvcsweep -fleet -spec "ues=2000 mix=bulk:2,web:1 dur=1s" -progress 2s
 package main
 
 import (
@@ -42,6 +51,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"hvc/internal/fleet"
 	"hvc/internal/prof"
 	"hvc/internal/sketch"
 	"hvc/internal/sweep"
@@ -63,11 +73,31 @@ func main() {
 		jsonF    = flag.String("json", "", "also write the hvc-sweep-report/v1 JSON bundle to this file")
 		verbose  = flag.Bool("v", false, "report per-job progress on stderr")
 		progress = flag.Duration("progress", 0, "emit hvc-progress/v1 snapshot lines (jobs, cache hits, live metric quantiles) to stderr at this interval; 0 disables")
+		fleetF   = flag.Bool("fleet", false, "treat -spec as an internal/fleet population spec and run the fleet harness")
 	)
 	flag.Parse()
 	if err := profile.Start(); err != nil {
 		fmt.Fprintf(os.Stderr, "hvcsweep: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *fleetF {
+		specSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "spec" {
+				specSet = true
+			}
+		})
+		fleetSpec := *specF
+		if !specSet {
+			fleetSpec = "" // fleet defaults, not the sweep grid default
+		}
+		runFleet(fleetSpec, *workers, *jsonF, *progress)
+		if err := profile.Stop(); err != nil {
+			fmt.Fprintf(os.Stderr, "hvcsweep: profile: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	spec, err := sweep.ParseSpec(*specF)
@@ -172,6 +202,68 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hvcsweep: profile: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runFleet is -fleet mode: the fleet harness behind the sweep CLI's
+// flags. Same output contract as cmd/hvcfleet — deterministic table
+// on stdout, hvc-fleet-report/v1 from -json, progress and timing on
+// stderr.
+func runFleet(specStr string, workers int, jsonPath string, progress time.Duration) {
+	spec, err := fleet.ParseSpec(specStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hvcsweep: %v\n", err)
+		os.Exit(2)
+	}
+	opt := fleet.Options{Workers: workers}
+	stopProgress := func() {}
+	if progress > 0 {
+		opt.Sketch = sketch.NewGroup()
+		var (
+			mu          sync.Mutex
+			done, total int
+		)
+		opt.Progress = func(d, t int) {
+			mu.Lock()
+			done, total = d, t
+			mu.Unlock()
+		}
+		stopProgress = telemetry.StartProgress(os.Stderr, progress, func() telemetry.Progress {
+			mu.Lock()
+			d, t := done, total
+			mu.Unlock()
+			return telemetry.Progress{
+				Done: d, Total: t,
+				Sketches: telemetry.ProgressSketches(opt.Sketch.Snapshot()),
+			}
+		})
+	}
+	start := time.Now()
+	res, err := fleet.Run(spec, opt)
+	stopProgress()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hvcsweep: %v\n", err)
+		os.Exit(1)
+	}
+	if err := res.WriteTable(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "hvcsweep: %v\n", err)
+		os.Exit(1)
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err == nil {
+			err = res.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hvcsweep: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(os.Stderr, "hvcsweep: fleet %d UEs in %v (%.1f UEs/sec)\n",
+		res.UEs, elapsed.Round(time.Millisecond), float64(res.UEs)/elapsed.Seconds())
 }
 
 // counterTotals pulls the executed/cached split back out of the

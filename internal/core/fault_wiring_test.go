@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestWebAndVideoFaultWiring pins the Fault fields fleet sessions use:
+// an empty scenario is exactly the pre-fault behaviour, a bad scenario
+// is a config error, and a mid-run eMBB blackout measurably degrades
+// the session (pages load slower without failover; video decodes
+// fewer frames).
+func TestWebAndVideoFaultWiring(t *testing.T) {
+	wcfg := WebConfig{Seed: 1, Trace: "lowband-stationary", Policy: PolicyEMBBOnly, Pages: 2, Loads: 1}
+	base, err := RunWeb(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	none := wcfg
+	none.Fault = "none"
+	same, err := RunWeb(none)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.MeanPLT != base.MeanPLT {
+		t.Fatalf("fault=none changed web PLT: %v vs %v", same.MeanPLT, base.MeanPLT)
+	}
+	hurt := wcfg
+	hurt.Fault = "outage:ch=embb,at=100ms,dur=2s"
+	slow, err := RunWeb(hurt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.MeanPLT <= base.MeanPLT {
+		t.Fatalf("a 2s eMBB blackout did not slow eMBB-only page loads: %v vs %v", slow.MeanPLT, base.MeanPLT)
+	}
+	bad := wcfg
+	bad.Fault = "outage:ch=embb"
+	if _, err := RunWeb(bad); err == nil {
+		t.Fatal("invalid fault spec accepted by RunWeb")
+	}
+
+	vcfg := VideoConfig{Seed: 1, Duration: 4 * time.Second, Trace: "lowband-stationary", Policy: PolicyEMBBOnly}
+	vbase, err := RunVideo(vcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vhurt := vcfg
+	vhurt.Fault = "outage:ch=embb,at=1s,dur=2s"
+	vout, err := RunVideo(vhurt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vout.Frozen <= vbase.Frozen {
+		t.Fatalf("a 2s eMBB blackout did not freeze eMBB-only video: frozen %d vs %d", vout.Frozen, vbase.Frozen)
+	}
+	vbad := vcfg
+	vbad.Fault = "garbage"
+	if _, err := RunVideo(vbad); err == nil {
+		t.Fatal("invalid fault spec accepted by RunVideo")
+	}
+}

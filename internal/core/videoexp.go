@@ -6,6 +6,7 @@ import (
 
 	"hvc/internal/app/video"
 	"hvc/internal/channel"
+	"hvc/internal/fault"
 	"hvc/internal/metrics"
 	"hvc/internal/sim"
 	"hvc/internal/telemetry"
@@ -22,6 +23,10 @@ type VideoConfig struct {
 	Trace string
 	// Policy names the steering policy applied to the video flow.
 	Policy string
+	// Fault is an optional scenario in the internal/fault grammar
+	// (empty or "none" disables injection), so fleet runs can stream
+	// through shared outage windows.
+	Fault string
 	// Tracer receives cross-layer telemetry for the run; nil disables
 	// tracing.
 	Tracer *telemetry.Tracer
@@ -52,6 +57,10 @@ func RunVideo(cfg VideoConfig) (VideoResult, error) {
 	if !ValidPolicy(cfg.Policy) {
 		return VideoResult{}, fmt.Errorf("core: unknown steering policy %q", cfg.Policy)
 	}
+	spec, err := fault.ParseSpec(cfg.Fault)
+	if err != nil {
+		return VideoResult{}, err
+	}
 
 	loop := sim.NewLoop(cfg.Seed)
 	g := Cellular(loop, tr)
@@ -63,6 +72,12 @@ func RunVideo(cfg VideoConfig) (VideoResult, error) {
 	g.SetTracer(cfg.Tracer)
 	client.SetTracer(cfg.Tracer)
 	server.SetTracer(cfg.Tracer)
+
+	if !spec.Empty() {
+		if err := fault.Inject(loop, g, spec, cfg.Tracer); err != nil {
+			return VideoResult{}, err
+		}
+	}
 
 	vcfg := video.Config{Duration: cfg.Duration}
 	recv := video.NewReceiver(loop, vcfg)

@@ -6,6 +6,7 @@ import (
 
 	"hvc/internal/app/web"
 	"hvc/internal/channel"
+	"hvc/internal/fault"
 	"hvc/internal/metrics"
 	"hvc/internal/packet"
 	"hvc/internal/sim"
@@ -32,6 +33,10 @@ type WebConfig struct {
 	// Background disables the two competing flows when false is
 	// explicitly configured via NoBackground.
 	NoBackground bool
+	// Fault is an optional scenario in the internal/fault grammar
+	// (empty or "none" disables injection), so fleet runs can load
+	// pages through shared outage windows.
+	Fault string
 	// Tracer receives cross-layer telemetry for the run; nil disables
 	// tracing.
 	Tracer *telemetry.Tracer
@@ -66,6 +71,10 @@ func RunWeb(cfg WebConfig) (WebResult, error) {
 	if err != nil {
 		return WebResult{}, err
 	}
+	spec, err := fault.ParseSpec(cfg.Fault)
+	if err != nil {
+		return WebResult{}, err
+	}
 
 	loop := sim.NewLoop(cfg.Seed)
 	g := Cellular(loop, tr)
@@ -77,6 +86,12 @@ func RunWeb(cfg WebConfig) (WebResult, error) {
 	g.SetTracer(cfg.Tracer)
 	client.SetTracer(cfg.Tracer)
 	server.SetTracer(cfg.Tracer)
+
+	if !spec.Empty() {
+		if err := fault.Inject(loop, g, spec, cfg.Tracer); err != nil {
+			return WebResult{}, err
+		}
+	}
 
 	web.Serve(server, func() transport.Config {
 		alg, _ := NewCC("cubic") // the paper uses TCP CUBIC throughout

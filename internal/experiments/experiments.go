@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"hvc/internal/core"
+	"hvc/internal/fleet"
 	"hvc/internal/metrics"
 	"hvc/internal/sketch"
 	"hvc/internal/telemetry"
@@ -26,7 +27,7 @@ func Order() []string {
 		"fig1a", "fig1b", "fig2", "table1",
 		"ablation-cc", "ablation-mptcp", "ablation-mlo", "ablation-cost",
 		"ablation-beta", "ablation-tail", "ablation-ians", "ablation-has", "ablation-tsn",
-		"outage",
+		"outage", "fleet",
 	}
 }
 
@@ -127,6 +128,7 @@ var runners = map[string]func(Env) error{
 	"ablation-has":   ablationHAS,
 	"ablation-tsn":   ablationTSN,
 	"outage":         outage,
+	"fleet":          fleetExp,
 }
 
 // Run executes one named experiment under e.
@@ -371,6 +373,44 @@ func outage(e Env) error {
 		e.sketchDist(policy+"/delay_ms", &r.Delay)
 	}
 	fmt.Fprintf(e.Out, "fault: %s\n\n", fault)
+	return nil
+}
+
+// fleetExp runs a miniature fleet: the population view of the paper's
+// operator argument, a few dozen heterogeneous UE sessions aggregated
+// through mergeable sketches (internal/fleet). The fleet size stays
+// small here because cmd/hvcfleet is the real population interface —
+// this runner exists so the cross-package determinism matrix and
+// cmd/hvcbench cover the fleet path end to end. Session length
+// follows the scale's bulk duration, capped so full-scale bench runs
+// stay proportionate.
+func fleetExp(e Env) error {
+	dur := e.Scale.BulkDur
+	if dur > 2*time.Second {
+		dur = 2 * time.Second
+	}
+	spec, err := fleet.ParseSpec(fmt.Sprintf(
+		"ues=24 seed=%d policy=dchannel,embb-only dur=%s stagger=2s", e.Seed, dur))
+	if err != nil {
+		return err
+	}
+	res, err := fleet.Run(spec, fleet.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(e.Out, "== Fleet (population view): %d heterogeneous UE sessions, sketch-aggregated ==\n", res.UEs)
+	if err := res.WriteTable(e.Out); err != nil {
+		return err
+	}
+	fmt.Fprintln(e.Out)
+	for _, app := range []string{fleet.AppBulk, fleet.AppVideo, fleet.AppWeb} {
+		e.metric("ues/"+app, float64(res.Apps[app]), "")
+	}
+	if e.Report != nil {
+		res.Group.Do(func(name string, s *sketch.Sketch) {
+			e.Report.AddSketch(e.Prefix+name, s)
+		})
+	}
 	return nil
 }
 

@@ -1,0 +1,22 @@
+package fleet
+
+import "testing"
+
+// BenchmarkFleet measures end-to-end fleet throughput on a small
+// default-mix fleet: spec parse, per-UE derivation, real sessions, and
+// sketch aggregation. The benchstat gate tracks it; the custom UEs/s
+// metric is the number BENCH snapshots record.
+func BenchmarkFleet(b *testing.B) {
+	spec, err := ParseSpec("ues=16 seed=1 dur=500ms stagger=1s")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(spec, Options{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(16*b.N)/b.Elapsed().Seconds(), "UEs/s")
+}

@@ -1,0 +1,243 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"hvc/internal/sketch"
+)
+
+// render runs the fleet and returns the two user-visible byte surfaces
+// — the stdout table and the JSON report — which the determinism
+// matrix compares across execution shapes.
+func render(t *testing.T, spec Spec, opt Options) (table, report []byte) {
+	t.Helper()
+	res, err := Run(spec, opt)
+	if err != nil {
+		t.Fatalf("Run(%s, %+v): %v", spec, opt, err)
+	}
+	var tb, rb bytes.Buffer
+	if err := res.WriteTable(&tb); err != nil {
+		t.Fatalf("WriteTable: %v", err)
+	}
+	if err := res.WriteJSON(&rb); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	return tb.Bytes(), rb.Bytes()
+}
+
+// TestFleetDeterminismMatrix is the package's headline contract, the
+// fleet extension of the cross-package determinism matrix: for every
+// spec (two fleet sizes x two seeds), the table and report bytes are
+// identical whether the fleet runs on one worker, many workers with a
+// different shard grain, or with live progress sampling attached.
+func TestFleetDeterminismMatrix(t *testing.T) {
+	for _, tc := range []string{
+		"ues=6 seed=1 dur=200ms stagger=1s",
+		"ues=6 seed=7 dur=200ms stagger=1s",
+		"ues=11 seed=1 mix=bulk:2,web:1 policy=dchannel,embb-only dur=200ms stagger=2s",
+		"ues=11 seed=7 mix=bulk:2,web:1 policy=dchannel,embb-only dur=200ms stagger=2s",
+	} {
+		spec, err := ParseSpec(tc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseTable, baseReport := render(t, spec, Options{Workers: 1})
+		variants := []Options{
+			{Workers: 4, Shard: 3},
+			{Workers: 2, Shard: 1, Progress: func(done, total int) {}, Sketch: sketch.NewGroup()},
+		}
+		for _, opt := range variants {
+			table, report := render(t, spec, opt)
+			if !bytes.Equal(table, baseTable) {
+				t.Errorf("%q: table differs between workers=1 and %+v:\n%s\nvs\n%s", tc, opt, baseTable, table)
+			}
+			if !bytes.Equal(report, baseReport) {
+				t.Errorf("%q: report differs between workers=1 and %+v", tc, opt)
+			}
+		}
+	}
+}
+
+// stubUEs installs a cheap session stub and returns a restore func.
+// The stub observes one value per UE so aggregation paths still
+// exercise, without paying for real simulations.
+func stubUEs(t *testing.T) {
+	t.Helper()
+	if testRunUE != nil {
+		t.Fatal("testRunUE already installed")
+	}
+	testRunUE = func(p Profile, g *sketch.Group) error {
+		g.Observe("stub/value", float64(p.UE%97)+0.5)
+		return nil
+	}
+	t.Cleanup(func() { testRunUE = nil })
+}
+
+// TestFleetFlatMemory pins the streaming-aggregation promise:
+// allocations scale with the shard count, not the UE count. Two fleets
+// sized 4x apart but sharded to the same number of pool jobs must
+// allocate within noise of each other — any per-UE result buffer
+// would show up as an ~4x blowup.
+func TestFleetFlatMemory(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are meaningless under -race")
+	}
+	stubUEs(t)
+	measure := func(ues, shard int) uint64 {
+		spec := Spec{UEs: ues, Seed: 1}
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		if _, err := Run(spec, Options{Workers: 1, Shard: shard}); err != nil {
+			t.Fatal(err)
+		}
+		runtime.ReadMemStats(&after)
+		return after.Mallocs - before.Mallocs
+	}
+	measure(2000, 125) // warm up lazy initialization
+	small := measure(2000, 125)
+	big := measure(8000, 500) // same 16 shards, 4x the UEs
+	if big > 2*small {
+		t.Fatalf("4x the UEs at equal shard count allocated %d vs %d (>2x): aggregation is not flat in the fleet size", big, small)
+	}
+}
+
+// TestFleetAggregation checks the merged totals through the stub: one
+// observation per UE, fleet-wide count equals the fleet size, and the
+// live Options.Sketch group converges to exactly the result group.
+func TestFleetAggregation(t *testing.T) {
+	stubUEs(t)
+	live := sketch.NewGroup()
+	spec := Spec{UEs: 500, Seed: 3}
+	res, err := Run(spec, Options{Workers: 4, Shard: 7, Sketch: live})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := res.Group.Snapshot()
+	if len(snap) != 1 || snap[0].Name != "stub/value" {
+		t.Fatalf("unexpected metrics: %+v", snap)
+	}
+	if snap[0].N != 500 {
+		t.Fatalf("aggregate holds %d observations, want 500", snap[0].N)
+	}
+	if !bytes.Equal(groupBytes(live), groupBytes(res.Group)) {
+		t.Fatal("live progress group diverged from the result aggregate")
+	}
+}
+
+// TestFleetProgress checks the conservative progress stream: counts
+// never decrease, never exceed the total, and end at exactly the
+// fleet size.
+func TestFleetProgress(t *testing.T) {
+	stubUEs(t)
+	last := 0
+	spec := Spec{UEs: 100, Seed: 1}
+	_, err := Run(spec, Options{Workers: 1, Shard: 7, Progress: func(done, total int) {
+		if total != 100 {
+			t.Fatalf("progress total %d, want 100", total)
+		}
+		if done < last || done > total {
+			t.Fatalf("progress went %d -> %d", last, done)
+		}
+		last = done
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != 100 {
+		t.Fatalf("final progress %d, want 100", last)
+	}
+}
+
+// TestFleetErrorReporting checks a failing session surfaces as the
+// lowest failing UE with its identity attached, matching the pool's
+// lowest-index error contract.
+func TestFleetErrorReporting(t *testing.T) {
+	if testRunUE != nil {
+		t.Fatal("testRunUE already installed")
+	}
+	testRunUE = func(p Profile, g *sketch.Group) error {
+		if p.UE >= 40 {
+			return fmt.Errorf("session exploded")
+		}
+		return nil
+	}
+	t.Cleanup(func() { testRunUE = nil })
+	spec := Spec{UEs: 100, Seed: 1}
+	_, err := Run(spec, Options{Workers: 4, Shard: 3})
+	if err == nil {
+		t.Fatal("Run succeeded despite failing sessions")
+	}
+	if !strings.Contains(err.Error(), "ue 40 ") || !strings.Contains(err.Error(), "session exploded") {
+		t.Fatalf("error %q does not name the lowest failing UE", err)
+	}
+}
+
+// TestFleetReportShape decodes the JSON report and checks the wire
+// contract: schema tag, canonical spec string, app counts that
+// partition the fleet, and a sketch section.
+func TestFleetReportShape(t *testing.T) {
+	spec, err := ParseSpec("ues=6 seed=2 dur=200ms stagger=1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, report := render(t, spec, Options{Workers: 2})
+	var rep struct {
+		Schema   string         `json:"schema"`
+		Spec     string         `json:"spec"`
+		UEs      int            `json:"ues"`
+		Apps     map[string]int `json:"apps"`
+		Sketches []struct {
+			Name string `json:"name"`
+			N    uint64 `json:"n"`
+		} `json:"sketches"`
+	}
+	if err := json.Unmarshal(report, &rep); err != nil {
+		t.Fatalf("report does not decode: %v", err)
+	}
+	if rep.Schema != ReportSchema {
+		t.Fatalf("schema %q, want %q", rep.Schema, ReportSchema)
+	}
+	if rep.Spec != spec.String() {
+		t.Fatalf("report spec %q, want %q", rep.Spec, spec.String())
+	}
+	if rep.UEs != 6 {
+		t.Fatalf("report ues %d, want 6", rep.UEs)
+	}
+	sum := 0
+	for _, n := range rep.Apps {
+		sum += n
+	}
+	if sum != rep.UEs {
+		t.Fatalf("app counts %v sum to %d, want %d", rep.Apps, sum, rep.UEs)
+	}
+	if len(rep.Sketches) == 0 {
+		t.Fatal("report has no sketches")
+	}
+	seen := map[string]bool{}
+	for _, s := range rep.Sketches {
+		seen[s.Name] = true
+		if s.N == 0 {
+			t.Errorf("empty sketch %q serialized into the report", s.Name)
+		}
+	}
+	if !seen["fleet/start_offset_ms"] {
+		t.Errorf("report sketches %v missing fleet/start_offset_ms", rep.Sketches)
+	}
+}
+
+// TestFleetRejectsInvalidSpec checks Run validates rather than
+// trusting a hand-built spec.
+func TestFleetRejectsInvalidSpec(t *testing.T) {
+	if _, err := Run(Spec{UEs: -1}, Options{}); err == nil {
+		t.Fatal("Run accepted a negative fleet size")
+	}
+	if _, err := Run(Spec{UEs: 1, Fault: "garbage("}, Options{}); err == nil {
+		t.Fatal("Run accepted an unparseable fault")
+	}
+}

@@ -1,0 +1,44 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzFleetSpecParse exercises the fleet-spec parser with arbitrary
+// input: it must never panic, and any spec it accepts must round-trip
+// — the canonical String reparses to the same spec and is a fixed
+// point. This is the same contract FuzzSweepSpecParse holds the sweep
+// grammar to.
+func FuzzFleetSpecParse(f *testing.F) {
+	f.Add("")
+	f.Add("ues=10000 seed=1 mix=bulk:2,web:1 cc=bbr policy=dchannel,embb-only dur=2s")
+	f.Add("ues=1000 mix=video:1 policy=dchannel trace=lowband-driving,mmwave-driving dur=4s")
+	f.Add("ues=500 fault=outage:ch=embb,at=10s,dur=2s stagger=30s")
+	f.Add("fault=outage:ch=embb,at=1s,dur=500ms;burst:ch=urllc,at=2s,dur=1s,pgb=0.3 mix=bulk:1")
+	f.Add("ues=5 seed=-9223372036854775808")
+	f.Add("mix=bulk:1,video:2,web:3 pages=6 loads=2")
+	f.Add("ues=1000001")
+	f.Add("dur=99ms")
+	f.Add("stagger=0s")
+	f.Add("  ues=5\t dur=1h  ")
+	f.Add("mix=web:1 policy=priority")
+	f.Add("fault=none")
+	f.Fuzz(func(t *testing.T, in string) {
+		spec, err := ParseSpec(in)
+		if err != nil {
+			return // rejected: fine, as long as no panic
+		}
+		canonical := spec.String()
+		back, err := ParseSpec(canonical)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %q -> %q: %v", in, canonical, err)
+		}
+		if !reflect.DeepEqual(back, spec) {
+			t.Fatalf("round-trip changed the spec:\n in: %+v\nout: %+v", spec, back)
+		}
+		if again := back.String(); again != canonical {
+			t.Fatalf("canonical form not a fixed point: %q -> %q", canonical, again)
+		}
+	})
+}

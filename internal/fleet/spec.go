@@ -1,0 +1,334 @@
+// Package fleet is the fleet-scale simulation harness: it runs N
+// independent deterministic UE sessions — each with its own event
+// loop, channel trace realization, app workload, and steering policy,
+// all derived by pure hashing from (fleet seed, UE index) — and
+// aggregates them exclusively through mergeable sketches, so memory
+// stays flat no matter how many sessions stream through. This is the
+// population view the paper's operator argument needs: not what one
+// UE gains from heterogeneous virtual channels, but how the gain
+// distributes over ten thousand heterogeneous sessions.
+//
+// The determinism contract is the package's spine, stated as tests:
+// the aggregate report is byte-identical for any worker count, any
+// shard size, with and without live progress emission, and across
+// invariant_off build variants — because every per-UE input is a pure
+// function of (fleet seed, UE index) and every aggregate is an exact
+// associative+commutative merge (see internal/sketch).
+//
+// A fleet spec is a space-separated key=value list in the sweep-spec
+// idiom:
+//
+//	ues=10000 seed=1 mix=bulk:2,web:1 cc=bbr policy=dchannel,embb-only trace=lowband-driving dur=2s stagger=10s
+//
+// Keys: ues (fleet size), seed (fleet seed), mix (weighted app mix
+// app:weight, apps bulk|video|web), cc (bulk sessions' CCA), policy
+// and trace (libraries; each UE draws one by hash), dur (bulk/video
+// session length), pages/loads (web corpus), stagger (UE start times
+// spread uniformly over [0, stagger)), fault (a shared fleet-absolute
+// internal/fault scenario; each session sees it shifted by its own
+// start offset).
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"hvc/internal/channel"
+	"hvc/internal/core"
+	"hvc/internal/fault"
+)
+
+// The app workloads a mix can weight.
+const (
+	AppBulk  = "bulk"  // core.RunBulk: one long transfer
+	AppVideo = "video" // core.RunVideo: real-time SVC stream
+	AppWeb   = "web"   // core.RunWeb: sequential page loads
+)
+
+// maxUEs bounds a fleet so a typo cannot expand into an unbounded run.
+const maxUEs = 1_000_000
+
+// A MixEntry weights one app workload in the fleet's mix.
+type MixEntry struct {
+	App    string
+	Weight int
+}
+
+// A Spec describes one fleet. The zero value is invalid; build specs
+// with ParseSpec or populate fields and call Validate.
+type Spec struct {
+	// UEs is the fleet size.
+	UEs int
+	// Seed is the fleet seed every per-UE derivation hashes from.
+	Seed int64
+	// Mix weights the app workloads; each UE draws one by hash.
+	Mix []MixEntry
+	// CC names the congestion control bulk sessions run (web fixes
+	// CUBIC per the paper; video is unreliable and uses none).
+	CC string
+	// Policies and Traces are the libraries each UE draws its steering
+	// policy and eMBB trace realization from, by hash.
+	Policies []string
+	Traces   []string
+	// Dur is the bulk/video session length.
+	Dur time.Duration
+	// Pages and Loads size web sessions' corpora.
+	Pages, Loads int
+	// Stagger spreads UE session start times uniformly over
+	// [0, Stagger). Faults are fleet-absolute, so a staggered UE meets
+	// a shared outage mid-session.
+	Stagger time.Duration
+	// Fault is a shared fault scenario on the fleet's absolute
+	// timeline (internal/fault grammar; "none" or empty disables).
+	// Each session receives the schedule shifted by its start offset.
+	Fault string
+}
+
+// specKeys is the canonical key order String emits and the complete
+// set ParseSpec accepts.
+var specKeys = []string{"ues", "seed", "mix", "cc", "policy", "trace", "dur", "pages", "loads", "stagger", "fault"}
+
+// ParseSpec parses the fleet-spec syntax described in the package
+// comment. Unknown keys, duplicate keys, duplicate list values, and
+// names the core package does not accept are errors; omitted keys
+// default (see defaultAndValidate). The result is validated and
+// canonical: parsing the String of a parsed spec yields the same spec.
+func ParseSpec(s string) (Spec, error) {
+	spec := Spec{Seed: 1}
+	seen := map[string]bool{}
+	for _, field := range strings.Fields(s) {
+		key, val, ok := strings.Cut(field, "=")
+		if !ok || val == "" {
+			return Spec{}, fmt.Errorf("fleet: field %q is not key=value", field)
+		}
+		if seen[key] {
+			return Spec{}, fmt.Errorf("fleet: duplicate key %q", key)
+		}
+		seen[key] = true
+		var err error
+		switch key {
+		case "ues":
+			spec.UEs, err = parseInt(key, val)
+		case "seed":
+			spec.Seed, err = strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				err = fmt.Errorf("fleet: seed %q is not an integer", val)
+			}
+		case "mix":
+			spec.Mix, err = parseMix(val)
+		case "cc":
+			spec.CC = val
+		case "policy":
+			spec.Policies, err = parseList(key, val)
+		case "trace":
+			spec.Traces, err = parseList(key, val)
+		case "dur":
+			spec.Dur, err = parseDur(key, val)
+		case "pages":
+			spec.Pages, err = parseInt(key, val)
+		case "loads":
+			spec.Loads, err = parseInt(key, val)
+		case "stagger":
+			spec.Stagger, err = parseDur(key, val)
+		case "fault":
+			spec.Fault = val
+		default:
+			return Spec{}, fmt.Errorf("fleet: unknown key %q (valid: %s)", key, strings.Join(specKeys, ", "))
+		}
+		if err != nil {
+			return Spec{}, err
+		}
+	}
+	if err := spec.defaultAndValidate(); err != nil {
+		return Spec{}, err
+	}
+	return spec, nil
+}
+
+func parseInt(key, val string) (int, error) {
+	n, err := strconv.Atoi(val)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("fleet: %s %q is not a positive integer", key, val)
+	}
+	return n, nil
+}
+
+func parseDur(key, val string) (time.Duration, error) {
+	d, err := time.ParseDuration(val)
+	if err != nil || d < 0 {
+		return 0, fmt.Errorf("fleet: %s %q is not a non-negative duration", key, val)
+	}
+	return d, nil
+}
+
+func parseList(key, val string) ([]string, error) {
+	parts := strings.Split(val, ",")
+	seen := map[string]bool{}
+	for _, p := range parts {
+		if p == "" {
+			return nil, fmt.Errorf("fleet: %s has an empty list element", key)
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("fleet: %s lists %q twice", key, p)
+		}
+		seen[p] = true
+	}
+	return parts, nil
+}
+
+func parseMix(val string) ([]MixEntry, error) {
+	var mix []MixEntry
+	seen := map[string]bool{}
+	for _, part := range strings.Split(val, ",") {
+		app, weightStr, hasWeight := strings.Cut(part, ":")
+		e := MixEntry{App: app, Weight: 1}
+		if hasWeight {
+			w, err := strconv.Atoi(weightStr)
+			if err != nil || w < 1 {
+				return nil, fmt.Errorf("fleet: mix weight %q is not a positive integer", weightStr)
+			}
+			e.Weight = w
+		}
+		switch e.App {
+		case AppBulk, AppVideo, AppWeb:
+		default:
+			return nil, fmt.Errorf("fleet: unknown app %q in mix (bulk, video, web)", e.App)
+		}
+		if seen[e.App] {
+			return nil, fmt.Errorf("fleet: mix lists %q twice", e.App)
+		}
+		seen[e.App] = true
+		mix = append(mix, e)
+	}
+	return mix, nil
+}
+
+// defaultAndValidate fills defaults, checks every axis value against
+// the core package's accepted names, and canonicalizes the fault
+// scenario. The defaults favor throughput on small machines: BBR bulk
+// flows and short sessions, so a 10k-UE fleet finishes in minutes.
+func (s *Spec) defaultAndValidate() error {
+	if s.UEs == 0 {
+		s.UEs = 1000
+	}
+	if s.UEs < 1 || s.UEs > maxUEs {
+		return fmt.Errorf("fleet: ues %d out of [1,%d]", s.UEs, maxUEs)
+	}
+	if s.Mix == nil {
+		s.Mix = []MixEntry{{AppBulk, 1}, {AppVideo, 1}, {AppWeb, 1}}
+	}
+	if s.CC == "" {
+		s.CC = "bbr"
+	}
+	if s.Policies == nil {
+		s.Policies = []string{core.PolicyDChannel}
+	}
+	if s.Traces == nil {
+		s.Traces = []string{"lowband-driving"}
+	}
+	if s.Dur == 0 {
+		s.Dur = 2 * time.Second
+	}
+	if s.Dur < 100*time.Millisecond {
+		return fmt.Errorf("fleet: dur %v below 100ms", s.Dur)
+	}
+	if s.Pages == 0 {
+		s.Pages = 1
+	}
+	if s.Loads == 0 {
+		s.Loads = 1
+	}
+	if s.Stagger == 0 {
+		s.Stagger = 5 * time.Second
+	}
+
+	hasApp := map[string]bool{}
+	for _, e := range s.Mix {
+		hasApp[e.App] = true
+	}
+	if !core.ValidCC(s.CC) {
+		return fmt.Errorf("fleet: unknown congestion control %q", s.CC)
+	}
+	for _, p := range s.Policies {
+		if !core.ValidPolicy(p) {
+			return fmt.Errorf("fleet: unknown steering policy %q", p)
+		}
+		if hasApp[AppWeb] && p == core.PolicyPriority {
+			return fmt.Errorf("fleet: web sessions do not support policy %q; drop web from the mix or the policy from the library", p)
+		}
+	}
+	valid := map[string]bool{}
+	for _, tr := range core.TraceNames() {
+		valid[tr] = true
+	}
+	for _, tr := range s.Traces {
+		if !valid[tr] {
+			return fmt.Errorf("fleet: unknown trace %q (valid: %s)", tr, strings.Join(core.TraceNames(), ", "))
+		}
+	}
+
+	// Canonicalize the shared scenario and pin it to the two channels
+	// every session has.
+	fs, err := fault.ParseSpec(s.Fault)
+	if err != nil {
+		return err
+	}
+	for _, ev := range fs.Events {
+		if ev.Channel != channel.NameEMBB && ev.Channel != channel.NameURLLC {
+			return fmt.Errorf("fleet: fault names channel %q; sessions run %s+%s",
+				ev.Channel, channel.NameEMBB, channel.NameURLLC)
+		}
+	}
+	s.Fault = fs.String()
+	return nil
+}
+
+// Validate checks a programmatically built spec, filling defaults for
+// zero fields exactly as ParseSpec does.
+func (s *Spec) Validate() error { return s.defaultAndValidate() }
+
+// String renders the spec canonically: every key, fixed order.
+// ParseSpec(s.String()) reproduces s.
+func (s Spec) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ues=%d seed=%d mix=%s", s.UEs, s.Seed, mixString(s.Mix))
+	fmt.Fprintf(&b, " cc=%s policy=%s trace=%s", s.CC, strings.Join(s.Policies, ","), strings.Join(s.Traces, ","))
+	fmt.Fprintf(&b, " dur=%s pages=%d loads=%d stagger=%s fault=%s",
+		s.Dur, s.Pages, s.Loads, s.Stagger, s.Fault)
+	return b.String()
+}
+
+func mixString(mix []MixEntry) string {
+	parts := make([]string, len(mix))
+	for i, e := range mix {
+		parts[i] = fmt.Sprintf("%s:%d", e.App, e.Weight)
+	}
+	return strings.Join(parts, ",")
+}
+
+// AppCounts reports how many UEs draw each app, computed from the
+// derivation hashes alone — no sessions run. Keys appear for every
+// mixed app, sorted by the returned slice's order.
+func (s Spec) AppCounts() map[string]int {
+	counts := make(map[string]int, len(s.Mix))
+	for _, e := range s.Mix {
+		counts[e.App] = 0
+	}
+	for ue := 0; ue < s.UEs; ue++ {
+		counts[s.appFor(ue)]++
+	}
+	return counts
+}
+
+// apps lists the mixed app names sorted, for deterministic rendering.
+func (s Spec) apps() []string {
+	out := make([]string, len(s.Mix))
+	for i, e := range s.Mix {
+		out[i] = e.App
+	}
+	sort.Strings(out)
+	return out
+}

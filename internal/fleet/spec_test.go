@@ -1,0 +1,159 @@
+package fleet
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseSpecDefaults(t *testing.T) {
+	spec, err := ParseSpec("")
+	if err != nil {
+		t.Fatalf("empty spec: %v", err)
+	}
+	want := Spec{
+		UEs:  1000,
+		Seed: 1,
+		Mix:  []MixEntry{{AppBulk, 1}, {AppVideo, 1}, {AppWeb, 1}},
+		CC:   "bbr", Policies: []string{"dchannel"}, Traces: []string{"lowband-driving"},
+		Dur: 2 * time.Second, Pages: 1, Loads: 1,
+		Stagger: 5 * time.Second, Fault: "none",
+	}
+	if !reflect.DeepEqual(spec, want) {
+		t.Fatalf("defaults:\n got %+v\nwant %+v", spec, want)
+	}
+}
+
+// TestParseSpecRoundTrip pins the canonicalization contract directly
+// on representative specs; FuzzFleetSpecParse extends it to arbitrary
+// input.
+func TestParseSpecRoundTrip(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"ues=10000 seed=42",
+		"mix=bulk:2,web:1 cc=cubic policy=dchannel,embb-only",
+		"trace=lowband-driving,mmwave-driving dur=450ms pages=3 loads=2",
+		"seed=-7 stagger=30s",
+		"fault=outage:ch=embb,at=1s,dur=500ms mix=bulk:1",
+		"  ues=5\t dur=2.5s  ",
+		"mix=video",
+	} {
+		spec, err := ParseSpec(in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", in, err)
+		}
+		canonical := spec.String()
+		back, err := ParseSpec(canonical)
+		if err != nil {
+			t.Fatalf("reparse %q: %v", canonical, err)
+		}
+		if !reflect.DeepEqual(back, spec) {
+			t.Errorf("%q round-trip changed the spec:\n got %+v\nwant %+v", in, back, spec)
+		}
+		if again := back.String(); again != canonical {
+			t.Errorf("%q canonical form not a fixed point: %q -> %q", in, canonical, again)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"ues", "not key=value"},
+		{"ues=", "not key=value"},
+		{"bogus=1", "unknown key"},
+		{"ues=5 ues=6", "duplicate key"},
+		{"ues=0", "positive integer"},
+		{"ues=-3", "positive integer"},
+		{"ues=1000001", "out of"},
+		{"seed=abc", "not an integer"},
+		{"mix=ftp:1", "unknown app"},
+		{"mix=bulk:0", "positive integer"},
+		{"mix=bulk:1,bulk:2", "twice"},
+		{"cc=tahoe", "unknown congestion control"},
+		{"policy=teleport", "unknown steering policy"},
+		{"policy=dchannel,dchannel", "twice"},
+		{"policy=dchannel,,embb-only", "empty list element"},
+		{"trace=underwater", "unknown trace"},
+		{"dur=50ms", "below 100ms"},
+		{"dur=-1s", "non-negative duration"},
+		{"dur=fast", "non-negative duration"},
+		{"mix=web:1 policy=priority", "do not support"},
+		{"fault=outage:ch=embb,at=1s", "dur"},
+		{"fault=outage:ch=mmwave,at=1s,dur=1s", "channel"},
+	} {
+		_, err := ParseSpec(tc.in)
+		if err == nil {
+			t.Errorf("ParseSpec(%q): accepted, want error containing %q", tc.in, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParseSpec(%q) = %v, want error containing %q", tc.in, err, tc.want)
+		}
+	}
+}
+
+// TestValidateFillsDefaults covers the programmatic construction path:
+// a zero-ish Spec validates into exactly what ParseSpec("") yields.
+func TestValidateFillsDefaults(t *testing.T) {
+	var spec Spec
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	want, err := ParseSpec("")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	want.Seed = 0 // ParseSpec defaults seed to 1; programmatic zero stays
+	if !reflect.DeepEqual(spec, want) {
+		t.Fatalf("Validate:\n got %+v\nwant %+v", spec, want)
+	}
+}
+
+func TestAppCountsPartitionFleet(t *testing.T) {
+	spec, err := ParseSpec("ues=300 seed=11 mix=bulk:3,video:1,web:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := spec.AppCounts()
+	sum := 0
+	for _, app := range []string{AppBulk, AppVideo, AppWeb} {
+		n, ok := counts[app]
+		if !ok {
+			t.Fatalf("AppCounts missing %q: %v", app, counts)
+		}
+		if n == 0 {
+			t.Errorf("app %q drew zero UEs out of 300; weighted draw is broken", app)
+		}
+		sum += n
+	}
+	if sum != spec.UEs {
+		t.Fatalf("AppCounts sums to %d, want %d", sum, spec.UEs)
+	}
+	// The hash-only count must agree with the per-UE draw the run uses.
+	fromDraw := map[string]int{}
+	for ue := 0; ue < spec.UEs; ue++ {
+		fromDraw[spec.appFor(ue)]++
+	}
+	for app := range counts {
+		if counts[app] != fromDraw[app] {
+			t.Fatalf("AppCounts[%s]=%d but appFor draws %d", app, counts[app], fromDraw[app])
+		}
+	}
+}
+
+// TestSpecFaultCanonicalized pins that the stored fault string is the
+// fault package's canonical rendering, not the user's spelling.
+func TestSpecFaultCanonicalized(t *testing.T) {
+	a, err := ParseSpec("fault=outage:ch=embb,at=1000ms,dur=500ms mix=bulk:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseSpec("fault=outage:ch=embb,at=1s,dur=0.5s mix=bulk:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fault != b.Fault {
+		t.Fatalf("equivalent fault spellings canonicalize differently: %q vs %q", a.Fault, b.Fault)
+	}
+}

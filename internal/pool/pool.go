@@ -1,6 +1,8 @@
-// Package pool provides the ordered parallel-map primitive behind the
-// sweep engine and core.Repeat: run n independent jobs across a fixed
-// number of goroutines and return their results in job order, so the
+// Package pool provides the ordered parallel fan-out primitives behind
+// the sweep engine, core.Repeat, and fleet aggregation: run n
+// independent jobs across a fixed number of goroutines and either
+// return their results in job order (Map) or stream them into an
+// index-ordered fold with O(workers) live memory (Reduce), so the
 // output (and any aggregation over it) is bit-identical for any worker
 // count. The simulation loops the jobs run are single-threaded and
 // self-contained, which is what makes this fan-out safe.
@@ -131,6 +133,103 @@ func MapProgress[T any](n, workers int, progress func(done int), fn func(i int) 
 		return nil, &Error{Index: errIdx, Err: jobErr}
 	}
 	return out, nil
+}
+
+// Reduce runs fn(0..n-1) on min(workers, n) goroutines like
+// MapProgress, but instead of collecting all n results it streams them
+// into fold in strict job-index order: fold(0, v0), fold(1, v1), …,
+// each called exactly once, serialized under the pool's internal lock.
+// Only results waiting for their turn are buffered, and workers stop
+// claiming jobs more than 2×workers ahead of the fold cursor, so live
+// memory is O(workers) regardless of n — the property fleet-scale
+// aggregation needs where Map's []T would be O(n).
+//
+// Because the fold order is a function of the job decomposition alone,
+// any accumulation inside fold observes the same sequence for any
+// worker count. fold must not invoke the pool reentrantly; progress
+// (may be nil) behaves exactly as in MapProgress.
+//
+// Error semantics match Map: on failure every job below the lowest
+// failing index completes and is folded, nothing at or above it is
+// folded, and the returned *Error carries that lowest index — the same
+// error a serial left-to-right run would have hit first.
+func Reduce[T any](n, workers int, progress func(done int), fn func(i int) (T, error), fold func(i int, v T)) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	window := 2 * workers
+	var (
+		mu      sync.Mutex
+		cond    = sync.NewCond(&mu)
+		next    int
+		cursor  int // lowest job index not yet folded
+		done    int
+		pending = make(map[int]T, window)
+		errIdx  = -1
+		jobErr  error
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				// Hold back rather than racing ahead of the fold cursor;
+				// an error releases the gate so everyone can drain out.
+				for next < n && next >= cursor+window && (errIdx < 0 || next <= errIdx) {
+					cond.Wait()
+				}
+				if next >= n || (errIdx >= 0 && next > errIdx) {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+
+				v, err := protect(fn, i)
+
+				mu.Lock()
+				if err != nil {
+					if errIdx < 0 || i < errIdx {
+						errIdx, jobErr = i, err
+					}
+				} else {
+					pending[i] = v
+				}
+				done++
+				if progress != nil {
+					progress(done)
+				}
+				// Fold every contiguously completed job. A failed index
+				// never enters pending, so the cursor parks just below it
+				// and later results above stay unfolded, as promised.
+				for {
+					v, ok := pending[cursor]
+					if !ok {
+						break
+					}
+					delete(pending, cursor)
+					fold(cursor, v)
+					cursor++
+				}
+				cond.Broadcast()
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if errIdx >= 0 {
+		return &Error{Index: errIdx, Err: jobErr}
+	}
+	return nil
 }
 
 // protect runs one job, converting a panic into a *Panic error.

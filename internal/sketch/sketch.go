@@ -12,14 +12,16 @@
 //     construction and an observation is a handful of float ops plus
 //     one counter increment (a budget test pins 0 allocs/op).
 //   - All histogram state — bucket counts, the low-bucket count, the
-//     observation count — is integral, and min/max are exact extrema,
-//     so Merge is exactly associative and commutative on them: any
-//     grouping of the same shards yields bit-identical counts. The
-//     running sum is a float64 and therefore depends on merge order;
-//     aggregators fold shards in a fixed (job-index) order, the same
-//     idiom internal/pool and internal/sweep use for worker-count
-//     independence, which makes the complete state — sum included —
-//     byte-identical for any worker count.
+//     observation count — is integral, and min/max are exact extrema.
+//     The running sum is a fixed-point superaccumulator (sum.go) that
+//     adds float64 observations as exact integers, so even the sum is
+//     order-independent. Merge is therefore exactly associative and
+//     commutative on the complete state: any grouping of the same
+//     observations into shards — any worker count, any shard size —
+//     yields byte-identical merged state. (Aggregators like
+//     internal/pool and internal/sweep still fold shards in job-index
+//     order for worker-count independence of *reported tables*; the
+//     sketch no longer depends on it.)
 //   - Quantile answers within relative error Alpha of the sample at
 //     the queried rank, for samples inside the trackable range
 //     [MinTrackable, MaxTrackable]. Samples at or below MinTrackable
@@ -69,7 +71,7 @@ type Sketch struct {
 	counts []uint64
 	low    uint64 // observations ≤ MinTrackable: zeros, negatives, underflow
 	count  uint64
-	sum    float64
+	sum    exactSum
 	min    float64
 	max    float64
 }
@@ -113,7 +115,7 @@ func (s *Sketch) Observe(v float64) {
 		}
 	}
 	s.count++
-	s.sum += v
+	s.sum.add(v)
 	if !(v > MinTrackable) {
 		s.low++
 		return
@@ -136,17 +138,17 @@ func (s *Sketch) ObserveDuration(d time.Duration) {
 // N reports the number of observations.
 func (s *Sketch) N() uint64 { return s.count }
 
-// Sum reports the running sum of all observations. Exact for a
-// single-writer stream; after Merge it reflects the fold order (see the
-// package comment).
-func (s *Sketch) Sum() float64 { return s.sum }
+// Sum reports the sum of all observations: the exact accumulated value
+// rounded once to float64, independent of observation order or of how
+// the stream was sharded and merged.
+func (s *Sketch) Sum() float64 { return s.sum.value() }
 
 // Mean reports the arithmetic mean, or 0 for an empty sketch.
 func (s *Sketch) Mean() float64 {
 	if s.count == 0 {
 		return 0
 	}
-	return s.sum / float64(s.count)
+	return s.Sum() / float64(s.count)
 }
 
 // Min reports the exact smallest observation, or 0 for an empty sketch.
@@ -217,11 +219,12 @@ func (s *Sketch) bucketValue(i int) float64 {
 	return 2 * a * s.gamma / (s.gamma + 1)
 }
 
-// Merge folds o into s. Bucket counts, the observation count, and the
-// extrema merge exactly (associative and commutative); the sum is a
-// float64 addition, so deterministic aggregation must fold shards in a
-// fixed order. Sketches of different accuracy do not merge: that is a
-// call-site bug and panics.
+// Merge folds o into s. Every piece of state — bucket counts, the
+// observation count, the extrema, and the exact sum — merges
+// associatively and commutatively, so any grouping of the same shards
+// produces byte-identical merged state. s.Merge(s) is well-defined and
+// doubles the sketch. Sketches of different accuracy do not merge:
+// that is a call-site bug and panics.
 func (s *Sketch) Merge(o *Sketch) {
 	if o == nil || o.count == 0 {
 		return
@@ -241,7 +244,7 @@ func (s *Sketch) Merge(o *Sketch) {
 	}
 	s.count += o.count
 	s.low += o.low
-	s.sum += o.sum
+	s.sum.merge(&o.sum)
 	for i, n := range o.counts {
 		if n != 0 {
 			s.counts[i] += n
@@ -260,7 +263,7 @@ func (s *Sketch) Marshal() []byte {
 	u64(math.Float64bits(s.alpha))
 	u64(s.count)
 	u64(s.low)
-	u64(math.Float64bits(s.sum))
+	u64(math.Float64bits(s.Sum()))
 	u64(math.Float64bits(s.min))
 	u64(math.Float64bits(s.max))
 	for i, n := range s.counts {
@@ -341,4 +344,56 @@ func (g *Group) Snapshot() []Summary {
 		out = append(out, g.byName[name].Summarize(name))
 	}
 	return out
+}
+
+// Merge folds every sketch of o into g, creating named sketches in g
+// on first sight. It is the group-level shard fold for fleet
+// aggregation: like Sketch.Merge it is associative and commutative, so
+// any grouping of the same per-shard groups merges to byte-identical
+// state. A nil receiver or a nil/empty o is a no-op; g.Merge(g) is
+// well-defined and doubles every sketch. Not safe for concurrent use
+// with writers to o.
+func (g *Group) Merge(o *Group) {
+	if g == nil || o == nil {
+		return
+	}
+	if g == o {
+		// Self-merge: double each sketch without taking the one lock
+		// twice.
+		g.mu.Lock()
+		for _, s := range g.byName {
+			s.Merge(s)
+		}
+		g.mu.Unlock()
+		return
+	}
+	g.mu.Lock()
+	for name, src := range o.byName {
+		dst, ok := g.byName[name]
+		if !ok {
+			dst = New(src.alpha)
+			g.byName[name] = dst
+		}
+		dst.Merge(src)
+	}
+	g.mu.Unlock()
+}
+
+// Do calls fn for every sketch in name order. The sketches are the
+// group's own (not copies); the group lock is held for the duration,
+// so fn must not call back into g.
+func (g *Group) Do(fn func(name string, s *Sketch)) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	names := make([]string, 0, len(g.byName))
+	for name := range g.byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fn(name, g.byName[name])
+	}
 }

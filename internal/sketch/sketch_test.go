@@ -135,11 +135,10 @@ func shardMerge(values []float64, shards int) *Sketch {
 	return total
 }
 
-// TestMergeCommutativeAndAssociative: bucket counts, low counts, the
-// observation count, and the extrema must be exactly order- and
-// grouping-independent; a⋅b and b⋅a must be byte-identical (float
-// addition is commutative), and regrouping must leave everything but
-// the last bits of the float sum untouched.
+// TestMergeCommutativeAndAssociative: the complete state — bucket
+// counts, low counts, the observation count, the extrema, and the
+// exact sum — must be order- and grouping-independent: a⋅b vs b⋅a and
+// (a⋅b)⋅c vs a⋅(b⋅c) must both be byte-identical.
 func TestMergeCommutativeAndAssociative(t *testing.T) {
 	r := rand.New(rand.NewSource(3))
 	mk := func(n int) *Sketch {
@@ -179,8 +178,11 @@ func TestMergeCommutativeAndAssociative(t *testing.T) {
 			t.Fatalf("bucket %d differs across groupings: %d vs %d", i, abc1.counts[i], abc2.counts[i])
 		}
 	}
-	if rel := math.Abs(abc1.sum-abc2.sum) / math.Abs(abc1.sum); rel > 1e-12 {
-		t.Errorf("sum drifted %.2e across groupings", rel)
+	if abc1.Sum() != abc2.Sum() {
+		t.Errorf("sum differs across groupings: %v vs %v (exact accumulator)", abc1.Sum(), abc2.Sum())
+	}
+	if !bytes.Equal(abc1.Marshal(), abc2.Marshal()) {
+		t.Error("(a⋅b)⋅c and a⋅(b⋅c) are not byte-identical")
 	}
 
 	// Merging an empty or nil sketch is the identity.

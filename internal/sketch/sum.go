@@ -1,0 +1,186 @@
+package sketch
+
+import (
+	"math"
+	"math/bits"
+)
+
+// This file implements the sketch's exact streaming sum: a fixed-point
+// superaccumulator (Kulisch-style) that adds float64 values as exact
+// integers, so accumulation is associative and commutative down to the
+// last bit. It exists because fleet-scale aggregation partitions one
+// observation stream into shards whose count depends on the shard size:
+// with an ordinary float64 running sum, (a+b)+(c+d) and ((a+b)+c)+d
+// differ in the low bits, so two runs of the same fleet with different
+// shard sizes would disagree on the merged mean — the one order-
+// dependent piece of state in an otherwise exactly-mergeable sketch.
+// The accumulator removes the dependence instead of asking every
+// aggregator to fold in a blessed order.
+//
+// Representation: two unsigned magnitudes (positive and negative
+// contributions), each a little-endian base-2^64 fixed-point integer
+// with bit 0 worth 2^-sumBias. A finite float64 is mantissa·2^e with
+// the mantissa at most 53 bits and e ≥ -1074, so every finite value
+// lands exactly in the limb array, and the array has enough headroom
+// that 2^64 maximal additions cannot carry off the top. Non-finite
+// inputs (and NaN, which Observe's contract excludes but fuzzing may
+// probe) are tracked as flags and dominate the reported value.
+const (
+	// sumLimbs·64 = 2304 bits of fixed point. The largest finite
+	// float64 tops out at bit 1024+sumBias ≈ 2112; 2^64 additions add
+	// at most 64 bits of carry, still 128 bits below the top.
+	sumLimbs = 36
+	// sumBias positions bit 0 at 2^-1088, one limb below the smallest
+	// subnormal's 2^-1074, so subnormals land at limb 0 with room.
+	sumBias = 1088
+)
+
+// sumMag is one sign's exact magnitude.
+type sumMag struct {
+	limbs [sumLimbs]uint64
+}
+
+// add accumulates the finite, positive value v exactly.
+func (m *sumMag) add(v float64) {
+	b := math.Float64bits(v)
+	exp := int(b >> 52 & 0x7ff)
+	mant := b & (1<<52 - 1)
+	var e2 int
+	if exp > 0 {
+		mant |= 1 << 52
+		e2 = exp - 1023 - 52
+	} else {
+		e2 = -1074 // subnormal: no implicit bit
+	}
+	p := e2 + sumBias // bit position of the mantissa's LSB; ≥ 14
+	limb, off := p>>6, uint(p&63)
+	lo := mant << off
+	var hi uint64
+	if off != 0 {
+		hi = mant >> (64 - off)
+	}
+	var c uint64
+	m.limbs[limb], c = bits.Add64(m.limbs[limb], lo, 0)
+	m.limbs[limb+1], c = bits.Add64(m.limbs[limb+1], hi, c)
+	for i := limb + 2; c != 0; i++ {
+		m.limbs[i], c = bits.Add64(m.limbs[i], 0, c)
+	}
+}
+
+// merge folds o into m: a limb-wise integer addition, exactly
+// associative and commutative. m and o may alias (self-merge doubles).
+func (m *sumMag) merge(o *sumMag) {
+	var c uint64
+	for i := range m.limbs {
+		m.limbs[i], c = bits.Add64(m.limbs[i], o.limbs[i], c)
+	}
+	// c is 0 by the headroom argument in the package constants.
+}
+
+// cmp orders two magnitudes: -1, 0, or +1.
+func (m *sumMag) cmp(o *sumMag) int {
+	for i := sumLimbs - 1; i >= 0; i-- {
+		switch {
+		case m.limbs[i] < o.limbs[i]:
+			return -1
+		case m.limbs[i] > o.limbs[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// sub sets d = m - o; m must not be below o.
+func (m *sumMag) sub(o *sumMag, d *sumMag) {
+	var borrow uint64
+	for i := range m.limbs {
+		d.limbs[i], borrow = bits.Sub64(m.limbs[i], o.limbs[i], borrow)
+	}
+}
+
+// toFloat rounds the magnitude to float64. The top two nonzero limbs
+// carry ≥ 65 significant bits, beyond float64's 53, so truncating
+// there costs at most a couple of ULPs — and the result is a pure
+// function of the limbs, which is what determinism needs.
+func (m *sumMag) toFloat() float64 {
+	top := -1
+	for i := sumLimbs - 1; i >= 0; i-- {
+		if m.limbs[i] != 0 {
+			top = i
+			break
+		}
+	}
+	if top < 0 {
+		return 0
+	}
+	f := float64(m.limbs[top])
+	if top > 0 {
+		f = f*0x1p64 + float64(m.limbs[top-1])
+		top--
+	}
+	return math.Ldexp(f, top*64-sumBias)
+}
+
+// exactSum is the signed exact accumulator the Sketch embeds: separate
+// positive and negative magnitudes plus non-finite flags. All methods
+// are allocation-free.
+type exactSum struct {
+	pos, neg sumMag
+	posInf   bool
+	negInf   bool
+	nan      bool
+}
+
+// add accumulates one observation.
+func (s *exactSum) add(v float64) {
+	switch {
+	case v > 0:
+		if math.IsInf(v, 1) {
+			s.posInf = true
+			return
+		}
+		s.pos.add(v)
+	case v < 0:
+		if math.IsInf(v, -1) {
+			s.negInf = true
+			return
+		}
+		s.neg.add(-v)
+	case math.IsNaN(v):
+		s.nan = true
+	}
+	// Exact zero contributes nothing.
+}
+
+// merge folds o into s. s and o may alias.
+func (s *exactSum) merge(o *exactSum) {
+	s.pos.merge(&o.pos)
+	s.neg.merge(&o.neg)
+	s.posInf = s.posInf || o.posInf
+	s.negInf = s.negInf || o.negInf
+	s.nan = s.nan || o.nan
+}
+
+// value reports the accumulated sum as a float64: the signed magnitude
+// difference computed exactly in limb space, then rounded once.
+func (s *exactSum) value() float64 {
+	switch {
+	case s.nan, s.posInf && s.negInf:
+		return math.NaN()
+	case s.posInf:
+		return math.Inf(1)
+	case s.negInf:
+		return math.Inf(-1)
+	}
+	var d sumMag
+	switch s.pos.cmp(&s.neg) {
+	case 1:
+		s.pos.sub(&s.neg, &d)
+		return d.toFloat()
+	case -1:
+		s.neg.sub(&s.pos, &d)
+		return -d.toFloat()
+	default:
+		return 0
+	}
+}

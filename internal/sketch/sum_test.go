@@ -1,0 +1,301 @@
+package sketch
+
+import (
+	"bytes"
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// sumCorpus generates a stream that stresses the accumulator: mixed
+// signs, magnitudes spread across many decades, exact zeros, and
+// subnormals.
+func sumCorpus(seed int64, n int) []float64 {
+	r := rand.New(rand.NewSource(seed))
+	vals := make([]float64, n)
+	for i := range vals {
+		switch r.Intn(10) {
+		case 0:
+			vals[i] = 0
+		case 1:
+			vals[i] = math.Ldexp(float64(1+r.Intn(1<<20)), -1060) // subnormal territory
+		case 2:
+			vals[i] = -math.Pow(10, float64(r.Intn(40)-20)) * r.Float64()
+		default:
+			vals[i] = math.Pow(10, float64(r.Intn(40)-20)) * r.Float64()
+		}
+	}
+	return vals
+}
+
+// TestExactSumMatchesBigFloat checks the accumulator against math/big
+// run at enough precision to be exact for the whole stream: the
+// reported value must match the correctly rounded exact sum to within
+// a couple of ULPs (toFloat truncates below the top two limbs before
+// its single rounding).
+func TestExactSumMatchesBigFloat(t *testing.T) {
+	for _, seed := range []int64{1, 2, 7} {
+		vals := sumCorpus(seed, 2000)
+		var acc exactSum
+		exact := new(big.Float).SetPrec(3000)
+		for _, v := range vals {
+			acc.add(v)
+			exact.Add(exact, new(big.Float).SetPrec(3000).SetFloat64(v))
+		}
+		want, _ := exact.Float64()
+		got := acc.value()
+		if want == 0 {
+			if got != 0 {
+				t.Fatalf("seed %d: got %v, want exactly 0", seed, got)
+			}
+			continue
+		}
+		if rel := math.Abs(got-want) / math.Abs(want); rel > 1e-12 {
+			t.Fatalf("seed %d: accumulator %v vs exact %v (rel %.2e)", seed, got, want, rel)
+		}
+	}
+}
+
+// TestExactSumOrderAndGroupingIndependence is the property fleet
+// aggregation leans on: any permutation of the stream, sharded at any
+// size, accumulates to bit-identical state.
+func TestExactSumOrderAndGroupingIndependence(t *testing.T) {
+	vals := sumCorpus(42, 1500)
+	feed := func(order []int, shardSize int) exactSum {
+		var total exactSum
+		for start := 0; start < len(order); start += shardSize {
+			end := start + shardSize
+			if end > len(order) {
+				end = len(order)
+			}
+			var shard exactSum
+			for _, i := range order[start:end] {
+				shard.add(vals[i])
+			}
+			total.merge(&shard)
+		}
+		return total
+	}
+	ident := make([]int, len(vals))
+	for i := range ident {
+		ident[i] = i
+	}
+	want := feed(ident, len(vals))
+	r := rand.New(rand.NewSource(99))
+	for _, shardSize := range []int{1, 3, 64, 500, len(vals)} {
+		perm := r.Perm(len(vals))
+		got := feed(perm, shardSize)
+		if got != want {
+			t.Fatalf("shard size %d over a permutation: accumulator state differs", shardSize)
+		}
+	}
+}
+
+// TestExactSumSpecials pins the non-finite flags: infinities and NaN
+// dominate, and opposing infinities are NaN (matching float64
+// addition).
+func TestExactSumSpecials(t *testing.T) {
+	var s exactSum
+	s.add(1)
+	s.add(math.Inf(1))
+	if v := s.value(); !math.IsInf(v, 1) {
+		t.Fatalf("sum with +Inf = %v, want +Inf", v)
+	}
+	s.add(math.Inf(-1))
+	if v := s.value(); !math.IsNaN(v) {
+		t.Fatalf("sum with +Inf and -Inf = %v, want NaN", v)
+	}
+	var n exactSum
+	n.add(math.NaN())
+	if v := n.value(); !math.IsNaN(v) {
+		t.Fatalf("sum with NaN = %v, want NaN", v)
+	}
+	var cancel exactSum
+	cancel.add(1e300)
+	cancel.add(-1e300)
+	cancel.add(5)
+	if v := cancel.value(); v != 5 {
+		t.Fatalf("1e300 - 1e300 + 5 = %v, want exactly 5 (no catastrophic cancellation)", v)
+	}
+}
+
+// TestSketchShardSizeInvariance is the tentpole determinism property
+// stated at the sketch layer: one observation stream, sharded at any
+// size and merged, must produce a sketch byte-identical to the
+// single-feed sketch — sum included, with no blessed fold order.
+func TestSketchShardSizeInvariance(t *testing.T) {
+	vals := sumCorpus(7, 4000)
+	single := NewDefault()
+	for _, v := range vals {
+		if math.IsNaN(v) {
+			continue
+		}
+		single.Observe(v)
+	}
+	want := single.Marshal()
+	for _, shards := range []int{1, 2, 7, 16, 100, 999} {
+		if got := shardMerge(vals, shards).Marshal(); !bytes.Equal(got, want) {
+			t.Fatalf("%d shards: merged sketch differs from single-feed bytes", shards)
+		}
+	}
+	// Reversed fold order over the same shards must also agree.
+	parts := make([]*Sketch, 16)
+	for i := range parts {
+		parts[i] = NewDefault()
+	}
+	for i, v := range vals {
+		parts[i%len(parts)].Observe(v)
+	}
+	rev := NewDefault()
+	for i := len(parts) - 1; i >= 0; i-- {
+		rev.Merge(parts[i])
+	}
+	if !bytes.Equal(rev.Marshal(), want) {
+		t.Fatal("reversed fold order changed the merged bytes")
+	}
+}
+
+// TestMergeSelfMarshalStable pins the self-merge edge found while
+// building fleet aggregation: s.Merge(s) must behave exactly like
+// merging an identical twin — doubled counts, doubled sum, stable
+// marshal — not deadlock, drop state, or double-count lazily.
+func TestMergeSelfMarshalStable(t *testing.T) {
+	s := NewDefault()
+	for _, v := range sumCorpus(3, 500) {
+		s.Observe(v)
+	}
+	twin := NewDefault()
+	twin.Merge(s)
+	twin.Merge(s) // twin = 2·s via two distinct merges
+
+	s.Merge(s) // self-merge
+	if !bytes.Equal(s.Marshal(), twin.Marshal()) {
+		t.Fatal("self-merge differs from merging an identical twin")
+	}
+	if s.N() != 1000 {
+		t.Fatalf("self-merge count = %d, want 1000", s.N())
+	}
+	// Marshal must be repeatable after the self-merge.
+	if !bytes.Equal(s.Marshal(), s.Marshal()) {
+		t.Fatal("marshal unstable after self-merge")
+	}
+}
+
+// TestMergeUnderflowOnly pins the underflow-bucket-only edge: sketches
+// whose every observation is at or below MinTrackable (zeros,
+// negatives) must merge, answer quantiles from the exact minimum, and
+// marshal deterministically.
+func TestMergeUnderflowOnly(t *testing.T) {
+	a, b := NewDefault(), NewDefault()
+	for _, v := range []float64{0, -1, -2.5, 0} {
+		a.Observe(v)
+	}
+	for _, v := range []float64{-10, 0} {
+		b.Observe(v)
+	}
+	a.Merge(b)
+	if a.N() != 6 {
+		t.Fatalf("merged N = %d, want 6", a.N())
+	}
+	if got := a.Quantile(0.5); got != -10 {
+		t.Fatalf("underflow-only median = %v, want exact min -10", got)
+	}
+	if got, want := a.Sum(), -13.5; got != want {
+		t.Fatalf("underflow-only sum = %v, want %v", got, want)
+	}
+	// All mass is in the low bucket: marshal carries no (index, count)
+	// pairs beyond the fixed header.
+	if got := len(a.Marshal()); got != 48 {
+		t.Fatalf("underflow-only marshal is %d bytes, want the 48-byte header", got)
+	}
+}
+
+// TestMergeEmptyEdges pins empty-sketch merges in every direction:
+// empty into empty, empty into full, full into empty. The first two
+// are identities; the last is an exact clone.
+func TestMergeEmptyEdges(t *testing.T) {
+	full := NewDefault()
+	for _, v := range sumCorpus(11, 200) {
+		full.Observe(v)
+	}
+	want := full.Marshal()
+
+	e1, e2 := NewDefault(), NewDefault()
+	e1.Merge(e2)
+	if e1.N() != 0 || !bytes.Equal(e1.Marshal(), NewDefault().Marshal()) {
+		t.Fatal("empty⋅empty is not the empty sketch")
+	}
+	full.Merge(NewDefault())
+	if !bytes.Equal(full.Marshal(), want) {
+		t.Fatal("merging an empty sketch changed a full sketch")
+	}
+	clone := NewDefault()
+	clone.Merge(full)
+	if !bytes.Equal(clone.Marshal(), want) {
+		t.Fatal("merging a full sketch into an empty one is not an exact clone")
+	}
+}
+
+// TestGroupMergeAndDo covers the group-level fold fleet shards use:
+// nil-safety, name union, byte-identical grouping independence, and
+// the self-merge special case.
+func TestGroupMergeAndDo(t *testing.T) {
+	var nilG *Group
+	nilG.Merge(NewGroup()) // must not panic
+	NewGroup().Merge(nilG) // must not panic
+	nilG.Do(func(string, *Sketch) { t.Fatal("nil group Do must not call fn") })
+
+	mk := func(seed int64) *Group {
+		g := NewGroup()
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < 300; i++ {
+			g.Observe("latency_ms", 1+99*r.Float64())
+			if i%3 == 0 {
+				g.Observe("goodput_mbps", 40+10*r.Float64())
+			}
+		}
+		return g
+	}
+	marshal := func(g *Group) []byte {
+		var b []byte
+		g.Do(func(name string, s *Sketch) {
+			b = append(b, name...)
+			b = append(b, s.Marshal()...)
+		})
+		return b
+	}
+
+	// (a⋅b)⋅c vs a⋅(b⋅c), byte-identical.
+	abc1 := NewGroup()
+	abc1.Merge(mk(1))
+	abc1.Merge(mk(2))
+	abc1.Merge(mk(3))
+	bc := mk(2)
+	bc.Merge(mk(3))
+	abc2 := mk(1)
+	abc2.Merge(bc)
+	if !bytes.Equal(marshal(abc1), marshal(abc2)) {
+		t.Fatal("group merge is not grouping-independent")
+	}
+
+	// Name union: merging a group with an extra metric creates it.
+	extra := NewGroup()
+	extra.Observe("stall_ms", 3)
+	abc1.Merge(extra)
+	var names []string
+	abc1.Do(func(name string, s *Sketch) { names = append(names, name) })
+	if len(names) != 3 || names[0] != "goodput_mbps" || names[1] != "latency_ms" || names[2] != "stall_ms" {
+		t.Fatalf("Do order/union wrong: %v", names)
+	}
+
+	// Self-merge doubles every sketch, like the twin construction.
+	g := mk(5)
+	twin := NewGroup()
+	twin.Merge(g)
+	twin.Merge(g)
+	g.Merge(g)
+	if !bytes.Equal(marshal(g), marshal(twin)) {
+		t.Fatal("group self-merge differs from merging an identical twin")
+	}
+}

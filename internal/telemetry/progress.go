@@ -27,10 +27,15 @@ type ProgressSketch struct {
 // as a single JSON line. The emitter fills Schema and ElapsedS; the
 // harness's sampler fills the rest.
 type Progress struct {
-	Schema     string           `json:"schema"`
-	ElapsedS   float64          `json:"elapsed_s"`
-	Done       int              `json:"done"`
-	Total      int              `json:"total"`
+	Schema   string  `json:"schema"`
+	ElapsedS float64 `json:"elapsed_s"`
+	Done     int     `json:"done"`
+	Total    int     `json:"total"`
+	// RatePerS is the completion rate in done-units per wall second
+	// (UEs/sec for fleet runs, jobs/sec for sweeps). The emitter
+	// derives it from Done and elapsed time when the sampler leaves it
+	// zero.
+	RatePerS   float64          `json:"rate_per_s,omitempty"`
 	Cached     int              `json:"cached,omitempty"`
 	Violations int              `json:"violations,omitempty"`
 	Sketches   []ProgressSketch `json:"sketches,omitempty"`
@@ -69,6 +74,9 @@ func StartProgress(w io.Writer, every time.Duration, sample func() Progress) (st
 		p := sample()
 		p.Schema = ProgressSchema
 		p.ElapsedS = roundMS(time.Since(start).Seconds())
+		if p.RatePerS == 0 && p.Done > 0 && p.ElapsedS > 0 {
+			p.RatePerS = roundMS(float64(p.Done) / p.ElapsedS)
+		}
 		b, err := json.Marshal(p)
 		if err != nil {
 			return

@@ -86,6 +86,24 @@ func (r *Report) AddSketch(name string, s *sketch.Sketch) {
 	})
 }
 
+// SketchSummaries converts a sketch.Group snapshot into report form,
+// dropping empty sketches — the shape fleet reports embed wholesale.
+// The input is already name-sorted (Group.Snapshot), so the result is
+// deterministic.
+func SketchSummaries(sums []sketch.Summary) []SketchSummary {
+	out := make([]SketchSummary, 0, len(sums))
+	for _, s := range sums {
+		if s.N == 0 {
+			continue
+		}
+		out = append(out, SketchSummary{
+			Name: s.Name, N: s.N, Mean: s.Mean, Min: s.Min, Max: s.Max,
+			P50: s.P50, P95: s.P95, P99: s.P99,
+		})
+	}
+	return out
+}
+
 // AttachCounters snapshots reg into the report, replacing any earlier
 // snapshot. A nil registry clears the section.
 func (r *Report) AttachCounters(reg *Registry) {
