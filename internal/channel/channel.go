@@ -85,6 +85,13 @@ type Channel struct {
 	// toB carries A→B traffic, toA carries B→A traffic.
 	toB, toA *netem.Link
 	sinks    [2]netem.Sink // indexed by receiving Side
+	// group is the owning Group (set by NewGroup); outage recovery
+	// notifies its wake-on-up waiters.
+	group *Group
+	// downUntil is the advisory end time of the active fault outage
+	// (0 = none or unknown), recorded by SetOutageUntil so the outage
+	// experiment's fast-forward can prove how long the blackout lasts.
+	downUntil time.Duration
 }
 
 // New builds a channel on the given loop. Delivery sinks start unset;
@@ -181,10 +188,41 @@ func (c *Channel) link(from Side) *netem.Link {
 
 // SetOutage blacks out (or restores) both directions of the channel.
 // Packets already serialized still arrive; queued packets wait.
+// Restoring a channel fires the owning group's wake-on-up waiters.
 func (c *Channel) SetOutage(down bool) {
+	wasDown := c.Down()
 	c.toA.SetDown(down)
 	c.toB.SetDown(down)
+	if !down {
+		c.downUntil = 0
+		if wasDown && c.group != nil {
+			c.group.notifyUp()
+		}
+	}
 }
+
+// SetOutageUntil blacks out the channel like SetOutage(true) and
+// records the scheduled recovery time as an advisory hint readable via
+// DownUntil. The fault layer knows each window's duration, so it can
+// tell consumers how long the blackout will last — which is what lets
+// the outage experiment fast-forward across it.
+func (c *Channel) SetOutageUntil(until time.Duration) {
+	c.SetOutage(true)
+	c.downUntil = until
+}
+
+// DownUntil reports the advisory recovery time of the active outage,
+// or 0 when the channel is up or the outage has no known end.
+func (c *Channel) DownUntil() time.Duration { return c.downUntil }
+
+// Headroom reports the entry-queue bytes still available in the
+// direction leaving side from.
+func (c *Channel) Headroom(from Side) int { return c.link(from).Headroom() }
+
+// Transmitting reports whether the direction leaving side from has a
+// packet mid-serialization (or a trace wake pending); see
+// netem.Link.Transmitting.
+func (c *Channel) Transmitting(from Side) bool { return c.link(from).Transmitting() }
 
 // Down reports whether a fault outage is active on either direction.
 // Steering policies consult it to fail over off a dead channel and to
@@ -228,9 +266,10 @@ func (c *Channel) LossFnInstalled(from Side) bool { return c.link(from).LossFnIn
 // object both endpoints share, so packets recycled by the receiving
 // side are reused by the sending side (see packet.Pool).
 type Group struct {
-	channels []*Channel
-	byName   map[string]*Channel
-	pool     packet.Pool
+	channels  []*Channel
+	byName    map[string]*Channel
+	pool      packet.Pool
+	upWaiters []func()
 }
 
 // NewGroup collects channels into a group, preserving order. Duplicate
@@ -241,10 +280,41 @@ func NewGroup(chs ...*Channel) *Group {
 		if _, dup := g.byName[c.Name()]; dup {
 			panic("channel: duplicate channel name " + c.Name())
 		}
+		c.group = g
 		g.channels = append(g.channels, c)
 		g.byName[c.Name()] = c
 	}
 	return g
+}
+
+// AllDown reports whether every channel of the group is in a fault
+// outage. Transports check it before arming entry-drop retry timers:
+// when it holds, polling cannot succeed, and WakeOnUp is the way to
+// resume.
+func (g *Group) AllDown() bool {
+	for _, c := range g.channels {
+		if !c.Down() {
+			return false
+		}
+	}
+	return len(g.channels) > 0
+}
+
+// WakeOnUp registers a one-shot callback to run the next time any down
+// channel of the group is restored. It replaces blind retry polling
+// during a total blackout: an hour-long outage costs zero retry events
+// because every blocked sender parks here and is woken exactly once.
+func (g *Group) WakeOnUp(fn func()) { g.upWaiters = append(g.upWaiters, fn) }
+
+// notifyUp drains the wake-on-up list. Callbacks may re-register
+// (their retry can fail again); those wait for the next restoration.
+func (g *Group) notifyUp() {
+	ws := g.upWaiters
+	g.upWaiters = nil
+	for i, fn := range ws {
+		ws[i] = nil
+		fn()
+	}
 }
 
 // All returns the group's channels in construction order. The slice is

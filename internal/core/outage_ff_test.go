@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"hvc/internal/telemetry"
+)
+
+// ffScenario is the hour-blackout scenario the fast-forward targets:
+// both channels down for an hour with a couple of seconds of live
+// traffic on either side, queues capped small enough to saturate
+// within the lead-in.
+var ffScenario = OutageConfig{
+	Seed:       1,
+	Duration:   3604 * time.Second,
+	Policy:     PolicyRedundant,
+	Fault:      "outage:ch=embb,at=2s,dur=3600s;outage:ch=urllc,at=2s,dur=3600s",
+	QueueBytes: 64 << 10,
+}
+
+// The quiet-time fast-forward must be invisible in every reported
+// figure: skipping frame events during a provably dead blackout may
+// change only the event count. An enabled tracer disables the skip
+// (traced runs must log every frame decision), which is exactly the
+// reference execution to compare against.
+func TestOutageFastForwardMatchesFullRun(t *testing.T) {
+	for _, policy := range []string{PolicyEMBBOnly, PolicyDChannel, PolicyRedundant} {
+		cfg := ffScenario
+		cfg.Policy = policy
+		cfg.Duration = 64 * time.Second
+		cfg.Fault = "outage:ch=embb,at=2s,dur=60s;outage:ch=urllc,at=2s,dur=60s"
+		skip, err := RunOutage(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Tracer = telemetry.New()
+		full, err := RunOutage(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if skip.Sent != full.Sent || skip.Delivered != full.Delivered ||
+			skip.Stall != full.Stall || skip.Delay.N() != full.Delay.N() ||
+			skip.Delay.Mean() != full.Delay.Mean() ||
+			skip.Delay.Percentile(99) != full.Delay.Percentile(99) {
+			t.Errorf("policy %s: fast-forward changed results:\nskip: %+v\nfull: %+v", policy, skip, full)
+		}
+		// Only the replicating policy saturates every channel's queue,
+		// which is what the policy-agnostic skip condition needs: under
+		// a single-channel policy the untouched channel keeps headroom,
+		// so a frame could be queued (and delivered after recovery) —
+		// skipping would be unsound, and the experiment correctly
+		// doesn't.
+		if policy == PolicyRedundant && skip.Events >= full.Events {
+			t.Errorf("policy %s: fast-forward saved nothing: %d vs %d events", policy, skip.Events, full.Events)
+		}
+	}
+}
+
+// The hour-long blackout is the acceptance scenario: with every
+// channel provably dead and the queues saturated, the blackout's
+// frame timers are cancelled wholesale and the run executes at least
+// 100x fewer loop events than the frame-by-frame execution.
+func TestOutageFastForwardEventCollapse(t *testing.T) {
+	skip, err := RunOutage(ffScenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ffScenario
+	cfg.Tracer = telemetry.New()
+	full, err := RunOutage(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skip.Delivered != full.Delivered || skip.Stall != full.Stall {
+		t.Fatalf("fast-forward changed results: %+v vs %+v", skip, full)
+	}
+	if full.Events < 100*skip.Events {
+		t.Errorf("hour blackout: %d events with fast-forward, %d without — want >= 100x reduction",
+			skip.Events, full.Events)
+	}
+}
+
+// A reliable-mode blackout must not poll: the connection parks on the
+// group's wake-on-up list instead of arming the 10 ms entry-drop
+// retry timer, so event counts stay bounded by RTO backoff, not by
+// blackout length. Doubling the blackout may only add a handful of
+// (exponentially backed-off) RTO events, not tens of thousands of
+// polls.
+func TestReliableBlackoutDoesNotPoll(t *testing.T) {
+	run := func(blackout time.Duration) OutageResult {
+		res, err := RunOutage(OutageConfig{
+			Seed:     1,
+			Duration: blackout + 4*time.Second,
+			Policy:   PolicyRedundant,
+			Fault: "outage:ch=embb,at=2s,dur=" + blackout.String() +
+				";outage:ch=urllc,at=2s,dur=" + blackout.String(),
+			QueueBytes: 64 << 10,
+			Reliable:   true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	short, long := run(600*time.Second), run(1200*time.Second)
+	// The extra 600 s of blackout unavoidably costs one event per
+	// 33 ms frame timer (~18k; reliable mode cannot skip frames — they
+	// queue for retransmission). The 10 ms entry-drop retry timer
+	// would add another ~60k polls on top; the wake-on-up path must
+	// keep the total near the frame floor.
+	if extra := int64(long.Events) - int64(short.Events); extra > 25_000 {
+		t.Errorf("reliable blackout still polls: doubling the blackout added %d events", extra)
+	}
+}

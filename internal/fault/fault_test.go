@@ -403,3 +403,48 @@ func TestInjectDeterministic(t *testing.T) {
 		t.Fatal("different seeds produced identical burst traces (stream not seeded)")
 	}
 }
+
+// The outage apply hook records an advisory recovery hint
+// (DownUntil) that the quiet-time fast-forward reads to prove a
+// blackout dead. The hint must be visible mid-window with the exact
+// recovery instant, and the restore hook must clear it — even when the
+// loop has nothing else scheduled inside the window, i.e. when the
+// scheduler jumps straight across the blackout.
+func TestInjectOutageWindowRestoreAcrossJump(t *testing.T) {
+	loop, g, _ := world(1)
+	spec, err := ParseSpec("outage:ch=embb,at=1s,dur=1h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Inject(loop, g, spec, nil); err != nil {
+		t.Fatal(err)
+	}
+	ch := g.All()[0]
+	const recovery = time.Second + time.Hour
+	// One lone timer deep inside the blackout: the loop leaps from the
+	// apply event to here in a single step, and the hint must already
+	// be in place.
+	var sawMid bool
+	loop.At(30*time.Minute, func() {
+		sawMid = true
+		if !ch.Down() {
+			t.Error("channel up mid-blackout")
+		}
+		if got := ch.DownUntil(); got != recovery {
+			t.Errorf("DownUntil mid-blackout = %v, want %v", got, recovery)
+		}
+	})
+	loop.Run()
+	if !sawMid {
+		t.Fatal("mid-blackout timer never fired")
+	}
+	if loop.Now() < recovery {
+		t.Fatalf("loop stopped at %v, before the restore at %v", loop.Now(), recovery)
+	}
+	if ch.Down() {
+		t.Error("channel still down after the window")
+	}
+	if got := ch.DownUntil(); got != 0 {
+		t.Errorf("DownUntil after restore = %v, want 0", got)
+	}
+}

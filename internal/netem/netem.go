@@ -81,6 +81,7 @@ type Link struct {
 	lastArrival time.Duration // FIFO clamp for delay decreases
 
 	inflight []*packet.Packet // inflight[inHead:] awaits arrival
+	arrivals []time.Duration  // parallel ring: each packet's arrival time
 	inHead   int
 
 	onTxDone    func()
@@ -153,6 +154,17 @@ func (l *Link) QueuedBytes() int { return l.queuedBytes }
 
 // queued reports the number of packets awaiting transmission.
 func (l *Link) queued() int { return len(l.queue) - l.head }
+
+// Headroom reports the queue bytes still available at entry: a packet
+// larger than this is dropped by Send. The quiet-time fast-forward in
+// the outage experiment uses it to prove a send cannot be accepted.
+func (l *Link) Headroom() int { return l.cfg.QueueBytes - l.queuedBytes }
+
+// Transmitting reports whether the link has work in progress: a packet
+// mid-serialization or a trace-outage wake pending. While it is false
+// and the link is down, the queue cannot drain, so Headroom cannot
+// grow — the monotonicity the fast-forward soundness argument needs.
+func (l *Link) Transmitting() bool { return l.busy }
 
 // QueueDelay estimates how long a newly arriving byte would wait before
 // starting transmission, given current conditions. During an outage it
@@ -303,8 +315,17 @@ func (l *Link) kick() {
 	cond := l.cfg.Trace.At(now)
 	rate := cond.Rate * l.rateScale
 	if rate <= 0 {
+		// Trace outage: sleep straight to the first boundary that
+		// restores capacity instead of waking at every intermediate
+		// zero-rate segment, bounded by one trace repetition (an
+		// all-zero trace still wakes once per cycle to re-scan).
+		wake := l.cfg.Trace.NextChange(now)
+		limit := now + l.cfg.Trace.Duration()
+		for wake < limit && l.cfg.Trace.At(wake).Rate <= 0 {
+			wake = l.cfg.Trace.NextChange(wake)
+		}
 		l.busy = true
-		l.loop.At(l.cfg.Trace.NextChange(now), l.onOutageEnd)
+		l.loop.At(wake, l.onOutageEnd)
 		return
 	}
 	p := l.queue[l.head]
@@ -356,11 +377,19 @@ func (l *Link) finishTx() {
 	if arrival < l.lastArrival {
 		arrival = l.lastArrival
 	}
-	l.lastArrival = arrival
 	l.stats.Delivered++
 	l.stats.BytesDelivered += int64(p.Size)
+	// One arrival event per distinct timestamp: a packet whose clamped
+	// arrival equals the ring tail's rides the event already scheduled
+	// for that instant, and deliver drains the whole burst in one
+	// callback. Arrivals are nondecreasing, so "equals the tail" is
+	// exactly "not later than every pending packet".
+	if l.inHead == len(l.inflight) || arrival > l.lastArrival {
+		l.loop.At(arrival, l.onArrive)
+	}
+	l.lastArrival = arrival
 	l.inflight = append(l.inflight, p)
-	l.loop.At(arrival, l.onArrive)
+	l.arrivals = append(l.arrivals, arrival)
 
 	l.kick()
 }
@@ -385,8 +414,11 @@ func (l *Link) checkConservation() {
 	}
 }
 
-// deliver hands the oldest in-flight packet to the sink.
+// deliver hands every in-flight packet whose arrival time has come to
+// the sink — the whole same-timestamp burst in one callback, rather
+// than one loop event per packet.
 func (l *Link) deliver() {
+	now := l.loop.Now()
 	if invariant.Enabled() {
 		l.checkConservation()
 		if l.inHead >= len(l.inflight) {
@@ -396,25 +428,28 @@ func (l *Link) deliver() {
 		// Arrivals are FIFO by construction (the lastArrival clamp);
 		// a delivery past the recorded horizon means the ring and the
 		// scheduled arrival events have come apart.
-		if now := l.loop.Now(); now > l.lastArrival {
+		if now > l.lastArrival {
 			invariant.Failf("netem", "fifo-arrival",
 				"link %q: delivery at %v after last scheduled arrival %v", l.cfg.Name, now, l.lastArrival)
 		}
 	}
-	p := l.inflight[l.inHead]
-	l.inflight[l.inHead] = nil
-	l.inHead++
+	for l.inHead < len(l.inflight) && l.arrivals[l.inHead] <= now {
+		p := l.inflight[l.inHead]
+		l.inflight[l.inHead] = nil
+		l.inHead++
+		if l.tracer.Enabled() {
+			l.tracer.Emit(telemetry.Event{
+				Layer: telemetry.LayerChannel, Name: telemetry.EvDeliver,
+				Channel: l.cfg.Name, Flow: uint32(p.Flow), Seq: p.Seq,
+				Bytes: p.Size, Dur: now - p.SentAt,
+			})
+			l.tracer.Count("netem_delivered_bytes_total", float64(p.Size), "channel", l.cfg.Name)
+		}
+		l.sink(p)
+	}
 	if l.inHead == len(l.inflight) {
 		l.inflight = l.inflight[:0]
+		l.arrivals = l.arrivals[:0]
 		l.inHead = 0
 	}
-	if l.tracer.Enabled() {
-		l.tracer.Emit(telemetry.Event{
-			Layer: telemetry.LayerChannel, Name: telemetry.EvDeliver,
-			Channel: l.cfg.Name, Flow: uint32(p.Flow), Seq: p.Seq,
-			Bytes: p.Size, Dur: l.loop.Now() - p.SentAt,
-		})
-		l.tracer.Count("netem_delivered_bytes_total", float64(p.Size), "channel", l.cfg.Name)
-	}
-	l.sink(p)
 }

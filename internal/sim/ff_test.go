@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// A quiet-time jump is what the wheel (and the outage fast-forward)
+// produce when every event between now and some far deadline is
+// cancelled: the clock leaps there in one step. A Periodic must keep
+// re-arming across such a jump with its cadence intact, and timers
+// scheduled *inside* the jumped-over interval by surviving callbacks
+// must still fire in order. Run the same program on both schedulers
+// and demand identical traces.
+func TestPeriodicRearmAcrossQuietJump(t *testing.T) {
+	type fire struct {
+		at   time.Duration
+		what string
+	}
+	run := func(kind Scheduler) []fire {
+		l := NewLoopSched(1, kind)
+		var got []fire
+		p := Every(l, 7*time.Millisecond, func() {
+			got = append(got, fire{l.Now(), "tick"})
+		})
+		// A dense block of timers filling [0, 500ms]... all cancelled,
+		// so the stretch between the surviving events is pure quiet
+		// time the scheduler may cross however it likes.
+		var cancelled []Timer
+		for i := 0; i < 400; i++ {
+			cancelled = append(cancelled, l.At(time.Duration(i+1)*time.Millisecond, func() {
+				t.Error("cancelled timer fired")
+			}))
+		}
+		for _, c := range cancelled {
+			c.Stop()
+		}
+		// A survivor in the middle schedules a new timer further into
+		// the formerly dense interval.
+		l.At(250*time.Millisecond, func() {
+			got = append(got, fire{l.Now(), "mid"})
+			l.At(333*time.Millisecond, func() {
+				got = append(got, fire{l.Now(), "inner"})
+			})
+		})
+		l.RunUntil(420 * time.Millisecond)
+		p.Stop()
+		return got
+	}
+	heap, wheel := run(Heap), run(Wheel)
+	if len(heap) != len(wheel) {
+		t.Fatalf("heap fired %d events, wheel %d", len(heap), len(wheel))
+	}
+	var ticks int
+	for i := range heap {
+		if heap[i] != wheel[i] {
+			t.Fatalf("trace diverges at %d: heap %+v, wheel %+v", i, heap[i], wheel[i])
+		}
+		switch heap[i].what {
+		case "tick":
+			ticks++
+			if want := time.Duration(ticks) * 7 * time.Millisecond; heap[i].at != want {
+				t.Fatalf("tick %d at %v, want %v — cadence drifted across the jump", ticks, heap[i].at, want)
+			}
+		case "mid":
+			if heap[i].at != 250*time.Millisecond {
+				t.Fatalf("mid survivor fired at %v", heap[i].at)
+			}
+		case "inner":
+			if heap[i].at != 333*time.Millisecond {
+				t.Fatalf("inner timer fired at %v", heap[i].at)
+			}
+		}
+	}
+	if want := int(420 / 7); ticks != want {
+		t.Fatalf("got %d periodic ticks, want %d", ticks, want)
+	}
+}

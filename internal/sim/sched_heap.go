@@ -1,0 +1,10 @@
+//go:build !sim_wheel
+
+package sim
+
+// DefaultScheduler is the event-queue implementation NewLoop selects.
+// The default build uses the 4-ary heap; building with -tags sim_wheel
+// flips every loop in the binary onto the timing wheel, which is how
+// CI's scheduler-matrix leg proves the two produce byte-identical
+// experiment results.
+const DefaultScheduler = Heap

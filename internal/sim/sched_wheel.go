@@ -1,0 +1,8 @@
+//go:build sim_wheel
+
+package sim
+
+// DefaultScheduler under -tags sim_wheel: every NewLoop in the binary
+// runs on the hierarchical timing wheel. Results must be byte-identical
+// to the default heap build; CI's scheduler-matrix leg enforces it.
+const DefaultScheduler = Wheel

@@ -1,0 +1,273 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// FuzzWheelVsHeap drives a heap-backed and a wheel-backed loop with the
+// same byte-derived program of schedule / cancel / step operations and
+// demands identical observable behaviour: firing order, clock, pending
+// count, and Stop results. Delays are drawn at three magnitudes so the
+// program exercises the ready buffer (sub-tick), the level hierarchy
+// (seconds to minutes), and the overflow list (days, past the ~78 h
+// horizon).
+func FuzzWheelVsHeap(f *testing.F) {
+	f.Add([]byte{0, 10, 0, 5, 2, 0, 1, 0, 0, 0})
+	f.Add([]byte{4, 200, 0, 0, 2, 0, 4, 100, 2, 0, 2, 0})
+	// Horizon-crossing schedule mixed with short timers.
+	f.Add([]byte{5, 1, 0, 3, 2, 0, 5, 2, 2, 0, 2, 0, 2, 0})
+	// Cancel-heavy churn across magnitudes.
+	seed := make([]byte, 0, 400)
+	for i := 0; i < 50; i++ {
+		seed = append(seed, byte(i%6), byte(i*11))
+	}
+	for i := 0; i < 50; i++ {
+		seed = append(seed, 1, byte(i*3))
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		hl := NewLoopSched(1, Heap)
+		wl := NewLoopSched(1, Wheel)
+		var hGot, wGot []int
+		var hTimers, wTimers []Timer
+		nextID := 0
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i]%6, data[i+1]
+			switch op {
+			case 0, 3: // schedule sub-tick to a few ms
+				id := nextID
+				nextID++
+				d := time.Duration(arg) * 37 * time.Microsecond
+				hTimers = append(hTimers, hl.After(d, func() { hGot = append(hGot, id) }))
+				wTimers = append(wTimers, wl.After(d, func() { wGot = append(wGot, id) }))
+			case 4: // schedule across wheel levels
+				id := nextID
+				nextID++
+				d := time.Duration(arg) * 977 * time.Millisecond
+				hTimers = append(hTimers, hl.After(d, func() { hGot = append(hGot, id) }))
+				wTimers = append(wTimers, wl.After(d, func() { wGot = append(wGot, id) }))
+			case 5: // schedule past the wheel horizon
+				id := nextID
+				nextID++
+				d := time.Duration(arg) * 13 * time.Hour
+				hTimers = append(hTimers, hl.After(d, func() { hGot = append(hGot, id) }))
+				wTimers = append(wTimers, wl.After(d, func() { wGot = append(wGot, id) }))
+			case 1: // cancel an arbitrary earlier timer
+				if len(hTimers) == 0 {
+					continue
+				}
+				j := int(arg) % len(hTimers)
+				hs, ws := hTimers[j].Stop(), wTimers[j].Stop()
+				if hs != ws {
+					t.Fatalf("op %d: Stop(timer %d): heap %v, wheel %v", i/2, j, hs, ws)
+				}
+			case 2: // run one event
+				hs, ws := hl.Step(), wl.Step()
+				if hs != ws {
+					t.Fatalf("op %d: Step(): heap %v, wheel %v", i/2, hs, ws)
+				}
+			}
+			if hl.Now() != wl.Now() {
+				t.Fatalf("op %d: clock diverged: heap %v, wheel %v", i/2, hl.Now(), wl.Now())
+			}
+			if hl.Pending() != wl.Pending() {
+				t.Fatalf("op %d: pending diverged: heap %d, wheel %d", i/2, hl.Pending(), wl.Pending())
+			}
+		}
+		hl.Run()
+		wl.Run()
+		if len(hGot) != len(wGot) {
+			t.Fatalf("heap fired %d events, wheel fired %d", len(hGot), len(wGot))
+		}
+		for i := range hGot {
+			if hGot[i] != wGot[i] {
+				t.Fatalf("firing order diverges at %d: heap ran %d, wheel ran %d\nheap:  %v\nwheel: %v",
+					i, hGot[i], wGot[i], hGot, wGot)
+			}
+		}
+		if hl.Now() != wl.Now() {
+			t.Fatalf("final clock: heap %v, wheel %v", hl.Now(), wl.Now())
+		}
+		if hl.Events() != wl.Events() {
+			t.Fatalf("events counter: heap %d, wheel %d", hl.Events(), wl.Events())
+		}
+	})
+}
+
+// A long randomized soak of the same differential property, so plain
+// `go test` exercises deep wheel behaviour (cascades, compaction,
+// rebase) without waiting for the fuzzer.
+func TestWheelMatchesHeapRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		hl := NewLoopSched(1, Heap)
+		wl := NewLoopSched(1, Wheel)
+		var hGot, wGot []time.Duration
+		var hTimers, wTimers []Timer
+		for op := 0; op < 4000; op++ {
+			switch rng.Intn(5) {
+			case 0, 1:
+				var d time.Duration
+				switch rng.Intn(4) {
+				case 0:
+					d = time.Duration(rng.Intn(1000)) * time.Microsecond
+				case 1:
+					d = time.Duration(rng.Intn(1000)) * time.Millisecond
+				case 2:
+					d = time.Duration(rng.Intn(100)) * time.Second
+				case 3:
+					d = time.Duration(rng.Intn(200)) * time.Hour // overflow territory
+				}
+				hTimers = append(hTimers, hl.After(d, func() { hGot = append(hGot, hl.Now()) }))
+				wTimers = append(wTimers, wl.After(d, func() { wGot = append(wGot, wl.Now()) }))
+			case 2:
+				if len(hTimers) > 0 {
+					j := rng.Intn(len(hTimers))
+					if hs, ws := hTimers[j].Stop(), wTimers[j].Stop(); hs != ws {
+						t.Fatalf("trial %d: Stop diverged: heap %v wheel %v", trial, hs, ws)
+					}
+				}
+			case 3, 4:
+				if hs, ws := hl.Step(), wl.Step(); hs != ws {
+					t.Fatalf("trial %d: Step diverged", trial)
+				}
+			}
+		}
+		hl.Run()
+		wl.Run()
+		if len(hGot) != len(wGot) {
+			t.Fatalf("trial %d: heap fired %d, wheel fired %d", trial, len(hGot), len(wGot))
+		}
+		for i := range hGot {
+			if hGot[i] != wGot[i] {
+				t.Fatalf("trial %d: firing time %d diverged: heap %v, wheel %v", trial, i, hGot[i], wGot[i])
+			}
+		}
+		if hl.Now() != wl.Now() {
+			t.Fatalf("trial %d: final clock heap %v wheel %v", trial, hl.Now(), wl.Now())
+		}
+	}
+}
+
+// The wheel must honour the same compaction bound as the heap: a
+// cancel-heavy workload keeps physical occupancy proportional to the
+// live event count.
+func TestWheelCancelledEventsAreCompacted(t *testing.T) {
+	l := NewLoopSched(1, Wheel)
+	const rounds = 100
+	const perRound = 200
+	var maxQueue int
+	for r := 0; r < rounds; r++ {
+		timers := make([]Timer, perRound)
+		deadline := time.Duration(r+1) * time.Second
+		for i := range timers {
+			timers[i] = l.At(deadline, func() { t.Error("cancelled timer fired") })
+		}
+		for i := range timers {
+			if !timers[i].Stop() {
+				t.Fatal("Stop on a pending timer returned false")
+			}
+		}
+		if n := l.queueSize(); n > maxQueue {
+			maxQueue = n
+		}
+	}
+	if bound := 2*perRound + compactMin; maxQueue > bound {
+		t.Errorf("wheel occupancy reached %d entries, want <= %d", maxQueue, bound)
+	}
+	l.Run()
+	if n := l.queueSize(); n != 0 {
+		t.Errorf("queue holds %d entries after Run, want 0", n)
+	}
+}
+
+// Overflow entries (past the ~78 h horizon) must fire at the right
+// times and in the right order once the wheels rebase onto them.
+func TestWheelOverflowRebase(t *testing.T) {
+	l := NewLoopSched(1, Wheel)
+	var fired []time.Duration
+	record := func() { fired = append(fired, l.Now()) }
+	l.At(200*time.Hour, record)
+	l.At(100*time.Hour, record)
+	l.At(time.Millisecond, record)
+	l.At(100*time.Hour+time.Microsecond, record)
+	l.Run()
+	want := []time.Duration{
+		time.Millisecond, 100 * time.Hour, 100*time.Hour + time.Microsecond, 200 * time.Hour,
+	}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(fired), len(want))
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("firing %d at %v, want %v", i, fired[i], want[i])
+		}
+	}
+}
+
+// The wheel path must stay allocation-free in steady state, like the
+// heap (the ready buffer, buckets, and slot table all recycle).
+func TestWheelAfterStepAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	l := NewLoopSched(1, Wheel)
+	fn := func() {}
+	for i := 0; i < 128; i++ {
+		l.After(time.Duration(i%13)*time.Microsecond, fn)
+	}
+	l.Run()
+	if avg := testing.AllocsPerRun(200, func() {
+		l.After(time.Microsecond, fn)
+		l.Step()
+	}); avg != 0 {
+		t.Errorf("wheel After+Step allocates %v/op in steady state, want 0", avg)
+	}
+}
+
+// BenchmarkWheelAfterStep is the wheel twin of BenchmarkAfterStep; the
+// scheduler choice is the only difference.
+func BenchmarkWheelAfterStep(b *testing.B) {
+	l := NewLoopSched(1, Wheel)
+	fn := func() {}
+	for i := 0; i < 128; i++ {
+		l.After(time.Duration(i%13)*time.Microsecond, fn)
+	}
+	l.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.After(time.Microsecond, fn)
+		l.Step()
+	}
+}
+
+// BenchmarkDenseTimers measures both schedulers in the regime the wheel
+// targets: thousands of outstanding timers with constant churn, where
+// the heap pays O(log n) per operation and the wheel does not.
+func BenchmarkDenseTimers(b *testing.B) {
+	for _, sched := range []struct {
+		name string
+		kind Scheduler
+	}{{"heap", Heap}, {"wheel", Wheel}} {
+		b.Run(sched.name, func(b *testing.B) {
+			l := NewLoopSched(1, sched.kind)
+			fn := func() {}
+			// Standing population: 8k timers spread over 100ms.
+			for i := 0; i < 8192; i++ {
+				l.After(time.Duration(i%100)*time.Millisecond+time.Duration(i)*time.Microsecond, fn)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				l.After(50*time.Millisecond, fn)
+				l.Step()
+			}
+		})
+	}
+}

@@ -40,13 +40,14 @@ func cacheLoad(dir string, j job) ([]MetricValue, bool) {
 	if dir == "" {
 		return nil, false
 	}
-	path := cachePath(dir, j)
+	key := j.key()
+	path := cacheKeyPath(dir, key)
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, false // absent (the common miss): nothing to clean
 	}
 	var e cacheEntry
-	if err := json.Unmarshal(data, &e); err != nil || e.Key != j.key() || e.Metrics == nil {
+	if err := json.Unmarshal(data, &e); err != nil || e.Key != key || e.Metrics == nil {
 		os.Remove(path)
 		return nil, false
 	}
@@ -60,11 +61,12 @@ func cacheStore(dir string, j job, metrics []MetricValue) error {
 	if dir == "" {
 		return nil
 	}
-	path := cachePath(dir, j)
+	key := j.key()
+	path := cacheKeyPath(dir, key)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("sweep: cache: %w", err)
 	}
-	data, err := json.MarshalIndent(cacheEntry{Key: j.key(), Metrics: metrics}, "", "  ")
+	data, err := json.MarshalIndent(cacheEntry{Key: key, Metrics: metrics}, "", "  ")
 	if err != nil {
 		return fmt.Errorf("sweep: cache: %w", err)
 	}
@@ -86,5 +88,11 @@ func cacheStore(dir string, j job, metrics []MetricValue) error {
 }
 
 func cachePath(dir string, j job) string {
-	return filepath.Join(dir, "v1", j.hash()+".json")
+	return cacheKeyPath(dir, j.key())
+}
+
+// cacheKeyPath addresses an already-rendered key, so load/store build
+// the key exactly once per lookup.
+func cacheKeyPath(dir, key string) string {
+	return filepath.Join(dir, "v1", hashKey(key)+".json")
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime/debug"
 	"strings"
+	"sync"
 	"time"
 
 	"hvc/internal/core"
@@ -62,28 +63,48 @@ func (j job) key() string {
 	return b.String()
 }
 
-// hash is the job's cache address: SHA-256 of its canonical key.
-func (j job) hash() string {
-	sum := sha256.Sum256([]byte(j.key()))
+// hashKey is a rendered key's cache address: its SHA-256. Callers
+// render the key once and reuse it for both the address and the hit
+// check — key() walks the config fingerprints, so rebuilding it per
+// lookup is what made the cached-sweep path regress.
+func hashKey(key string) string {
+	sum := sha256.Sum256([]byte(key))
 	return hex.EncodeToString(sum[:])
 }
+
+// hash is the job's cache address: SHA-256 of its canonical key.
+func (j job) hash() string {
+	return hashKey(j.key())
+}
+
+var codeVersionOnce = struct {
+	sync.Once
+	v string
+}{}
 
 // codeVersion identifies the simulator build in cache keys. Module
 // version and VCS revision are stamped into release builds; a dev
 // build without them relies on the fingerprints and schema tags above,
-// plus the documented rule that .hvcsweep/ is cheap to delete.
+// plus the documented rule that .hvcsweep/ is cheap to delete. The
+// build info cannot change while the process runs, so it is read once:
+// debug.ReadBuildInfo re-parses the embedded module data on every
+// call, which dominated cached-sweep lookups.
 func codeVersion() string {
-	info, ok := debug.ReadBuildInfo()
-	if !ok {
-		return "unknown"
-	}
-	version, revision := info.Main.Version, ""
-	for _, s := range info.Settings {
-		if s.Key == "vcs.revision" {
-			revision = s.Value
+	codeVersionOnce.Do(func() {
+		info, ok := debug.ReadBuildInfo()
+		if !ok {
+			codeVersionOnce.v = "unknown"
+			return
 		}
-	}
-	return version + "+" + revision
+		version, revision := info.Main.Version, ""
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" {
+				revision = s.Value
+			}
+		}
+		codeVersionOnce.v = version + "+" + revision
+	})
+	return codeVersionOnce.v
 }
 
 // run executes the job's simulation and returns its metrics, in the

@@ -35,7 +35,12 @@ type Progress struct {
 	// (UEs/sec for fleet runs, jobs/sec for sweeps). The emitter
 	// derives it from Done and elapsed time when the sampler leaves it
 	// zero.
-	RatePerS   float64          `json:"rate_per_s,omitempty"`
+	RatePerS float64 `json:"rate_per_s,omitempty"`
+	// EtaS estimates the remaining wall seconds at the current rate.
+	// The emitter derives it from Total, Done, and RatePerS; it is
+	// omitted until a rate exists and once the run is done, so
+	// consumers must treat it as advisory, not monotone.
+	EtaS       float64          `json:"eta_s,omitempty"`
 	Cached     int              `json:"cached,omitempty"`
 	Violations int              `json:"violations,omitempty"`
 	Sketches   []ProgressSketch `json:"sketches,omitempty"`
@@ -76,6 +81,9 @@ func StartProgress(w io.Writer, every time.Duration, sample func() Progress) (st
 		p.ElapsedS = roundMS(time.Since(start).Seconds())
 		if p.RatePerS == 0 && p.Done > 0 && p.ElapsedS > 0 {
 			p.RatePerS = roundMS(float64(p.Done) / p.ElapsedS)
+		}
+		if p.EtaS == 0 && p.RatePerS > 0 && p.Total > 0 && p.Done < p.Total {
+			p.EtaS = roundMS(float64(p.Total-p.Done) / p.RatePerS)
 		}
 		b, err := json.Marshal(p)
 		if err != nil {

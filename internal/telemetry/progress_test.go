@@ -107,6 +107,33 @@ func TestStartProgressEmitsSnapshotLines(t *testing.T) {
 	}
 }
 
+func TestStartProgressDerivesEta(t *testing.T) {
+	// A mid-run snapshot with a sampler-provided rate gets a derived
+	// ETA: remaining units over the rate. A finished run gets none —
+	// eta_s would be a lie once done == total.
+	w := newSyncWriter()
+	stop := StartProgress(w, time.Hour, func() Progress {
+		return Progress{Done: 30, Total: 40, RatePerS: 5}
+	})
+	stop()
+	var p Progress
+	if err := json.Unmarshal([]byte(strings.TrimSuffix(w.String(), "\n")), &p); err != nil {
+		t.Fatalf("final line %q: %v", w.String(), err)
+	}
+	if p.EtaS != 2 {
+		t.Fatalf("eta_s = %v, want 2 (10 remaining at 5/s)", p.EtaS)
+	}
+
+	w = newSyncWriter()
+	stop = StartProgress(w, time.Hour, func() Progress {
+		return Progress{Done: 40, Total: 40, RatePerS: 5}
+	})
+	stop()
+	if strings.Contains(w.String(), "eta_s") {
+		t.Fatalf("finished run emitted an eta: %s", w.String())
+	}
+}
+
 func TestStartProgressFinalLineWithoutTicks(t *testing.T) {
 	// Short runs never reach the first tick; stop must still emit one
 	// snapshot so the surface is never silent.

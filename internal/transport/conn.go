@@ -126,16 +126,23 @@ type Conn struct {
 	synTries    int
 	synTimer    sim.Timer
 
-	// Send state.
+	// Send state. sentOrder is the in-flight set itself: tracking
+	// records in send order (ascending seq), pruned as packets are
+	// acked or declared lost. Acks arrive as ascending ranges, so one
+	// merge-join pass replaces the per-packet map lookups that used to
+	// dominate the bulk-transfer profile.
 	sched         *scheduler
 	nextSeq       uint64
 	nextMsgID     uint64
 	nextStream    uint32
-	inflight      map[uint64]*sentInfo
-	sentOrder     []uint64 // seqs in send order, pruned as acked/lost
+	sentOrder     []*sentInfo
 	bytesInFlight int
-	sentIndex     map[string]int64 // per-channel send counter
-	ackedIndex    map[string]int64 // per-channel highest acked counter
+	// Channel names are interned to dense integer IDs so the
+	// per-channel send/acked counters are slice indexes, not map keys.
+	chanIDs       map[string]int
+	chanNames     []string
+	sentIndex     []int64 // per-channel send counter, indexed by channel ID
+	ackedIndex    []int64 // per-channel highest acked counter
 	pacingNext    time.Duration
 	pacingTimer   sim.Timer
 	retryTimer    sim.Timer
@@ -170,11 +177,16 @@ type Conn struct {
 	onRTOFn   func()
 	sendSYNFn func()
 
+	// wakePending dedups the group wake-on-up registration a total
+	// blackout parks this connection on (see backoffSend); wakeFn is
+	// its pre-bound callback.
+	wakePending bool
+	wakeFn      func()
+
 	// Free lists and scratch buffers for the per-packet hot path.
 	freeInfos   []*sentInfo
 	freeRcvMsgs []*rcvMsg
 	ackedInfos  []*sentInfo // acked-this-event scratch, freed in bulk
-	seqScratch  []uint64
 
 	onMessage   func(*Conn, Message)
 	onRTTSample func(now, rtt time.Duration, ch string)
@@ -186,31 +198,48 @@ type Conn struct {
 func newConn(e *Endpoint, flow packet.FlowID, cfg Config, client bool) *Conn {
 	cfg.fillDefaults()
 	c := &Conn{
-		ep:         e,
-		loop:       e.loop,
-		flow:       flow,
-		cfg:        cfg,
-		client:     client,
-		sched:      newScheduler(),
-		inflight:   make(map[uint64]*sentInfo),
-		sentIndex:  make(map[string]int64),
-		ackedIndex: make(map[string]int64),
-		rcvMsgs:    make(map[uint64]*rcvMsg),
-		nextMsgID:  1,
-		tracer:     e.tracer,
+		ep:        e,
+		loop:      e.loop,
+		flow:      flow,
+		cfg:       cfg,
+		client:    client,
+		sched:     newScheduler(),
+		chanIDs:   make(map[string]int, 4),
+		rcvMsgs:   make(map[uint64]*rcvMsg),
+		nextMsgID: 1,
+		tracer:    e.tracer,
 	}
 	c.trySendFn = c.trySend
 	c.sendAckFn = c.sendAck
 	c.onRTOFn = c.onRTO
 	c.sendSYNFn = c.sendSYN
+	c.wakeFn = func() {
+		c.wakePending = false
+		c.trySend()
+	}
 	if cfg.Multipath {
 		c.initMultipath()
 	}
 	return c
 }
 
-// newSentInfo returns a recycled (or fresh) in-flight tracking record.
-// Its channels slice is empty and its chIdx map is empty but non-nil.
+// chanID interns a channel name, growing the per-channel counter
+// slices alongside the name table. Channel groups hold a handful of
+// channels, so the IDs stay dense and small.
+func (c *Conn) chanID(name string) int {
+	id, ok := c.chanIDs[name]
+	if !ok {
+		id = len(c.chanNames)
+		c.chanIDs[name] = id
+		c.chanNames = append(c.chanNames, name)
+		c.sentIndex = append(c.sentIndex, 0)
+		c.ackedIndex = append(c.ackedIndex, 0)
+	}
+	return id
+}
+
+// newSentInfo returns a recycled (or fresh) in-flight tracking record
+// with empty channel slices.
 func (c *Conn) newSentInfo() *sentInfo {
 	if n := len(c.freeInfos); n > 0 {
 		info := c.freeInfos[n-1]
@@ -218,16 +247,17 @@ func (c *Conn) newSentInfo() *sentInfo {
 		c.freeInfos = c.freeInfos[:n-1]
 		return info
 	}
-	return &sentInfo{chIdx: make(map[string]int64, 2)}
+	return &sentInfo{}
 }
 
 // freeSentInfo recycles a tracking record no longer reachable from
-// inflight, sentOrder, or multipath share state.
+// sentOrder or multipath share state.
 func (c *Conn) freeSentInfo(info *sentInfo) {
 	info.sub = nil
 	info.chunk = nil
 	info.channels = info.channels[:0]
-	clear(info.chIdx)
+	info.chIDs = info.chIDs[:0]
+	info.chIdx = info.chIdx[:0]
 	c.freeInfos = append(c.freeInfos, info)
 }
 
@@ -436,9 +466,9 @@ func (c *Conn) checkCC(alg cc.Algorithm) {
 		invariant.Failf("transport", "inflight-bytes",
 			"flow %d: negative bytes in flight %d", c.flow, c.bytesInFlight)
 	}
-	if len(c.inflight) == 0 && c.subflows == nil && c.bytesInFlight != 0 {
+	if len(c.sentOrder) == 0 && c.subflows == nil && c.bytesInFlight != 0 {
 		invariant.Failf("transport", "inflight-bytes",
-			"flow %d: empty in-flight table accounts for %d bytes", c.flow, c.bytesInFlight)
+			"flow %d: empty in-flight set accounts for %d bytes", c.flow, c.bytesInFlight)
 	}
 }
 

@@ -83,9 +83,7 @@ func (c *Conn) tryMultiSend() {
 			return
 		}
 		if !c.sendChunkOn(sf, ch) {
-			if !c.retryTimer.Active() {
-				c.retryTimer = c.loop.After(entryDropBackoff, c.trySendFn)
-			}
+			c.backoffSend()
 			return
 		}
 	}
@@ -119,11 +117,11 @@ func (c *Conn) sendChunkOn(sf *subflow, ch *chunk) bool {
 	if accepted {
 		name := sf.ch.Name()
 		info.channels = append(info.channels, name)
-		c.sentIndex[name]++
-		info.chIdx[name] = c.sentIndex[name]
+		id := c.chanID(name)
+		c.sentIndex[id]++
+		info.chIDs = append(info.chIDs, id)
+		info.chIdx = append(info.chIdx, c.sentIndex[id])
 	}
-	c.inflight[p.Seq] = info
-	c.sentOrder = append(c.sentOrder, p.Seq)
 	c.bytesInFlight += size
 	sf.inflight += size
 	sf.alg.OnSent(now, size)
@@ -135,6 +133,7 @@ func (c *Conn) sendChunkOn(sf *subflow, ch *chunk) bool {
 		c.notifySubflowLoss(sf, now, size, false)
 		return false
 	}
+	c.sentOrder = append(c.sentOrder, info)
 	c.armRTO()
 	return true
 }
@@ -151,24 +150,26 @@ func (c *Conn) multiAck(pl *ackPayload) {
 	shares := make(map[*subflow]*share)
 	var newestAll *sentInfo
 	c.ackedInfos = c.ackedInfos[:0]
+	// Same merge-join as handleAck: ascending sentOrder against the
+	// ack's ascending ranges.
+	ranges := pl.ranges
+	ri := 0
 	remaining := c.sentOrder[:0]
-	for _, seq := range c.sentOrder {
-		info, ok := c.inflight[seq]
-		if !ok {
+	for _, info := range c.sentOrder {
+		for ri < len(ranges) && ranges[ri].hi < info.seq {
+			ri++
+		}
+		if ri == len(ranges) || info.seq < ranges[ri].lo {
+			remaining = append(remaining, info)
 			continue
 		}
-		if !pl.contains(seq) {
-			remaining = append(remaining, seq)
-			continue
-		}
-		delete(c.inflight, seq)
 		c.ackedInfos = append(c.ackedInfos, info)
 		c.bytesInFlight -= info.size
 		c.delivered += int64(info.size)
 		c.stats.BytesAcked += int64(info.size)
-		for name, idx := range info.chIdx {
-			if idx > c.ackedIndex[name] {
-				c.ackedIndex[name] = idx
+		for i, id := range info.chIDs {
+			if idx := info.chIdx[i]; idx > c.ackedIndex[id] {
+				c.ackedIndex[id] = idx
 			}
 		}
 		if info.sub != nil {
@@ -179,20 +180,16 @@ func (c *Conn) multiAck(pl *ackPayload) {
 				shares[info.sub] = s
 			}
 			s.bytes += info.size
-			if s.newest == nil || info.seq > s.newest.seq {
-				s.newest = info
-			}
+			s.newest = info
 		}
-		if newestAll == nil || info.seq > newestAll.seq {
-			newestAll = info
-		}
-		if seq > c.largestAcked {
-			c.largestAcked = seq
-		}
+		newestAll = info
 	}
 	c.sentOrder = remaining
 	if newestAll == nil {
 		return
+	}
+	if newestAll.seq > c.largestAcked {
+		c.largestAcked = newestAll.seq
 	}
 	c.deliveredTime = now
 	c.rtoBackoff = 0
@@ -241,21 +238,25 @@ func (c *Conn) multiAck(pl *ackPayload) {
 // with per-subflow congestion notification.
 func (c *Conn) detectMultiLosses(now time.Duration) {
 	lost := make(map[*subflow]int)
-	remaining := c.sentOrder[:0]
-	for _, seq := range c.sentOrder {
-		info, ok := c.inflight[seq]
-		if !ok {
-			continue
+	order := c.sentOrder
+	remaining := order[:0]
+	for i, info := range order {
+		if info.seq > c.largestAcked {
+			// Send indexes are seq-ordered per channel, so nothing past
+			// the largest acked seq can meet the threshold (see
+			// detectLosses).
+			remaining = append(remaining, order[i:]...)
+			break
 		}
-		isLost := len(info.channels) > 0
-		for _, name := range info.channels {
-			if c.ackedIndex[name] < info.chIdx[name]+ackAfterGap {
+		isLost := len(info.chIDs) > 0
+		for j, id := range info.chIDs {
+			if c.ackedIndex[id] < info.chIdx[j]+ackAfterGap {
 				isLost = false
 				break
 			}
 		}
 		if !isLost {
-			remaining = append(remaining, seq)
+			remaining = append(remaining, info)
 			continue
 		}
 		if info.sub != nil {
@@ -289,7 +290,7 @@ func (c *Conn) notifySubflowLoss(sf *subflow, now time.Duration, bytes int, time
 
 // onMultiRTO handles a retransmission timeout in multipath mode.
 func (c *Conn) onMultiRTO() {
-	if c.closed || len(c.inflight) == 0 {
+	if c.closed || len(c.sentOrder) == 0 {
 		return
 	}
 	c.stats.RTOs++
@@ -298,15 +299,12 @@ func (c *Conn) onMultiRTO() {
 		c.rtoBackoff = 6
 	}
 	lost := make(map[*subflow]int)
-	c.seqScratch = append(c.seqScratch[:0], c.sentOrder...)
-	for _, seq := range c.seqScratch {
-		if info, ok := c.inflight[seq]; ok {
-			if info.sub != nil {
-				info.sub.inflight -= info.size
-				lost[info.sub] += info.size
-			}
-			c.requeue(info)
+	for _, info := range c.sentOrder {
+		if info.sub != nil {
+			info.sub.inflight -= info.size
+			lost[info.sub] += info.size
 		}
+		c.requeue(info)
 	}
 	c.sentOrder = c.sentOrder[:0]
 	now := c.loop.Now()

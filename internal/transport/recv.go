@@ -23,22 +23,6 @@ type ackPayload struct {
 	ranges []seqRange
 }
 
-// contains reports whether the ack covers seq. Ranges are ascending
-// and few (at most maxAckRanges), so it scans from the tail, where the
-// most recently sent sequences live.
-func (pl *ackPayload) contains(seq uint64) bool {
-	for i := len(pl.ranges) - 1; i >= 0; i-- {
-		r := pl.ranges[i]
-		if seq > r.hi {
-			return false
-		}
-		if seq >= r.lo {
-			return true
-		}
-	}
-	return false
-}
-
 // rcvMsg is a message under reassembly on the receive side.
 type rcvMsg struct {
 	stream  uint32
@@ -198,37 +182,38 @@ func (c *Conn) handleAck(_ *packet.Packet, pl *ackPayload) {
 	var newlyBytes int
 	var newest *sentInfo
 	c.ackedInfos = c.ackedInfos[:0]
+	// Merge-join: sentOrder is ascending by seq and the ack's ranges
+	// are ascending and disjoint, so one linear pass over both decides
+	// every outstanding packet without a lookup structure.
+	ranges := pl.ranges
+	ri := 0
 	remaining := c.sentOrder[:0]
-	for _, seq := range c.sentOrder {
-		info, ok := c.inflight[seq]
-		if !ok {
-			continue // already lost/requeued
+	for _, info := range c.sentOrder {
+		for ri < len(ranges) && ranges[ri].hi < info.seq {
+			ri++
 		}
-		if !pl.contains(seq) {
-			remaining = append(remaining, seq)
+		if ri == len(ranges) || info.seq < ranges[ri].lo {
+			remaining = append(remaining, info)
 			continue
 		}
-		delete(c.inflight, seq)
 		c.ackedInfos = append(c.ackedInfos, info)
 		c.bytesInFlight -= info.size
 		c.delivered += int64(info.size)
 		newlyBytes += info.size
 		c.stats.BytesAcked += int64(info.size)
-		for name, idx := range info.chIdx {
-			if idx > c.ackedIndex[name] {
-				c.ackedIndex[name] = idx
+		for i, id := range info.chIDs {
+			if idx := info.chIdx[i]; idx > c.ackedIndex[id] {
+				c.ackedIndex[id] = idx
 			}
 		}
-		if newest == nil || info.seq > newest.seq {
-			newest = info
-		}
-		if seq > c.largestAcked {
-			c.largestAcked = seq
-		}
+		newest = info // ascending scan: the last acked is the newest
 	}
 	c.sentOrder = remaining
 	if newest == nil {
 		return // pure duplicate: nothing new
+	}
+	if newest.seq > c.largestAcked {
+		c.largestAcked = newest.seq
 	}
 	c.deliveredTime = now
 	c.rtoBackoff = 0
@@ -312,23 +297,31 @@ func (c *Conn) updateRTT(rtt time.Duration) {
 // detectLosses applies the per-channel packet-threshold rule: an
 // outstanding packet is lost once ackAfterGap later packets have been
 // acknowledged on every channel that carried a copy of it.
+//
+// Per-channel send indexes are assigned in seq order, so a packet with
+// seq above largestAcked has a higher index on every channel it rode
+// than any acked packet does — it can never satisfy the threshold.
+// The scan therefore stops at the first such packet and keeps the
+// whole tail, turning the common dense-ack case into O(acked window)
+// instead of O(flight size).
 func (c *Conn) detectLosses(now time.Duration) {
 	var lostBytes int
-	remaining := c.sentOrder[:0]
-	for _, seq := range c.sentOrder {
-		info, ok := c.inflight[seq]
-		if !ok {
-			continue
+	order := c.sentOrder
+	remaining := order[:0]
+	for i, info := range order {
+		if info.seq > c.largestAcked {
+			remaining = append(remaining, order[i:]...)
+			break
 		}
-		lost := len(info.channels) > 0
-		for _, name := range info.channels {
-			if c.ackedIndex[name] < info.chIdx[name]+ackAfterGap {
+		lost := len(info.chIDs) > 0
+		for j, id := range info.chIDs {
+			if c.ackedIndex[id] < info.chIdx[j]+ackAfterGap {
 				lost = false
 				break
 			}
 		}
 		if !lost {
-			remaining = append(remaining, seq)
+			remaining = append(remaining, info)
 			continue
 		}
 		lostBytes += info.size

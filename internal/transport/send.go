@@ -175,15 +175,18 @@ func (s *scheduler) next(mss int, unreliable bool) *chunk {
 	return nil
 }
 
-// sentInfo tracks one in-flight data packet.
+// sentInfo tracks one in-flight data packet. chIDs/chIdx are parallel
+// slices: the interned ID of each channel that carried a copy, and the
+// packet's per-channel send index on it (for loss detection).
 type sentInfo struct {
 	seq                 uint64
 	sub                 *subflow // multipath only
 	size                int      // payload bytes
 	chunk               *chunk
 	sentAt              time.Duration
-	channels            []string         // channels that carried copies
-	chIdx               map[string]int64 // per-channel send index for loss detection
+	channels            []string // channels that carried copies
+	chIDs               []int
+	chIdx               []int64
 	deliveredAtSent     int64
 	deliveredTimeAtSent time.Duration
 	appLimited          bool
@@ -222,13 +225,7 @@ func (c *Conn) trySend() {
 			return
 		}
 		if !c.sendChunk(ch) {
-			// The channel's entry queue is full. Retrying at the same
-			// instant cannot succeed (nothing drains in zero time), so
-			// back off briefly — the local-queue analogue of a blocked
-			// qdisc.
-			if !c.retryTimer.Active() {
-				c.retryTimer = c.loop.After(entryDropBackoff, c.trySendFn)
-			}
+			c.backoffSend()
 			return
 		}
 	}
@@ -237,6 +234,27 @@ func (c *Conn) trySend() {
 // entryDropBackoff is how long a sender waits after a channel refused a
 // packet at entry before offering more data.
 const entryDropBackoff = 10 * time.Millisecond
+
+// backoffSend schedules another send attempt after a channel refused a
+// packet at entry. The queue is full, so retrying at the same instant
+// cannot succeed (nothing drains in zero time); normally the sender
+// backs off briefly, the local-queue analogue of a blocked qdisc. When
+// every channel of the group is down, though, no amount of polling can
+// succeed either — the connection parks itself on the group's
+// wake-on-up list and retries the instant an outage clears, so a
+// blackout costs zero retry events however long it lasts.
+func (c *Conn) backoffSend() {
+	if c.ep.group.AllDown() {
+		if !c.wakePending {
+			c.wakePending = true
+			c.ep.group.WakeOnUp(c.wakeFn)
+		}
+		return
+	}
+	if !c.retryTimer.Active() {
+		c.retryTimer = c.loop.After(entryDropBackoff, c.trySendFn)
+	}
+}
 
 // sendChunk packetizes and transmits one chunk, reporting whether any
 // channel accepted the packet.
@@ -288,11 +306,11 @@ func (c *Conn) sendChunk(ch *chunk) bool {
 	info.deliveredAtSent = c.delivered
 	info.deliveredTimeAtSent = c.deliveredTime
 	for _, name := range carried {
-		c.sentIndex[name]++
-		info.chIdx[name] = c.sentIndex[name]
+		id := c.chanID(name)
+		c.sentIndex[id]++
+		info.chIDs = append(info.chIDs, id)
+		info.chIdx = append(info.chIdx, c.sentIndex[id])
 	}
-	c.inflight[p.Seq] = info
-	c.sentOrder = append(c.sentOrder, p.Seq)
 	c.bytesInFlight += size
 	c.cfg.CC.OnSent(now, size)
 	info.appLimited = c.sched.empty()
@@ -313,6 +331,7 @@ func (c *Conn) sendChunk(ch *chunk) bool {
 		c.notifyLoss(now, size)
 		return false
 	}
+	c.sentOrder = append(c.sentOrder, info)
 	c.armRTO()
 	return true
 }
@@ -336,7 +355,7 @@ func (c *Conn) rto() time.Duration {
 }
 
 func (c *Conn) armRTO() {
-	if len(c.inflight) == 0 {
+	if len(c.sentOrder) == 0 {
 		c.rtoTimer.Stop()
 		return
 	}
@@ -354,12 +373,12 @@ func (c *Conn) onRTO() {
 	if c.closed {
 		return
 	}
-	if len(c.inflight) == 0 {
+	if len(c.sentOrder) == 0 {
 		// Nothing outstanding, but the scheduler may still hold
-		// requeued chunks (a long outage drains inflight through entry
-		// drops faster than the retry timer refills it). Kick the send
-		// path so recovery never depends on a timer that might not be
-		// pending.
+		// requeued chunks (a long outage drains the in-flight set
+		// through entry drops faster than the retry timer refills it).
+		// Kick the send path so recovery never depends on a timer that
+		// might not be pending.
 		c.trySend()
 		return
 	}
@@ -375,12 +394,9 @@ func (c *Conn) onRTO() {
 	c.tracer.Count("transport_rtos_total", 1, "flow", flowLabel(c.flow))
 	// Declare everything outstanding lost and rebuild from the model.
 	var lostBytes int
-	c.seqScratch = append(c.seqScratch[:0], c.sentOrder...)
-	for _, seq := range c.seqScratch {
-		if info, ok := c.inflight[seq]; ok {
-			lostBytes += info.size
-			c.requeue(info)
-		}
+	for _, info := range c.sentOrder {
+		lostBytes += info.size
+		c.requeue(info)
 	}
 	c.sentOrder = c.sentOrder[:0]
 	c.cfg.CC.OnLoss(cc.LossEvent{
@@ -393,10 +409,10 @@ func (c *Conn) onRTO() {
 	c.trySend()
 }
 
-// requeue returns an inflight packet's chunk to the scheduler and
-// recycles its tracking record; the caller must not use info after.
+// requeue returns an in-flight packet's chunk to the scheduler and
+// recycles its tracking record; the caller removes info from sentOrder
+// and must not use it after.
 func (c *Conn) requeue(info *sentInfo) {
-	delete(c.inflight, info.seq)
 	c.bytesInFlight -= info.size
 	c.stats.Retransmits++
 	c.sched.pushRetx(info.chunk)
