@@ -15,6 +15,7 @@
 //	hvcbench -exp ablation-has  adaptive streaming comparison
 //	hvcbench -exp ablation-tsn  wireless TSN vs best-effort Wi-Fi (§2.2)
 //	hvcbench -exp outage       steering policies through channel blackouts (§2.1)
+//	hvcbench -exp arena        multi-flow CCA contention: shares, Jain, convergence
 //	hvcbench -exp all          everything above
 //
 // The experiment registry itself lives in internal/experiments; this

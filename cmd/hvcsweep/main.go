@@ -12,10 +12,14 @@
 //	hvcsweep -spec "exp=web pages=6 loads=2 trace=lowband-driving,mmwave-driving seeds=1..3"
 //	hvcsweep -spec "exp=abr trace=mmwave-driving seeds=1..5 dur=60s"
 //	hvcsweep -spec "exp=outage policy=embb-only,redundant seeds=1..5 dur=8s fault=outage:ch=embb,at=2s,dur=1s"
+//	hvcsweep -spec "exp=arena flows=4 mix=cubic,copa,bbr,reno join=1s rttspread=20ms seeds=1..5 dur=15s"
 //
 // The fault key (exp=outage only) takes an internal/fault scenario —
 // space-free by construction, so it embeds in the spec; omitted, it
-// defaults to two eMBB blackouts scaled to dur.
+// defaults to two eMBB blackouts scaled to dur. The flows/mix/join/
+// rttspread keys (exp=arena only) shape the contention run: competitor
+// count, weighted CCA mix (cc:weight, assigned cyclically), join
+// stagger, and RTT heterogeneity.
 //
 // The default grid is the paper's Figure 1a (four CCAs under DChannel
 // steering vs eMBB-only) over five seeds.

@@ -331,9 +331,9 @@ func LoadWith(ep *transport.Endpoint, cfg transport.Config, page *Page, opts Loa
 }
 
 // Background runs the paper's two low-priority flows: a continuous
-// 5 kB uploader and a continuous 10 kB downloader, each issuing its
-// next transfer as soon as the previous one completes (cURL-style
-// sequential requests).
+// 5 kB uploader and a continuous 10 kB downloader, each keeping a
+// small pipeline of transfers in flight and issuing a replacement as
+// each one completes.
 type Background struct {
 	up, down *transport.Conn
 	stopped  bool
@@ -348,6 +348,15 @@ const (
 	DownloadBytes = 10_000
 	replyBytes    = 300
 )
+
+// backgroundDepth is how many transfers each background flow keeps in
+// flight. A strict request/reply ping-pong (one transfer at a time)
+// leaves the connection application-limited — at most one object per
+// round trip regardless of its congestion window — so the "competing"
+// flows never actually pressed on the bottleneck queue. A small
+// pipeline keeps each flow window-limited, making background
+// contention honest while preserving the small-object traffic shape.
+const backgroundDepth = 4
 
 // StartBackground launches both flows from ep. cfgFactory builds each
 // flow's config (it is called twice — congestion-control state must
@@ -367,7 +376,9 @@ func StartBackground(ep *transport.Endpoint, cfgFactory func() transport.Config)
 		b.Uploads++
 		b.up.SendMessage(upStream, m.Priority, UploadBytes, echoReq{respSize: replyBytes})
 	})
-	b.up.SendMessage(upStream, cfgPrio(cfg), UploadBytes, echoReq{respSize: replyBytes})
+	for i := 0; i < backgroundDepth; i++ {
+		b.up.SendMessage(upStream, cfgPrio(cfg), UploadBytes, echoReq{respSize: replyBytes})
+	}
 
 	cfg = cfgFactory()
 	b.down = ep.Dial(cfg)
@@ -379,7 +390,9 @@ func StartBackground(ep *transport.Endpoint, cfgFactory func() transport.Config)
 		b.Downloads++
 		b.down.SendMessage(downStream, m.Priority, RequestBytes, echoReq{respSize: DownloadBytes})
 	})
-	b.down.SendMessage(downStream, cfgPrio(cfg), RequestBytes, echoReq{respSize: DownloadBytes})
+	for i := 0; i < backgroundDepth; i++ {
+		b.down.SendMessage(downStream, cfgPrio(cfg), RequestBytes, echoReq{respSize: DownloadBytes})
+	}
 	return b
 }
 

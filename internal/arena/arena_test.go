@@ -1,0 +1,291 @@
+package arena
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"hvc/internal/sketch"
+)
+
+// floatsEqual compares slices treating NaN as equal to NaN.
+func floatsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] && !(math.IsNaN(a[i]) && math.IsNaN(b[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+func mustSpec(t testing.TB, s string) Spec {
+	t.Helper()
+	spec, err := ParseSpec(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// TestArenaFourFlowMixed is the acceptance run: four flows, four
+// different CCAs, staggered joins, heterogeneous RTTs. Every flow must
+// move bytes, the report must carry fairness/convergence/ellipse
+// metrics, and the whole result must be reproducible bit for bit.
+func TestArenaFourFlowMixed(t *testing.T) {
+	spec := mustSpec(t, "flows=4 mix=cubic,copa,bbr,reno join=1s rttspread=20ms dur=10s epoch=500ms")
+
+	run := func() Result {
+		res, err := Run(spec, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run()
+
+	if len(res.Epochs) != 20 {
+		t.Fatalf("want 20 epochs over 10s at 500ms, got %d", len(res.Epochs))
+	}
+	wantCC := []string{"cubic", "copa", "bbr", "reno"}
+	for i, fr := range res.Flows {
+		if fr.CC != wantCC[i] {
+			t.Fatalf("flow %d runs %s, want %s", i, fr.CC, wantCC[i])
+		}
+		if fr.GoodputMbps <= 0 {
+			t.Fatalf("flow %d (%s) moved no bytes: %+v", i, fr.CC, fr)
+		}
+		if fr.MeanTputMbps <= 0 || fr.MeanRTTms <= 0 {
+			t.Fatalf("flow %d (%s) has an empty ellipse point: %+v", i, fr.CC, fr)
+		}
+	}
+	if res.Jain <= 0 || res.Jain > 1 {
+		t.Fatalf("Jain index %v out of (0,1]", res.Jain)
+	}
+	var share float64
+	for _, fr := range res.Flows {
+		share += fr.Share
+	}
+	if math.Abs(share-1) > 1e-9 {
+		t.Fatalf("shares sum to %v, want 1", share)
+	}
+	have := map[string]bool{}
+	res.Group.Do(func(n string, _ *sketch.Sketch) { have[n] = true })
+	for _, name := range []string{"arena/jain", "arena/flow_share", "arena/flow_goodput_mbps", "arena/epoch_tput_mbps", "arena/epoch_rtt_ms", "arena/retransmits"} {
+		if !have[name] {
+			t.Fatalf("sketch group missing %q (have %v)", name, have)
+		}
+	}
+
+	// Determinism: an identical spec reproduces the identical report.
+	// (Epochs carry NaN for not-yet-joined flows' RTTs, so the epoch
+	// comparison is NaN-aware rather than DeepEqual.)
+	res2 := run()
+	if !reflect.DeepEqual(res.Flows, res2.Flows) ||
+		res.Jain != res2.Jain || res.Convergence != res2.Convergence || res.Converged != res2.Converged {
+		t.Fatal("identical specs produced different results")
+	}
+	if len(res.Epochs) != len(res2.Epochs) {
+		t.Fatal("identical specs produced different epoch counts")
+	}
+	for k := range res.Epochs {
+		e1, e2 := res.Epochs[k], res2.Epochs[k]
+		if e1.End != e2.End || e1.Jain != e2.Jain || !floatsEqual(e1.Tput, e2.Tput) || !floatsEqual(e1.RTTms, e2.RTTms) {
+			t.Fatalf("identical specs diverged at epoch %d: %+v vs %+v", k, e1, e2)
+		}
+	}
+	if !reflect.DeepEqual(res.Group.Snapshot(), res2.Group.Snapshot()) {
+		t.Fatal("identical specs produced different sketch groups")
+	}
+}
+
+// TestArenaSameCCAFairness pins the fairness property the arena
+// exists to measure: two flows running the same algorithm over the
+// same bottleneck converge to a near-even split — per-epoch Jain
+// reaches 0.95 and holds through the end of the run (that is what
+// Converged asserts). Loss-based CCAs get a 4 ms RTT spread: with two
+// byte-identical flows on a deterministic channel, drops synchronize
+// perfectly and AIMD phase-locks into a biased split that real-world
+// jitter (which the spread stands in for) breaks up. BBR competes
+// over embb-only because packet steering poisons its min-RTT filter —
+// the §3.1 pathology TestArenaBBRSteeringUnfairness pins separately.
+func TestArenaSameCCAFairness(t *testing.T) {
+	for _, tc := range []struct{ cc, spec string }{
+		{"cubic", "flows=2 mix=cubic join=500ms dur=60s epoch=2s rttspread=4ms seed=3"},
+		{"reno", "flows=2 mix=reno join=500ms dur=60s epoch=2s rttspread=4ms"},
+		{"bbr", "flows=2 mix=bbr join=500ms dur=60s epoch=2s policy=embb-only"},
+	} {
+		t.Run(tc.cc, func(t *testing.T) {
+			res, err := Run(mustSpec(t, tc.spec), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Converged {
+				t.Fatalf("%s vs %s never reached sustained per-epoch Jain >= 0.95: epochs %+v",
+					tc.cc, tc.cc, res.Epochs)
+			}
+			if res.Jain < 0.9 {
+				t.Fatalf("%s vs %s whole-run Jain = %.3f (flows %+v), want >= 0.9",
+					tc.cc, tc.cc, res.Jain, res.Flows)
+			}
+		})
+	}
+}
+
+// TestArenaBBRSteeringUnfairness pins the multi-flow face of the
+// paper's §3.1 pathology, which no single-flow experiment can see:
+// under packet steering, acks returning over the low-latency channel
+// poison each BBR flow's min-RTT filter, the corrupted BDP caps
+// inflight below what the flow's own bandwidth share needs, and the
+// coupling starves one competitor outright. The §3.2 remedy (hvc-bbr,
+// per-channel sample filtering) restores fairness in the identical
+// arena.
+func TestArenaBBRSteeringUnfairness(t *testing.T) {
+	const tail = " join=500ms dur=60s epoch=2s"
+	plain, err := Run(mustSpec(t, "flows=2 mix=bbr"+tail), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware, err := Run(mustSpec(t, "flows=2 mix=hvc-bbr"+tail), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Jain >= 0.93 {
+		t.Fatalf("plain bbr under steering should be visibly unfair, got Jain %.3f (flows %+v)",
+			plain.Jain, plain.Flows)
+	}
+	if aware.Jain < 0.95 || !aware.Converged {
+		t.Fatalf("hvc-bbr should restore fairness: Jain %.3f converged %v (flows %+v)",
+			aware.Jain, aware.Converged, aware.Flows)
+	}
+	if plain.Jain >= aware.Jain {
+		t.Fatalf("sample filtering should improve fairness: plain %.3f vs hvc %.3f",
+			plain.Jain, aware.Jain)
+	}
+}
+
+// TestArenaFlowIsolationBeforeJoin is the per-flow metric-isolation
+// property: perturbing flow j's seed moves only j's join time, so
+// every epoch that closes before either join candidate is byte-for-
+// byte identical — the other flows' metrics cannot depend on a flow
+// that has not joined yet.
+func TestArenaFlowIsolationBeforeJoin(t *testing.T) {
+	spec := mustSpec(t, "flows=3 mix=cubic,copa join=2s dur=8s epoch=500ms")
+
+	seeds := make([]int64, spec.Flows)
+	for i := range seeds {
+		seeds[i] = spec.FlowSeed(i)
+	}
+	joinA := spec.JoinAt(2)
+
+	perturbed := spec
+	perturbed.FlowSeeds = append([]int64(nil), seeds...)
+	perturbed.FlowSeeds[2] ^= 0x9e37
+	joinB := perturbed.JoinAt(2)
+	if joinA == joinB {
+		t.Fatalf("seed perturbation did not move flow 2's join (%v)", joinA)
+	}
+	cut := joinA
+	if joinB < cut {
+		cut = joinB
+	}
+
+	resA, err := Run(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := Run(perturbed, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	checked := 0
+	for k := range resA.Epochs {
+		ea, eb := resA.Epochs[k], resB.Epochs[k]
+		if ea.End > cut {
+			break
+		}
+		for i := 0; i < 2; i++ {
+			if ea.Tput[i] != eb.Tput[i] {
+				t.Fatalf("epoch ending %v: flow %d throughput %v vs %v changed by flow 2's seed",
+					ea.End, i, ea.Tput[i], eb.Tput[i])
+			}
+			rttEq := ea.RTTms[i] == eb.RTTms[i] || (math.IsNaN(ea.RTTms[i]) && math.IsNaN(eb.RTTms[i]))
+			if !rttEq {
+				t.Fatalf("epoch ending %v: flow %d RTT %v vs %v changed by flow 2's seed",
+					ea.End, i, ea.RTTms[i], eb.RTTms[i])
+			}
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatalf("no epochs closed before the earlier join %v; nothing verified", cut)
+	}
+}
+
+// TestArenaRTTSpreadOrdersRTTs checks the heterogeneous-RTT knob end
+// to end: with a wide spread, the far flow's measured RTT must exceed
+// the near flow's by roughly the configured extra delay.
+func TestArenaRTTSpreadOrdersRTTs(t *testing.T) {
+	spec := mustSpec(t, "flows=2 mix=cubic rttspread=60ms dur=8s epoch=500ms")
+	res, err := Run(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap := res.Flows[1].MeanRTTms - res.Flows[0].MeanRTTms
+	if gap < 40 || gap > 120 {
+		t.Fatalf("rttspread=60ms should separate mean RTTs by about that: near=%.1fms far=%.1fms",
+			res.Flows[0].MeanRTTms, res.Flows[1].MeanRTTms)
+	}
+}
+
+// TestArenaFaultOption checks the non-grammar fault knob parses and
+// injects: a mid-run outage on the eMBB channel must not wedge the
+// arena.
+func TestArenaFaultOption(t *testing.T) {
+	spec := mustSpec(t, "flows=2 mix=cubic dur=6s epoch=500ms")
+	res, err := Run(spec, Options{Fault: "outage:ch=embb,at=2s,dur=500ms"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, fr := range res.Flows {
+		if fr.GoodputMbps <= 0 {
+			t.Fatalf("flow %d starved under fault: %+v", i, fr)
+		}
+	}
+	if _, err := Run(spec, Options{Fault: "not a fault spec"}); err == nil {
+		t.Fatal("bad fault spec accepted")
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	for _, tc := range []struct {
+		xs   []float64
+		want float64
+	}{
+		{[]float64{10, 10, 10, 10}, 1},
+		{[]float64{1, 0, 0, 0}, 0.25},
+		{nil, 1},
+		{[]float64{0, 0}, 1},
+	} {
+		if got := Jain(tc.xs); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Jain(%v) = %v, want %v", tc.xs, got, tc.want)
+		}
+	}
+}
+
+// BenchmarkArena measures a small two-flow arena end to end: spec
+// parse, staggered dials, epoch sampling, and summary. The benchstat
+// gate tracks it.
+func BenchmarkArena(b *testing.B) {
+	spec := mustSpec(b, "flows=2 mix=cubic join=100ms dur=2s epoch=200ms")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(spec, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

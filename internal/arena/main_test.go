@@ -1,0 +1,17 @@
+package arena
+
+import (
+	"os"
+	"testing"
+
+	"hvc/internal/invariant"
+)
+
+// TestMain arms the runtime invariant layer for every test in the
+// package, so the whole suite doubles as an invariant soak. Benchmarks
+// that must not pay for checking build with -tags invariant_off, which
+// makes SetEnabled a no-op.
+func TestMain(m *testing.M) {
+	invariant.SetEnabled(true)
+	os.Exit(m.Run())
+}

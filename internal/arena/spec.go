@@ -1,0 +1,341 @@
+// Package arena is the multi-flow contention harness: M independent
+// transport connections — same or mixed congestion control, staggered
+// joins, heterogeneous RTTs — compete over one shared HVC channel set,
+// and the harness reports the fairness metrics the single-flow
+// experiments cannot: per-flow throughput shares, the Jain fairness
+// index, convergence time after the last join, and throughput/delay
+// ellipse points (the CoCo-Beholder presentation), all fed through
+// internal/sketch so runs aggregate like every other harness in the
+// repo.
+//
+// An arena spec is a space-separated key=value list in the sweep-spec
+// idiom:
+//
+//	flows=4 mix=cubic:2,copa,bbr join=2s rttspread=40ms seed=1 dur=15s epoch=500ms policy=dchannel trace=fixed
+//
+// Keys: flows (competitor count), mix (weighted CCA mix cc:weight,
+// assigned to flows cyclically), join (stagger between consecutive
+// joins, plus a small per-flow seed-derived jitter), rttspread (flow
+// i's extra receive delay ramps linearly from 0 to this), seed, dur
+// (total run length), epoch (throughput/RTT sampling period), policy
+// (steering policy every flow uses), trace (shared eMBB trace).
+package arena
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"hvc/internal/core"
+)
+
+// maxFlows bounds an arena so a typo cannot expand into an unbounded
+// run: contention semantics, not fleet scale (internal/fleet covers
+// that).
+const maxFlows = 64
+
+// A MixEntry weights one congestion-control algorithm in the arena's
+// flow mix.
+type MixEntry struct {
+	CC     string
+	Weight int
+}
+
+// A Spec describes one arena run. The zero value is invalid; build
+// specs with ParseSpec or populate fields and call Validate.
+type Spec struct {
+	// Flows is the number of competing connections.
+	Flows int
+	// Seed drives the shared event loop and the per-flow join jitter.
+	Seed int64
+	// Mix weights the CCAs; flows draw from the weight-expanded list
+	// cyclically, so mix=cubic:2,bbr over 4 flows yields
+	// cubic,cubic,bbr,cubic.
+	Mix []MixEntry
+	// Join staggers flow starts: flow i joins at i*Join plus a
+	// seed-derived jitter of up to Join/8.
+	Join time.Duration
+	// RTTSpread gives flows heterogeneous path lengths: flow i's
+	// connection delays every received packet by i*RTTSpread/(Flows-1).
+	RTTSpread time.Duration
+	// Dur is the total run length.
+	Dur time.Duration
+	// Epoch is the sampling period for per-flow throughput/RTT series.
+	Epoch time.Duration
+	// Policy is the steering policy every flow uses.
+	Policy string
+	// Trace names the shared eMBB trace (see core.TraceNames).
+	Trace string
+
+	// FlowSeeds optionally overrides each flow's derived seed (join
+	// jitter); nil derives them from Seed. Not part of the grammar —
+	// the isolation property tests perturb a single flow through it.
+	FlowSeeds []int64
+}
+
+// specKeys is the canonical key order String emits and the complete
+// set ParseSpec accepts.
+var specKeys = []string{"flows", "mix", "join", "rttspread", "seed", "dur", "epoch", "policy", "trace"}
+
+// ParseSpec parses the arena-spec syntax described in the package
+// comment. Unknown keys, duplicate keys, and names the core package
+// does not accept are errors; omitted keys default (see
+// defaultAndValidate). The result is canonical: parsing the String of
+// a parsed spec yields the same spec.
+func ParseSpec(s string) (Spec, error) {
+	spec := Spec{Seed: 1}
+	seen := map[string]bool{}
+	for _, field := range strings.Fields(s) {
+		key, val, ok := strings.Cut(field, "=")
+		if !ok || val == "" {
+			return Spec{}, fmt.Errorf("arena: field %q is not key=value", field)
+		}
+		if seen[key] {
+			return Spec{}, fmt.Errorf("arena: duplicate key %q", key)
+		}
+		seen[key] = true
+		var err error
+		switch key {
+		case "flows":
+			spec.Flows, err = parseInt(key, val)
+		case "mix":
+			spec.Mix, err = parseMix(val)
+		case "join":
+			spec.Join, err = parseDur(key, val)
+		case "rttspread":
+			spec.RTTSpread, err = parseDur(key, val)
+		case "seed":
+			spec.Seed, err = strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				err = fmt.Errorf("arena: seed %q is not an integer", val)
+			}
+		case "dur":
+			spec.Dur, err = parseDur(key, val)
+		case "epoch":
+			spec.Epoch, err = parseDur(key, val)
+		case "policy":
+			spec.Policy = val
+		case "trace":
+			spec.Trace = val
+		default:
+			return Spec{}, fmt.Errorf("arena: unknown key %q (valid: %s)", key, strings.Join(specKeys, ", "))
+		}
+		if err != nil {
+			return Spec{}, err
+		}
+	}
+	if err := spec.defaultAndValidate(); err != nil {
+		return Spec{}, err
+	}
+	return spec, nil
+}
+
+func parseInt(key, val string) (int, error) {
+	n, err := strconv.Atoi(val)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("arena: %s %q is not a positive integer", key, val)
+	}
+	return n, nil
+}
+
+func parseDur(key, val string) (time.Duration, error) {
+	d, err := time.ParseDuration(val)
+	if err != nil || d < 0 {
+		return 0, fmt.Errorf("arena: %s %q is not a non-negative duration", key, val)
+	}
+	return d, nil
+}
+
+func parseMix(val string) ([]MixEntry, error) {
+	var mix []MixEntry
+	seen := map[string]bool{}
+	for _, part := range strings.Split(val, ",") {
+		cc, weightStr, hasWeight := strings.Cut(part, ":")
+		e := MixEntry{CC: cc, Weight: 1}
+		if hasWeight {
+			w, err := strconv.Atoi(weightStr)
+			if err != nil || w < 1 {
+				return nil, fmt.Errorf("arena: mix weight %q is not a positive integer", weightStr)
+			}
+			e.Weight = w
+		}
+		if cc == "" {
+			return nil, fmt.Errorf("arena: mix has an empty CCA name")
+		}
+		if seen[cc] {
+			return nil, fmt.Errorf("arena: mix lists %q twice", cc)
+		}
+		seen[cc] = true
+		mix = append(mix, e)
+	}
+	return mix, nil
+}
+
+// defaultAndValidate fills defaults and checks every name against the
+// core package.
+func (s *Spec) defaultAndValidate() error {
+	if s.Flows == 0 {
+		s.Flows = 2
+	}
+	if s.Flows < 1 || s.Flows > maxFlows {
+		return fmt.Errorf("arena: flows %d out of [1,%d]", s.Flows, maxFlows)
+	}
+	if s.Mix == nil {
+		s.Mix = []MixEntry{{CC: "cubic", Weight: 1}}
+	}
+	if s.Dur == 0 {
+		s.Dur = 15 * time.Second
+	}
+	if s.Dur < 500*time.Millisecond {
+		return fmt.Errorf("arena: dur %v below 500ms", s.Dur)
+	}
+	if s.Epoch == 0 {
+		s.Epoch = s.Dur / 30
+		if s.Epoch < 100*time.Millisecond {
+			s.Epoch = 100 * time.Millisecond
+		}
+		if s.Epoch > time.Second {
+			s.Epoch = time.Second
+		}
+	}
+	if s.Epoch < 10*time.Millisecond || s.Epoch >= s.Dur {
+		return fmt.Errorf("arena: epoch %v out of [10ms,dur)", s.Epoch)
+	}
+	if s.Policy == "" {
+		s.Policy = core.PolicyDChannel
+	}
+	if s.Trace == "" {
+		s.Trace = "fixed"
+	}
+
+	for _, e := range s.Mix {
+		if !core.ValidCC(e.CC) {
+			return fmt.Errorf("arena: unknown congestion control %q in mix", e.CC)
+		}
+	}
+	if !core.ValidPolicy(s.Policy) {
+		return fmt.Errorf("arena: unknown steering policy %q", s.Policy)
+	}
+	valid := false
+	for _, tr := range core.TraceNames() {
+		valid = valid || tr == s.Trace
+	}
+	if !valid {
+		return fmt.Errorf("arena: unknown trace %q (valid: %s)", s.Trace, strings.Join(core.TraceNames(), ", "))
+	}
+	// Every flow must be joined with room to measure: at least one full
+	// epoch after the last join.
+	if last := s.joinBase(s.Flows - 1); last+s.Epoch >= s.Dur {
+		return fmt.Errorf("arena: last join at %v leaves no full epoch before dur %v", last, s.Dur)
+	}
+	if len(s.FlowSeeds) != 0 && len(s.FlowSeeds) != s.Flows {
+		return fmt.Errorf("arena: FlowSeeds has %d entries for %d flows", len(s.FlowSeeds), s.Flows)
+	}
+	return nil
+}
+
+// Validate checks a programmatically built spec, filling defaults for
+// zero fields exactly as ParseSpec does.
+func (s *Spec) Validate() error { return s.defaultAndValidate() }
+
+// String renders the spec canonically: every grammar key, fixed order.
+// ParseSpec(s.String()) reproduces s (FlowSeeds, test-only, excluded).
+func (s Spec) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "flows=%d mix=%s join=%s rttspread=%s", s.Flows, mixString(s.Mix), s.Join, s.RTTSpread)
+	fmt.Fprintf(&b, " seed=%d dur=%s epoch=%s policy=%s trace=%s", s.Seed, s.Dur, s.Epoch, s.Policy, s.Trace)
+	return b.String()
+}
+
+func mixString(mix []MixEntry) string {
+	parts := make([]string, len(mix))
+	for i, e := range mix {
+		parts[i] = fmt.Sprintf("%s:%d", e.CC, e.Weight)
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseMix parses the mix grammar alone — comma-separated cc or
+// cc:weight entries — without validating the names against core. The
+// sweep engine uses it to fold each mix CCA's config fingerprint into
+// its cache keys.
+func ParseMix(val string) ([]MixEntry, error) { return parseMix(val) }
+
+// MixString renders a mix canonically: cc:weight, comma-separated.
+// ParseMix(MixString(m)) reproduces m.
+func MixString(mix []MixEntry) string { return mixString(mix) }
+
+// CCFor returns flow i's congestion-control name: the weight-expanded
+// mix, assigned cyclically.
+func (s Spec) CCFor(i int) string {
+	total := 0
+	for _, e := range s.Mix {
+		total += e.Weight
+	}
+	slot := i % total
+	for _, e := range s.Mix {
+		if slot < e.Weight {
+			return e.CC
+		}
+		slot -= e.Weight
+	}
+	return s.Mix[len(s.Mix)-1].CC // unreachable
+}
+
+// CCs returns every flow's CCA in flow order.
+func (s Spec) CCs() []string {
+	out := make([]string, s.Flows)
+	for i := range out {
+		out[i] = s.CCFor(i)
+	}
+	return out
+}
+
+// joinBase is flow i's nominal join time before jitter.
+func (s Spec) joinBase(i int) time.Duration {
+	return time.Duration(i) * s.Join
+}
+
+// JoinAt returns flow i's join time: i*Join plus a seed-derived jitter
+// of up to Join/8. The jitter hashes (flow seed, i) so perturbing one
+// flow's seed moves only that flow's join — the isolation property the
+// arena tests pin.
+func (s Spec) JoinAt(i int) time.Duration {
+	base := s.joinBase(i)
+	if s.Join <= 0 {
+		return base
+	}
+	span := uint64(s.Join / 8)
+	if span == 0 {
+		return base
+	}
+	return base + time.Duration(mix64(uint64(s.FlowSeed(i)))%span)
+}
+
+// FlowSeed returns flow i's derived seed: FlowSeeds[i] when set,
+// otherwise a splitmix64 derivation of (Seed, i).
+func (s Spec) FlowSeed(i int) int64 {
+	if len(s.FlowSeeds) == s.Flows {
+		return s.FlowSeeds[i]
+	}
+	return int64(mix64(uint64(s.Seed) ^ mix64(uint64(i)+1)))
+}
+
+// ExtraDelay returns flow i's receive-side path delay: a linear ramp
+// from zero (flow 0) to RTTSpread (the last flow).
+func (s Spec) ExtraDelay(i int) time.Duration {
+	if s.Flows < 2 || s.RTTSpread <= 0 {
+		return 0
+	}
+	return time.Duration(int64(s.RTTSpread) * int64(i) / int64(s.Flows-1))
+}
+
+// mix64 is the splitmix64 finalizer, the same bit mixer the fleet
+// harness derives per-UE profiles with.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

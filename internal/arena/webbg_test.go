@@ -1,0 +1,63 @@
+package arena
+
+import (
+	"testing"
+	"time"
+
+	"hvc/internal/app/web"
+	"hvc/internal/channel"
+	"hvc/internal/core"
+	"hvc/internal/sim"
+	"hvc/internal/transport"
+)
+
+// TestWebBackgroundContendsHonestly pins the fix for the web
+// harness's single-flow assumption: the "competing" background flows
+// used a strict request/reply ping-pong, capping each at one object
+// per round trip no matter what its congestion window allowed — they
+// decorated the experiment without pressing on the bottleneck. With
+// the transfer pipeline, each flow must clear several times the
+// ping-pong ceiling (base RTT is 50 ms on the fixed trace, so the
+// strict sequential bound is dur/50ms transfers), and the two
+// directions must hold comparable shares (arena's Jain metric over
+// their goodputs) rather than one starving.
+func TestWebBackgroundContendsHonestly(t *testing.T) {
+	const dur = 10 * time.Second
+	loop := sim.NewLoop(57)
+	embb, err := core.NewTrace("fixed", 57, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := core.Cellular(loop, embb)
+	client := transport.NewEndpoint(loop, g, channel.A)
+	server := transport.NewEndpoint(loop, g, channel.B)
+
+	web.Serve(server, func() transport.Config {
+		alg, _ := core.NewCC("cubic")
+		pol, _ := core.NewPolicy(core.PolicyDChannel, g, channel.B)
+		return transport.Config{CC: alg, Steer: pol}
+	})
+	bg := web.StartBackground(client, func() transport.Config {
+		alg, _ := core.NewCC("cubic")
+		pol, _ := core.NewPolicy(core.PolicyDChannel, g, channel.A)
+		return transport.Config{CC: alg, Steer: pol}
+	})
+
+	loop.RunUntil(dur)
+
+	pingpong := int(dur / (50 * time.Millisecond))
+	if bg.Uploads <= 2*pingpong {
+		t.Fatalf("uploader still ping-pong-limited: %d transfers in %v (sequential ceiling %d)",
+			bg.Uploads, dur, pingpong)
+	}
+	if bg.Downloads <= 2*pingpong {
+		t.Fatalf("downloader still ping-pong-limited: %d transfers in %v (sequential ceiling %d)",
+			bg.Downloads, dur, pingpong)
+	}
+	up := float64(bg.Uploads * web.UploadBytes)
+	down := float64(bg.Downloads * web.DownloadBytes)
+	if j := Jain([]float64{up, down}); j < 0.8 {
+		t.Fatalf("background directions out of balance: up=%.0fB down=%.0fB Jain=%.3f",
+			up, down, j)
+	}
+}

@@ -17,7 +17,7 @@ func ackStream(alg Algorithm, n int, rtt, interAck time.Duration, bytes int) tim
 }
 
 func TestAllAlgorithmsStartAboveFloor(t *testing.T) {
-	for _, alg := range []Algorithm{NewReno(), NewCubic(), NewVegas(), NewBBR(), NewVivace()} {
+	for _, alg := range []Algorithm{NewReno(), NewCubic(), NewVegas(), NewBBR(), NewVivace(), NewCopa()} {
 		if alg.CWND() < minCwnd {
 			t.Errorf("%s initial cwnd %d below floor", alg.Name(), alg.CWND())
 		}
@@ -31,6 +31,7 @@ func TestNames(t *testing.T) {
 		"vegas":  NewVegas(),
 		"bbr":    NewBBR(),
 		"vivace": NewVivace(),
+		"copa":   NewCopa(),
 	}
 	for name, alg := range want {
 		if alg.Name() != name {

@@ -44,6 +44,13 @@ func (v *Vegas) Config() string {
 }
 
 // Config implements Configured.
+func (c *Copa) Config() string {
+	return fmt.Sprintf("copa/v1 delta=%g minwin=%s moderrts=%d emptyfrac=%g dirrtts=%d maxinvdelta=%d pacinggain=%d iw=%d",
+		copaDelta, copaMinRTTWindow, copaModeRTTs, copaEmptyFrac,
+		copaDirRTTs, copaMaxInvDelta, copaPacingGain, 10*MSS)
+}
+
+// Config implements Configured.
 func (v *Vivace) Config() string {
 	return fmt.Sprintf("vivace/v1 minrate=%g maxrate=%g eps=%g step=%g..%g rttcoeff=%d losscoeff=%g iw=%d",
 		vivaceMinRate, vivaceMaxRate, vivaceEps, vivaceStepBase, vivaceStepMax,

@@ -1,0 +1,181 @@
+package cc
+
+import (
+	"testing"
+	"time"
+)
+
+// copaLink drives a Copa sender through a closed-loop analytic
+// bottleneck: rate mu bytes/s, propagation RTT base, infinite buffer.
+// The sender is window-limited, so the standing queue is
+// (cwnd - BDP) bytes and the observed RTT is base plus the drain time
+// of that queue. Acks arrive one per segment, cwnd/MSS per round trip.
+// It runs for dur of simulated time and returns the mean over the
+// final third of (throughput bytes/s, queue bytes).
+func copaLink(c *Copa, mu float64, base, dur time.Duration) (rate, queue float64) {
+	bdp := mu * base.Seconds()
+	now := time.Duration(0)
+	var sumRate, sumQueue float64
+	var n int
+	for now < dur {
+		q := float64(c.CWND()) - bdp
+		if q < 0 {
+			q = 0
+		}
+		rtt := base + time.Duration(q/mu*float64(time.Second))
+		interAck := time.Duration(float64(rtt) / (float64(c.CWND()) / MSS))
+		if interAck <= 0 {
+			interAck = time.Microsecond
+		}
+		now += interAck
+		c.OnAck(AckEvent{Now: now, RTT: rtt, Bytes: MSS, InFlight: c.CWND()})
+		if now > dur*2/3 {
+			tput := float64(c.CWND()) / rtt.Seconds()
+			if tput > mu {
+				tput = mu // the link caps the drain rate
+			}
+			sumRate += tput
+			sumQueue += q
+			n++
+		}
+	}
+	return sumRate / float64(n), sumQueue / float64(n)
+}
+
+// Copa's published single-flow steady state for δ=0.5: near-full link
+// utilization with a standing queue of only a few packets (the target
+// rate MSS/(δ·dq) pins dq at 2·MSS/μ, i.e. two segments queued, with a
+// small oscillation around it).
+func TestCopaSteadyStateRate(t *testing.T) {
+	mu := 6e6 // 48 Mbit/s in bytes/s
+	c := NewCopa()
+	rate, queue := copaLink(c, mu, 40*time.Millisecond, 8*time.Second)
+	if rate < 0.85*mu {
+		t.Fatalf("steady-state rate %.0f below 85%% of link rate %.0f", rate, mu)
+	}
+	if pkts := queue / MSS; pkts < 0.2 || pkts > 12 {
+		t.Fatalf("steady-state queue %.1f pkts outside the few-packet band", pkts)
+	}
+	if c.Mode() != "default" {
+		t.Fatalf("single flow ended in %s mode", c.Mode())
+	}
+}
+
+func TestCopaSlowStartExitsOnTargetCross(t *testing.T) {
+	c := NewCopa()
+	// No queue: stays in slow start, doubling per RTT.
+	ackStream(c, 40, 50*time.Millisecond, 5*time.Millisecond, MSS)
+	if !c.slowStart {
+		t.Fatal("left slow start with zero queueing delay")
+	}
+	grown := c.CWND()
+	if grown <= 10*MSS {
+		t.Fatalf("cwnd did not grow in slow start: %d", grown)
+	}
+	// A large standing queue puts the rate far above target. The
+	// standing window spans srtt/2, so the old low-RTT samples take a
+	// while to age out before dq turns positive.
+	now := 40 * 5 * time.Millisecond
+	peak := grown
+	for i := 0; i < 80; i++ {
+		now += 5 * time.Millisecond
+		c.OnAck(AckEvent{Now: now, RTT: 250 * time.Millisecond, Bytes: MSS, InFlight: c.CWND()})
+		if c.CWND() > peak {
+			peak = c.CWND()
+		}
+	}
+	if c.slowStart {
+		t.Fatal("still in slow start despite rate above target")
+	}
+	if c.CWND() >= peak {
+		t.Fatalf("cwnd %d did not shrink above target (peak %d)", c.CWND(), peak)
+	}
+}
+
+func TestCopaVelocityDoublesOnPersistentDirection(t *testing.T) {
+	c := NewCopa()
+	// Constant RTT, zero queueing delay: direction is up every round.
+	ackStream(c, 400, 50*time.Millisecond, 5*time.Millisecond, MSS)
+	if c.v < 4 {
+		t.Fatalf("velocity %v after persistent growth, want >= 4", c.v)
+	}
+	// Crossing the target flips the direction and resets velocity: a
+	// single above-target ack (standing queue 100ms against a 50ms
+	// floor) must drop v back to one.
+	d := NewCopa()
+	d.slowStart = false
+	d.srtt = 50 * time.Millisecond
+	d.minRTT = 50 * time.Millisecond
+	d.v = 8
+	d.direction = 1
+	d.OnAck(AckEvent{Now: time.Second, RTT: 150 * time.Millisecond, Bytes: MSS, InFlight: d.CWND()})
+	if d.v != 1 {
+		t.Fatalf("velocity %v after target crossing, want 1", d.v)
+	}
+	if d.direction != -1 {
+		t.Fatalf("direction %d after target crossing, want -1", d.direction)
+	}
+}
+
+func TestCopaCompetitiveModeAIMD(t *testing.T) {
+	c := NewCopa()
+	// Establish the propagation floor.
+	c.OnAck(AckEvent{Now: time.Millisecond, RTT: 50 * time.Millisecond, Bytes: MSS})
+	// A buffer-filler holds the queue: dq never drops near zero.
+	now := time.Millisecond
+	for i := 0; i < 400; i++ {
+		now += 5 * time.Millisecond
+		rtt := 140 * time.Millisecond
+		if i%2 == 0 {
+			rtt = 150 * time.Millisecond
+		}
+		c.OnAck(AckEvent{Now: now, RTT: rtt, Bytes: MSS, InFlight: c.CWND()})
+	}
+	if c.Mode() != "competitive" {
+		t.Fatalf("mode = %s with a held queue, want competitive", c.Mode())
+	}
+	if c.Delta() >= copaDelta {
+		t.Fatalf("delta %g did not additively increase 1/δ in competitive mode", c.Delta())
+	}
+	// Loss is the multiplicative decrease: 1/δ halves (δ doubles),
+	// capped at the default δ.
+	before := c.invDelta
+	c.OnLoss(LossEvent{Now: now, Bytes: MSS})
+	c.roundTick(now + c.srtt) // bookkeeping round with the loss recorded
+	if c.invDelta > before/2+1 {
+		t.Fatalf("1/δ %g after loss, want about half of %g", c.invDelta, before)
+	}
+	if c.Delta() > copaDelta {
+		t.Fatalf("delta %g exceeded the default cap", c.Delta())
+	}
+	// Once the queue drains again, Copa reverts to the default mode.
+	for i := 0; i < 400; i++ {
+		now += 5 * time.Millisecond
+		c.OnAck(AckEvent{Now: now, RTT: 50 * time.Millisecond, Bytes: MSS, InFlight: c.CWND()})
+	}
+	if c.Mode() != "default" || c.Delta() != copaDelta {
+		t.Fatalf("mode=%s delta=%g after queue drained, want default/%g", c.Mode(), c.Delta(), copaDelta)
+	}
+}
+
+func TestCopaTimeoutCollapses(t *testing.T) {
+	c := NewCopa()
+	ackStream(c, 100, 50*time.Millisecond, 5*time.Millisecond, MSS)
+	c.OnLoss(LossEvent{Now: time.Second, Bytes: MSS, Timeout: true})
+	if c.CWND() != minCwnd {
+		t.Fatalf("cwnd %d after timeout, want floor %d", c.CWND(), minCwnd)
+	}
+	if !c.slowStart {
+		t.Fatal("timeout should restart slow start")
+	}
+}
+
+func TestCopaIgnoresZeroRTTSamples(t *testing.T) {
+	c := NewCopa()
+	before := c.CWND()
+	c.OnAck(AckEvent{Now: time.Millisecond, RTT: 0, Bytes: MSS})
+	c.OnAck(AckEvent{Now: 2 * time.Millisecond, RTT: -time.Millisecond, Bytes: MSS})
+	if c.CWND() != before {
+		t.Fatalf("cwnd moved on non-positive RTT samples: %d -> %d", before, c.CWND())
+	}
+}

@@ -62,6 +62,7 @@ func TestInvariantsUnderRandomEvents(t *testing.T) {
 		"vegas":  func() Algorithm { return NewVegas() },
 		"bbr":    func() Algorithm { return NewBBR() },
 		"vivace": func() Algorithm { return NewVivace() },
+		"copa":   func() Algorithm { return NewCopa() },
 		"hvc":    func() Algorithm { return NewHVCAware(NewCubic(), "embb") },
 	}
 	for name, mk := range factories {

@@ -34,7 +34,7 @@ const (
 // CCNames lists the congestion-control algorithms NewCC accepts, in
 // the order Fig. 1a reports them. Each name also has an "hvc-" variant
 // wrapping it in the §3.2 channel-aware filter.
-func CCNames() []string { return []string{"cubic", "bbr", "vegas", "vivace", "reno"} }
+func CCNames() []string { return []string{"cubic", "bbr", "vegas", "vivace", "reno", "copa"} }
 
 // NewCC builds a congestion-control algorithm by name. An "hvc-"
 // prefix wraps the inner algorithm in cc.HVCAware bound to the eMBB
@@ -58,6 +58,8 @@ func NewCC(name string) (cc.Algorithm, error) {
 		return cc.NewVegas(), nil
 	case "vivace":
 		return cc.NewVivace(), nil
+	case "copa":
+		return cc.NewCopa(), nil
 	default:
 		return nil, fmt.Errorf("core: unknown congestion control %q", name)
 	}
@@ -70,7 +72,7 @@ func ValidCC(name string) bool {
 		return ValidCC(inner)
 	}
 	switch name {
-	case "cubic", "reno", "bbr", "vegas", "vivace":
+	case "cubic", "reno", "bbr", "vegas", "vivace", "copa":
 		return true
 	}
 	return false

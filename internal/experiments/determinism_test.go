@@ -8,7 +8,7 @@ import (
 	"hvc/internal/telemetry"
 )
 
-// tinyScale keeps the full 15-experiment matrix affordable: each bulk
+// tinyScale keeps the full 16-experiment matrix affordable: each bulk
 // simulation runs for one simulated second, video (and the outage
 // frame stream) for four (enough for the codec's frame cadence to
 // produce output), and the web corpus shrinks to two pages loaded

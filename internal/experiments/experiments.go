@@ -12,6 +12,7 @@ import (
 	"io"
 	"time"
 
+	"hvc/internal/arena"
 	"hvc/internal/core"
 	"hvc/internal/fleet"
 	"hvc/internal/metrics"
@@ -27,7 +28,7 @@ func Order() []string {
 		"fig1a", "fig1b", "fig2", "table1",
 		"ablation-cc", "ablation-mptcp", "ablation-mlo", "ablation-cost",
 		"ablation-beta", "ablation-tail", "ablation-ians", "ablation-has", "ablation-tsn",
-		"outage", "fleet",
+		"outage", "fleet", "arena",
 	}
 }
 
@@ -129,6 +130,7 @@ var runners = map[string]func(Env) error{
 	"ablation-tsn":   ablationTSN,
 	"outage":         outage,
 	"fleet":          fleetExp,
+	"arena":          arenaExp,
 }
 
 // Run executes one named experiment under e.
@@ -406,6 +408,52 @@ func fleetExp(e Env) error {
 	for _, app := range []string{fleet.AppBulk, fleet.AppVideo, fleet.AppWeb} {
 		e.metric("ues/"+app, float64(res.Apps[app]), "")
 	}
+	if e.Report != nil {
+		res.Group.Do(func(name string, s *sketch.Sketch) {
+			e.Report.AddSketch(e.Prefix+name, s)
+		})
+	}
+	return nil
+}
+
+// arenaExp runs the multi-flow contention arena: four competitors on
+// four different CCAs with staggered joins and heterogeneous RTTs over
+// the shared channel set, reporting per-flow shares, the Jain index,
+// convergence time, and throughput/delay ellipse points
+// (internal/arena). Duration follows the scale's bulk duration, capped
+// so full-scale bench runs stay proportionate.
+func arenaExp(e Env) error {
+	dur := e.Scale.BulkDur
+	if dur > 12*time.Second {
+		dur = 12 * time.Second
+	}
+	spec, err := arena.ParseSpec(fmt.Sprintf(
+		"flows=4 mix=cubic,copa,bbr,reno join=%s rttspread=20ms seed=%d dur=%s",
+		dur/8, e.Seed, dur))
+	if err != nil {
+		return err
+	}
+	res, err := arena.Run(spec, arena.Options{Tracer: e.Tracer})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(e.Out, "== Arena: %d-flow contention, mixed CCAs, staggered joins (%v) ==\n", spec.Flows, spec.Dur)
+	fmt.Fprintf(e.Out, "%-8s %10s %12s %8s %12s %12s %10s %10s %6s\n",
+		"cca", "join", "goodput", "share", "tput_mean", "tput_std", "rtt_mean", "rtt_std", "retr")
+	for _, fr := range res.Flows {
+		fmt.Fprintf(e.Out, "%-8s %10v %10.2fMb %7.1f%% %10.2fMb %10.2fMb %8.1fms %8.1fms %6d\n",
+			fr.CC, fr.JoinAt.Round(time.Millisecond), fr.GoodputMbps, 100*fr.Share,
+			fr.MeanTputMbps, fr.StdTputMbps, fr.MeanRTTms, fr.StdRTTms, fr.Retransmits)
+		e.metric(fr.CC+"/goodput", fr.GoodputMbps, "Mbps")
+		e.metric(fr.CC+"/share", fr.Share, "")
+	}
+	if res.Converged {
+		fmt.Fprintf(e.Out, "jain=%.3f converged %v after last join\n\n", res.Jain, res.Convergence.Round(time.Millisecond))
+		e.metric("convergence_s", res.Convergence.Seconds(), "s")
+	} else {
+		fmt.Fprintf(e.Out, "jain=%.3f not converged within %v\n\n", res.Jain, spec.Dur)
+	}
+	e.metric("jain", res.Jain, "")
 	if e.Report != nil {
 		res.Group.Do(func(name string, s *sketch.Sketch) {
 			e.Report.AddSketch(e.Prefix+name, s)

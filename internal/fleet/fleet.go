@@ -7,6 +7,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"hvc/internal/arena"
 	"hvc/internal/core"
 	"hvc/internal/fault"
 	"hvc/internal/pool"
@@ -156,6 +157,28 @@ func runUE(p Profile, spec Spec, g *sketch.Group) error {
 		}
 		for _, v := range r.PLT.Values() {
 			g.Observe("web/plt_ms", v)
+		}
+	case AppArena:
+		// Each arena UE hosts a small in-session contention: two flows of
+		// the fleet's CCA joining a beat apart, so the population view
+		// includes intra-UE fairness, not just across-UE spread.
+		as := arena.Spec{
+			Flows: 2, Seed: p.Seed,
+			Mix:    []arena.MixEntry{{CC: spec.CC, Weight: 1}},
+			Join:   spec.Dur / 8,
+			Dur:    spec.Dur,
+			Policy: p.Policy, Trace: p.Trace,
+		}
+		r, err := arena.Run(as, arena.Options{Fault: p.Fault})
+		if err != nil {
+			return err
+		}
+		g.Observe("arena/jain", r.Jain)
+		if r.Converged {
+			g.Observe("arena/convergence_s", r.Convergence.Seconds())
+		}
+		for _, fr := range r.Flows {
+			g.Observe("arena/flow_goodput_mbps", fr.GoodputMbps)
 		}
 	default:
 		return fmt.Errorf("fleet: unknown app %q", p.App)

@@ -63,6 +63,38 @@ func TestFleetDeterminismMatrix(t *testing.T) {
 	}
 }
 
+// TestFleetArenaSessions runs a real (tiny) arena-mixed fleet: every
+// arena UE hosts a two-flow in-session contention and contributes one
+// Jain observation plus a goodput per flow, and the aggregate stays
+// byte-identical across worker shapes like every other app.
+func TestFleetArenaSessions(t *testing.T) {
+	spec, err := ParseSpec("ues=3 mix=arena:1 cc=cubic dur=1s stagger=1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(spec, Options{Workers: 2, Shard: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]uint64{}
+	for _, s := range res.Group.Snapshot() {
+		byName[s.Name] = s.N
+	}
+	if byName["arena/jain"] != 3 {
+		t.Fatalf("arena/jain saw %d observations, want one per UE (3): %+v", byName["arena/jain"], byName)
+	}
+	if byName["arena/flow_goodput_mbps"] != 6 {
+		t.Fatalf("arena/flow_goodput_mbps saw %d observations, want one per flow (6): %+v",
+			byName["arena/flow_goodput_mbps"], byName)
+	}
+
+	baseTable, baseReport := render(t, spec, Options{Workers: 1})
+	table, report := render(t, spec, Options{Workers: 4, Shard: 2})
+	if !bytes.Equal(table, baseTable) || !bytes.Equal(report, baseReport) {
+		t.Fatal("arena fleet output differs across worker shapes")
+	}
+}
+
 // stubUEs installs a cheap session stub and returns a restore func.
 // The stub observes one value per UE so aggregation paths still
 // exercise, without paying for real simulations.

@@ -21,7 +21,8 @@
 //	ues=10000 seed=1 mix=bulk:2,web:1 cc=bbr policy=dchannel,embb-only trace=lowband-driving dur=2s stagger=10s
 //
 // Keys: ues (fleet size), seed (fleet seed), mix (weighted app mix
-// app:weight, apps bulk|video|web), cc (bulk sessions' CCA), policy
+// app:weight, apps bulk|video|web|arena — arena UEs each run a small
+// two-flow in-session contention arena), cc (bulk/arena CCA), policy
 // and trace (libraries; each UE draws one by hash), dur (bulk/video
 // session length), pages/loads (web corpus), stagger (UE start times
 // spread uniformly over [0, stagger)), fault (a shared fleet-absolute
@@ -46,6 +47,7 @@ const (
 	AppBulk  = "bulk"  // core.RunBulk: one long transfer
 	AppVideo = "video" // core.RunVideo: real-time SVC stream
 	AppWeb   = "web"   // core.RunWeb: sequential page loads
+	AppArena = "arena" // arena.Run: two flows contending in-session
 )
 
 // maxUEs bounds a fleet so a typo cannot expand into an unbounded run.
@@ -66,8 +68,8 @@ type Spec struct {
 	Seed int64
 	// Mix weights the app workloads; each UE draws one by hash.
 	Mix []MixEntry
-	// CC names the congestion control bulk sessions run (web fixes
-	// CUBIC per the paper; video is unreliable and uses none).
+	// CC names the congestion control bulk and arena sessions run (web
+	// fixes CUBIC per the paper; video is unreliable and uses none).
 	CC string
 	// Policies and Traces are the libraries each UE draws its steering
 	// policy and eMBB trace realization from, by hash.
@@ -193,9 +195,9 @@ func parseMix(val string) ([]MixEntry, error) {
 			e.Weight = w
 		}
 		switch e.App {
-		case AppBulk, AppVideo, AppWeb:
+		case AppBulk, AppVideo, AppWeb, AppArena:
 		default:
-			return nil, fmt.Errorf("fleet: unknown app %q in mix (bulk, video, web)", e.App)
+			return nil, fmt.Errorf("fleet: unknown app %q in mix (bulk, video, web, arena)", e.App)
 		}
 		if seen[e.App] {
 			return nil, fmt.Errorf("fleet: mix lists %q twice", e.App)
@@ -248,6 +250,9 @@ func (s *Spec) defaultAndValidate() error {
 	hasApp := map[string]bool{}
 	for _, e := range s.Mix {
 		hasApp[e.App] = true
+	}
+	if hasApp[AppArena] && s.Dur < 500*time.Millisecond {
+		return fmt.Errorf("fleet: arena sessions need dur >= 500ms, got %v", s.Dur)
 	}
 	if !core.ValidCC(s.CC) {
 		return fmt.Errorf("fleet: unknown congestion control %q", s.CC)

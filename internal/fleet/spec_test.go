@@ -38,6 +38,7 @@ func TestParseSpecRoundTrip(t *testing.T) {
 		"fault=outage:ch=embb,at=1s,dur=500ms mix=bulk:1",
 		"  ues=5\t dur=2.5s  ",
 		"mix=video",
+		"mix=arena:2,bulk:1 cc=cubic dur=1s",
 	} {
 		spec, err := ParseSpec(in)
 		if err != nil {
@@ -81,6 +82,7 @@ func TestParseSpecErrors(t *testing.T) {
 		{"mix=web:1 policy=priority", "do not support"},
 		{"fault=outage:ch=embb,at=1s", "dur"},
 		{"fault=outage:ch=mmwave,at=1s,dur=1s", "channel"},
+		{"mix=arena:1 dur=200ms", "arena sessions need dur >= 500ms"},
 	} {
 		_, err := ParseSpec(tc.in)
 		if err == nil {

@@ -25,6 +25,11 @@ func FuzzSweepSpecParse(f *testing.F) {
 	f.Add("exp=outage fault=outage:ch=embb,at=1s,dur=500ms;burst:ch=urllc,at=2s,dur=1s,pgb=0.3")
 	f.Add("exp=outage fault=none")
 	f.Add("exp=video fault=outage:ch=embb,at=1s,dur=1s")
+	f.Add("exp=arena flows=4 mix=cubic:2,bbr join=250ms rttspread=20ms dur=4s seeds=1..2")
+	f.Add("exp=arena")
+	f.Add("exp=arena mix=cubic,cubic")
+	f.Add("exp=arena flows=2 join=10s dur=5s")
+	f.Add("exp=bulk flows=4")
 	f.Fuzz(func(t *testing.T, in string) {
 		spec, err := ParseSpec(in)
 		if err != nil {

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"hvc/internal/arena"
 	"hvc/internal/core"
 	"hvc/internal/trace"
 )
@@ -52,10 +53,23 @@ func (j job) key() string {
 	if j.spec.Exp == ExpOutage {
 		fmt.Fprintf(&b, " fault=%s", j.spec.Fault)
 	}
+	if j.spec.Exp == ExpArena {
+		fmt.Fprintf(&b, " flows=%d mix=%s join=%s rttspread=%s",
+			j.spec.Flows, j.spec.Mix, j.spec.Join, j.spec.RTTSpread)
+	}
 	b.WriteString("\n")
 	if j.cell.CC != "" {
 		fp, _ := core.CCFingerprint(j.cell.CC)
 		fmt.Fprintf(&b, "cc-config=%s\n", fp)
+	}
+	if j.spec.Exp == ExpArena {
+		// Arena cells have no cc axis; the mix is the CCA knob, so every
+		// algorithm it names folds its fingerprint in, in mix order.
+		mix, _ := arena.ParseMix(j.spec.Mix)
+		for _, e := range mix {
+			fp, _ := core.CCFingerprint(e.CC)
+			fmt.Fprintf(&b, "cc-config=%s\n", fp)
+		}
 	}
 	fp, _ := core.PolicyFingerprint(j.cell.Policy)
 	fmt.Fprintf(&b, "policy-config=%s\n", fp)
@@ -184,6 +198,42 @@ func (j job) run() ([]MetricValue, error) {
 			{"stall_ms", float64(r.Stall.Microseconds()) / 1000},
 			{"delay_p50_ms", r.Delay.Percentile(50)},
 			{"delay_p99_ms", r.Delay.Percentile(99)},
+		}, nil
+	case ExpArena:
+		as, err := arena.ParseSpec(fmt.Sprintf(
+			"flows=%d mix=%s join=%s rttspread=%s seed=%d dur=%s policy=%s trace=%s",
+			j.spec.Flows, j.spec.Mix, j.spec.Join, j.spec.RTTSpread,
+			j.seed, j.spec.Dur, j.cell.Policy, j.cell.Trace))
+		if err != nil {
+			return nil, err
+		}
+		r, err := arena.Run(as, arena.Options{})
+		if err != nil {
+			return nil, err
+		}
+		lo, hi, total := r.Flows[0].GoodputMbps, r.Flows[0].GoodputMbps, 0.0
+		for _, fr := range r.Flows {
+			total += fr.GoodputMbps
+			if fr.GoodputMbps < lo {
+				lo = fr.GoodputMbps
+			}
+			if fr.GoodputMbps > hi {
+				hi = fr.GoodputMbps
+			}
+		}
+		// convergence_s is censored at the run length when the arena never
+		// converges, so multi-seed means stay finite and comparable.
+		conv, converged := j.spec.Dur.Seconds(), 0.0
+		if r.Converged {
+			conv, converged = r.Convergence.Seconds(), 1
+		}
+		return []MetricValue{
+			{"jain", r.Jain},
+			{"converged", converged},
+			{"convergence_s", conv},
+			{"goodput_total_mbps", total},
+			{"goodput_min_mbps", lo},
+			{"goodput_max_mbps", hi},
 		}, nil
 	default:
 		return nil, fmt.Errorf("sweep: unknown experiment %q", j.spec.Exp)

@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"hvc/internal/arena"
 	"hvc/internal/channel"
 	"hvc/internal/core"
 	"hvc/internal/fault"
@@ -31,6 +32,7 @@ const (
 	ExpWeb    = "web"    // core.RunWeb: Table 1 page loads
 	ExpABR    = "abr"    // core.RunABR: adaptive streaming ablation
 	ExpOutage = "outage" // core.RunOutage: frames through fault scenarios
+	ExpArena  = "arena"  // arena.Run: multi-flow contention and fairness
 )
 
 // maxSeeds bounds a spec's seed range so a typo cannot expand into an
@@ -62,20 +64,28 @@ type Spec struct {
 	// only). Empty defaults to the standard two-blackout schedule
 	// scaled to Dur; stored canonically.
 	Fault string
+	// Flows, Mix, Join, and RTTSpread shape the arena contention run
+	// (arena only): competitor count, weighted CCA mix (arena mix
+	// grammar, stored canonically), join stagger, and RTT heterogeneity.
+	// The cc axis does not apply to arena — the mix is its CCA knob.
+	Flows           int
+	Mix             string
+	Join, RTTSpread time.Duration
 }
 
 // specKeys is the canonical key order String emits and the complete
 // set ParseSpec accepts.
-var specKeys = []string{"exp", "cc", "policy", "trace", "seeds", "dur", "pages", "loads", "fault"}
+var specKeys = []string{"exp", "cc", "policy", "trace", "seeds", "dur", "pages", "loads", "fault", "flows", "mix", "join", "rttspread"}
 
 // ParseSpec parses the grid-spec syntax: space-separated key=value
 // fields, list values comma-separated, for example
 //
 //	exp=bulk cc=cubic,bbr policy=dchannel,embb-only seeds=1..5 dur=15s
 //
-// Keys: exp (bulk|video|web|abr|outage), cc, policy, trace, seeds (N
-// or A..B inclusive), dur (Go duration), pages, loads, fault (an
-// internal/fault scenario, outage only). Unknown keys,
+// Keys: exp (bulk|video|web|abr|outage|arena), cc, policy, trace,
+// seeds (N or A..B inclusive), dur (Go duration), pages, loads, fault
+// (an internal/fault scenario, outage only), flows, mix, join,
+// rttspread (arena contention knobs, arena only). Unknown keys,
 // duplicate keys, duplicate list values, and names the core package
 // does not accept are errors. Omitted axes default per experiment
 // (see Default). The result is validated and canonical: parsing the
@@ -137,6 +147,24 @@ func ParseSpec(s string) (Spec, error) {
 			}
 		case "fault":
 			spec.Fault = val
+		case "flows":
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return Spec{}, fmt.Errorf("sweep: flows %q is not a positive integer", val)
+			}
+			spec.Flows = n
+		case "mix":
+			spec.Mix = val
+		case "join", "rttspread":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return Spec{}, fmt.Errorf("sweep: %s %q is not a non-negative duration", key, val)
+			}
+			if key == "join" {
+				spec.Join = d
+			} else {
+				spec.RTTSpread = d
+			}
 		default:
 			return Spec{}, fmt.Errorf("sweep: unknown key %q (valid: %s)", key, strings.Join(specKeys, ", "))
 		}
@@ -246,10 +274,26 @@ func (s *Spec) defaultAndValidate() error {
 		if s.Dur == 0 {
 			s.Dur = 8 * time.Second
 		}
+	case ExpArena:
+		if s.Policies == nil {
+			s.Policies = []string{core.PolicyDChannel}
+		}
+		if s.Traces == nil {
+			s.Traces = []string{"fixed"}
+		}
+		if s.Dur == 0 {
+			s.Dur = 15 * time.Second
+		}
+		if s.Flows == 0 {
+			s.Flows = 2
+		}
+		if s.Mix == "" {
+			s.Mix = "cubic"
+		}
 	case "":
-		return fmt.Errorf("sweep: spec needs exp=bulk|video|web|abr|outage")
+		return fmt.Errorf("sweep: spec needs exp=bulk|video|web|abr|outage|arena")
 	default:
-		return fmt.Errorf("sweep: unknown experiment %q (bulk, video, web, abr, outage)", s.Exp)
+		return fmt.Errorf("sweep: unknown experiment %q (bulk, video, web, abr, outage, arena)", s.Exp)
 	}
 
 	if s.Exp != ExpBulk && s.CCs != nil {
@@ -261,6 +305,20 @@ func (s *Spec) defaultAndValidate() error {
 		}
 	} else if s.Pages != 0 || s.Loads != 0 {
 		return fmt.Errorf("sweep: pages/loads only apply to exp=web")
+	}
+	if s.Exp == ExpArena {
+		// Delegate the contention knobs to the arena's own validator (it
+		// owns the mix grammar, flow bounds, and the last-join-fits-in-dur
+		// rule), then store the mix canonically (cc:weight form) so String
+		// and the cache key are exact.
+		as, err := arena.ParseSpec(fmt.Sprintf("flows=%d mix=%s join=%s rttspread=%s dur=%s",
+			s.Flows, s.Mix, s.Join, s.RTTSpread, s.Dur))
+		if err != nil {
+			return err
+		}
+		s.Mix = arena.MixString(as.Mix)
+	} else if s.Flows != 0 || s.Mix != "" || s.Join != 0 || s.RTTSpread != 0 {
+		return fmt.Errorf("sweep: flows/mix/join/rttspread only apply to exp=arena")
 	}
 	if s.Exp == ExpOutage {
 		// Canonicalize the scenario (or materialize the default blackout
@@ -336,6 +394,9 @@ func (s Spec) String() string {
 	}
 	if s.Exp == ExpOutage {
 		fmt.Fprintf(&b, " fault=%s", s.Fault)
+	}
+	if s.Exp == ExpArena {
+		fmt.Fprintf(&b, " flows=%d mix=%s join=%s rttspread=%s", s.Flows, s.Mix, s.Join, s.RTTSpread)
 	}
 	return b.String()
 }

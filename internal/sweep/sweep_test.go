@@ -49,6 +49,9 @@ func TestParseSpecCanonicalRoundTrip(t *testing.T) {
 		{"exp=outage dur=4s policy=redundant fault=burst:ch=urllc,at=1s,dur=2s,pgb=0.5",
 			"exp=outage policy=redundant trace=fixed seeds=1..1 dur=4s " +
 				"fault=burst:ch=urllc,at=1s,dur=2s,pgb=0.5,pbg=0.25,loss=1,lossgood=0"},
+		{"exp=arena", "exp=arena policy=dchannel trace=fixed seeds=1..1 dur=15s flows=2 mix=cubic:1 join=0s rttspread=0s"},
+		{"exp=arena flows=4 mix=cubic:2,bbr join=250ms rttspread=20ms dur=4s seeds=1..2",
+			"exp=arena policy=dchannel trace=fixed seeds=1..2 dur=4s flows=4 mix=cubic:2,bbr:1 join=250ms rttspread=20ms"},
 	}
 	for _, c := range cases {
 		spec := mustParse(t, c.in)
@@ -90,6 +93,17 @@ func TestParseSpecRejects(t *testing.T) {
 		"exp=outage fault=outage:ch=leo,at=0s,dur=1s",  // channel the runner lacks
 		"exp=outage trace=lowband-driving",             // outage is fixed-trace only
 		"exp=outage pages=2",                           // pages outside web
+		"exp=bulk flows=4",                             // arena knobs outside arena
+		"exp=video mix=cubic",                          // arena knobs outside arena
+		"exp=bulk join=1s",                             // arena knobs outside arena
+		"exp=arena cc=cubic",                           // arena's CCA knob is mix, not cc
+		"exp=arena flows=0",                            // non-positive flows
+		"exp=arena flows=65",                           // over the arena flow cap
+		"exp=arena mix=tcp-tahoe",                      // unknown cc in mix
+		"exp=arena mix=cubic,cubic",                    // duplicate mix entry
+		"exp=arena join=-1s",                           // negative duration
+		"exp=arena flows=2 join=10s dur=5s",            // last join after dur
+		"exp=arena pages=2",                            // pages outside web
 	}
 	for _, s := range bad {
 		if _, err := ParseSpec(s); err == nil {
@@ -208,6 +222,56 @@ func TestRunOutageGrid(t *testing.T) {
 	if stall["redundant"] >= stall["embb-only"] {
 		t.Fatalf("redundant stall %.1fms not below embb-only %.1fms",
 			stall["redundant"], stall["embb-only"])
+	}
+}
+
+// TestRunArenaGridWorkerInvariance is the arena acceptance gate at the
+// sweep layer: a four-flow mixed-CCA contention grid produces a
+// byte-identical matrix on one worker and four, and its fixed metric
+// set leads with the fairness numbers.
+func TestRunArenaGridWorkerInvariance(t *testing.T) {
+	spec := mustParse(t, "exp=arena flows=4 mix=cubic,copa,bbr,reno join=250ms rttspread=20ms dur=4s seeds=1..2")
+	render := func(workers int) []byte {
+		t.Helper()
+		m, err := Run(spec, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		if err := m.WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	b1 := render(1)
+	if !bytes.Equal(b1, render(4)) {
+		t.Fatal("arena matrix differs between workers=1 and workers=4")
+	}
+
+	m, err := Run(spec, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Jobs != 2 || len(m.Cells) != 1 {
+		t.Fatalf("jobs=%d cells=%d, want 2 jobs in 1 cell", m.Jobs, len(m.Cells))
+	}
+	wantMetrics := []string{"jain", "converged", "convergence_s",
+		"goodput_total_mbps", "goodput_min_mbps", "goodput_max_mbps"}
+	c := m.Cells[0]
+	if len(c.Metrics) != len(wantMetrics) {
+		t.Fatalf("arena cell metrics %+v, want %v", c.Metrics, wantMetrics)
+	}
+	for i, mt := range c.Metrics {
+		if mt.Name != wantMetrics[i] {
+			t.Fatalf("metric %d = %s, want %s", i, mt.Name, wantMetrics[i])
+		}
+	}
+	jain := c.Metrics[0].Summary
+	if jain.Mean <= 0 || jain.Mean > 1 {
+		t.Fatalf("jain mean %v out of (0,1]", jain.Mean)
+	}
+	if tot := c.Metrics[3].Summary; tot.Mean <= 0 {
+		t.Fatalf("arena moved no bytes: %+v", tot)
 	}
 }
 
@@ -390,6 +454,33 @@ func TestJobKeyIncludesFingerprintsAndSeed(t *testing.T) {
 	j2.seed = 4
 	if j.hash() == j2.hash() {
 		t.Fatal("different seeds share a cache hash")
+	}
+}
+
+// TestJobKeyFoldsArenaMix pins the arena knobs into the cache address:
+// the key carries flows/mix/join/rttspread plus one CCA fingerprint per
+// mix entry, and jobs differing only in a knob never share a hash.
+func TestJobKeyFoldsArenaMix(t *testing.T) {
+	spec := mustParse(t, "exp=arena flows=4 mix=cubic,bbr join=250ms rttspread=20ms dur=4s seeds=1")
+	j := job{spec: spec, cell: cellKey{Policy: "dchannel", Trace: "fixed"}, seed: 1}
+	key := j.key()
+	for _, want := range []string{"flows=4", "mix=cubic:1,bbr:1", "join=250ms", "rttspread=20ms",
+		"cc-config=cubic/", "cc-config=bbr/"} {
+		if !strings.Contains(key, want) {
+			t.Errorf("arena job key missing %q:\n%s", want, key)
+		}
+	}
+	for _, alt := range []string{
+		"exp=arena flows=4 mix=cubic,reno join=250ms rttspread=20ms dur=4s seeds=1",
+		"exp=arena flows=3 mix=cubic,bbr join=250ms rttspread=20ms dur=4s seeds=1",
+		"exp=arena flows=4 mix=cubic,bbr join=300ms rttspread=20ms dur=4s seeds=1",
+		"exp=arena flows=4 mix=cubic,bbr join=250ms rttspread=10ms dur=4s seeds=1",
+	} {
+		j2 := j
+		j2.spec = mustParse(t, alt)
+		if j.hash() == j2.hash() {
+			t.Errorf("arena jobs share a cache hash despite differing specs:\n%s\nvs\n%s", j.key(), j2.key())
+		}
 	}
 }
 

@@ -48,6 +48,12 @@ type Config struct {
 	MinRTO time.Duration
 	// MsgTimeout expires incomplete unreliable messages; 0 means 2 s.
 	MsgTimeout time.Duration
+	// RxDelay holds every packet arriving for this connection for the
+	// given extra time before processing, emulating per-flow path-length
+	// differences (e.g. a distant peer) on a shared channel set. The
+	// contention arena uses it to give flows heterogeneous RTTs. Zero
+	// (the default) adds no work to the receive path.
+	RxDelay time.Duration
 }
 
 func (cfg *Config) fillDefaults() {

@@ -48,19 +48,34 @@ func (c *Conn) initMultipath() {
 	}
 }
 
-// pickSubflow returns the open subflow with the lowest smoothed RTT
-// (unmeasured subflows count as zero, so every path is tried early),
-// or nil when every window is full.
+// pickSubflow returns the subflow to fill next: the up subflow with
+// window space and the lowest *measured* smoothed RTT. A subflow with
+// no RTT sample yet — fresh, or newly recovered from an outage — must
+// not win the min-RTT race on a zero srtt (it would capture the whole
+// scheduler until its first ack); instead it is probed with a single
+// chunk at a time until an ack measures it. The probe takes precedence
+// so light traffic still reaches unmeasured paths, but with at most
+// one chunk outstanding it cannot starve the measured ones. Returns
+// nil when nothing is sendable.
 func (c *Conn) pickSubflow() *subflow {
-	var best *subflow
+	var best, probe *subflow
 	for _, name := range c.subflowOrder {
 		sf := c.subflows[name]
-		if sf.inflight >= sf.alg.CWND() {
+		if sf.ch.Down() || sf.inflight >= sf.alg.CWND() {
+			continue
+		}
+		if sf.srtt == 0 {
+			if probe == nil && sf.inflight == 0 {
+				probe = sf
+			}
 			continue
 		}
 		if best == nil || sf.srtt < best.srtt {
 			best = sf
 		}
+	}
+	if probe != nil {
+		return probe
 	}
 	return best
 }
@@ -76,7 +91,12 @@ func (c *Conn) tryMultiSend() {
 		}
 		sf := c.pickSubflow()
 		if sf == nil {
-			return // every subflow window is full; acks reopen them
+			if c.ep.group.AllDown() {
+				// Total blackout: park until any channel recovers, as
+				// the single-path send path does.
+				c.backoffSend()
+			}
+			return // otherwise acks (or probes completing) resume sending
 		}
 		ch := c.sched.next(c.cfg.MSS, false)
 		if ch == nil {

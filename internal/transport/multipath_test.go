@@ -312,6 +312,65 @@ func TestMultipathSubflowCCIsolation(t *testing.T) {
 	}
 }
 
+func TestMultipathOutageRecoveryDoesNotStarveLivePath(t *testing.T) {
+	// Regression: pickSubflow used to treat an unsampled subflow
+	// (srtt == 0) as lowest-RTT, so a subflow that was down from the
+	// start — or recovering with reset state — won every min-RTT race,
+	// burned each pick on a failed send, and starved the healthy path
+	// behind the 10 ms backoff timer. The scheduler must keep filling
+	// the measured live subflow during the outage, then probe and adopt
+	// the recovered one.
+	loop := sim.NewLoop(44)
+	live := channel.New(loop, channel.Config{
+		Props:     channel.Properties{Name: "live", BaseRTT: 20 * time.Millisecond, Bandwidth: 20e6},
+		DownTrace: trace.Constant("live", 20*time.Millisecond, 20e6),
+	})
+	dead := channel.New(loop, channel.Config{
+		Props:     channel.Properties{Name: "dead", BaseRTT: 10 * time.Millisecond, Bandwidth: 20e6},
+		DownTrace: trace.Constant("dead", 10*time.Millisecond, 20e6),
+	})
+	g := channel.NewGroup(live, dead)
+	// Down from t=0 (before any RTT sample lands), back at t=5s.
+	dead.SetOutage(true)
+	loop.At(5*time.Second, func() { dead.SetOutage(false) })
+	client := NewEndpoint(loop, g, channel.A)
+	server := NewEndpoint(loop, g, channel.B)
+
+	var srv *Conn
+	var got []Message
+	server.Listen(func() Config { return multipathCfg() }, func(c *Conn) {
+		srv = c
+		c.OnMessage(func(_ *Conn, m Message) { got = append(got, m) })
+	})
+	c := client.Dial(multipathCfg())
+	c.SendMessage(c.NewStream(), 0, 30<<20, nil)
+
+	// During the outage the live subflow must make real progress: at
+	// 20 Mbps, 4 s is 10 MB even with slow start.
+	loop.RunUntil(4 * time.Second)
+	during := srv.Stats().BytesReceived
+	if during < 4<<20 {
+		t.Fatalf("live path starved during peer outage: %d bytes in 4s", during)
+	}
+	if sent := dead.Stats(channel.A).Sent; sent != 0 {
+		t.Fatalf("scheduler burned %d sends on the dead channel", sent)
+	}
+
+	loop.RunUntil(30 * time.Second)
+	if len(got) != 1 {
+		t.Fatal("transfer did not complete after recovery")
+	}
+	// The recovered subflow was probed, measured, and adopted.
+	for _, sf := range c.Subflows() {
+		if sf.Channel == "dead" && sf.SRTT == 0 {
+			t.Fatal("recovered subflow never re-measured")
+		}
+	}
+	if sent := dead.Stats(channel.A).Sent; sent == 0 {
+		t.Fatal("recovered subflow carried nothing")
+	}
+}
+
 func TestMultipathRecoversFromTotalOutage(t *testing.T) {
 	loop := sim.NewLoop(43)
 	// Both channels die at 1 s and recover at 3 s.

@@ -1,0 +1,50 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"hvc/internal/cc"
+	"hvc/internal/channel"
+)
+
+func TestRxDelayInflatesMeasuredRTT(t *testing.T) {
+	w := newWorld(53)
+	var got []Message
+	w.listen(serverCfg(w), &got)
+
+	near := w.client.Dial(Config{CC: cc.NewCubic(), Steer: w.dchannel(channel.A)})
+	far := w.client.Dial(Config{CC: cc.NewCubic(), Steer: w.dchannel(channel.A), RxDelay: 50 * time.Millisecond})
+	near.SendMessage(near.NewStream(), 0, 200_000, nil)
+	far.SendMessage(far.NewStream(), 0, 200_000, nil)
+	w.loop.RunUntil(5 * time.Second)
+
+	if len(got) != 2 {
+		t.Fatalf("want both transfers delivered, got %d", len(got))
+	}
+	gap := far.SRTT() - near.SRTT()
+	if gap < 40*time.Millisecond || gap > 80*time.Millisecond {
+		t.Fatalf("RxDelay=50ms should inflate SRTT by about that much: near=%v far=%v",
+			near.SRTT(), far.SRTT())
+	}
+}
+
+func TestRxDelayDeterministic(t *testing.T) {
+	run := func() (time.Duration, Stats) {
+		w := newWorld(54)
+		var got []Message
+		w.listen(serverCfg(w), &got)
+		c := w.client.Dial(Config{CC: cc.NewCubic(), Steer: w.dchannel(channel.A), RxDelay: 30 * time.Millisecond})
+		c.SendMessage(c.NewStream(), 0, 4<<20, nil)
+		w.loop.RunUntil(20 * time.Second)
+		if len(got) != 1 {
+			t.Fatal("transfer incomplete")
+		}
+		return got[0].DeliveredAt, c.Stats()
+	}
+	at1, st1 := run()
+	at2, st2 := run()
+	if at1 != at2 || st1 != st2 {
+		t.Fatalf("nondeterministic: %v/%+v vs %v/%+v", at1, st1, at2, st2)
+	}
+}

@@ -137,6 +137,18 @@ func (e *Endpoint) receive(p *packet.Packet) {
 			return // no listener, or a stray packet: drop
 		}
 	}
+	if d := c.cfg.RxDelay; d > 0 {
+		// Per-flow extra path delay: hold the packet (still owned by the
+		// pool entry) and process it later. Arrival times are monotone
+		// per channel and the delay is constant, so per-channel FIFO
+		// order is preserved; the closure allocation only happens on
+		// flows that opt in.
+		e.loop.After(d, func() {
+			c.handlePacket(p)
+			e.pool.Put(p)
+		})
+		return
+	}
 	c.handlePacket(p)
 	e.pool.Put(p)
 }
